@@ -1,0 +1,214 @@
+// Command fsaibench regenerates the tables and figures of the paper's
+// evaluation section on the synthetic catalogs.
+//
+// Usage:
+//
+//	fsaibench -exp table1 [-set quick|full] [-arch skylake|a64fx|zen2]
+//	fsaibench -exp all -set quick
+//
+// Experiments: table1 table2 table3 table4 table5 table6 table7
+// fig2 fig3a fig3b fig4 fig5a fig5b fig6 fig7 fig8 imbalance all.
+// The quick set (default) is a 7-matrix class-representative subset of
+// Table 1; -set full runs the whole 39-matrix catalog (minutes, not
+// seconds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"fsaicomm/internal/archmodel"
+	"fsaicomm/internal/core"
+	"fsaicomm/internal/experiments"
+	"fsaicomm/internal/testsets"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1..table7, fig2..fig8, imbalance, ablation, scaling, convergence, csv, all)")
+	set := flag.String("set", "quick", "matrix set: quick (7 matrices) or full (39)")
+	arch := flag.String("arch", "", "override architecture (skylake, a64fx, zen2); default per experiment")
+	flag.Parse()
+
+	if err := run(*exp, *set, *arch, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fsaibench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, set, archOverride string, out io.Writer) error {
+	t1set := testsets.QuickSet()
+	if set == "full" {
+		t1set = testsets.Table1()
+	} else if set != "quick" {
+		return fmt.Errorf("unknown set %q", set)
+	}
+	t2set := testsets.Table2()
+	if set == "quick" {
+		t2set = t2set[:3]
+	}
+
+	// Runners are shared per architecture so experiments reuse each other's
+	// memoized builds and solves (fig2 reuses table1/table3's Skylake work,
+	// fig4/fig5 reuse table5's A64FX work, and so on).
+	cache := map[string]*experiments.Runner{}
+	runner := func(arch archmodel.Profile) *experiments.Runner {
+		if archOverride != "" {
+			p, err := archmodel.ByName(archOverride)
+			if err == nil {
+				arch = p
+			}
+		}
+		if r, ok := cache[arch.Name]; ok {
+			return r
+		}
+		r := experiments.NewRunner(arch)
+		cache[arch.Name] = r
+		return r
+	}
+	largeRunner := func(arch archmodel.Profile) *experiments.Runner {
+		key := arch.Name + "-large"
+		if archOverride != "" {
+			if p, err := archmodel.ByName(archOverride); err == nil {
+				arch = p
+			}
+		}
+		if r, ok := cache[key]; ok {
+			return r
+		}
+		r := experiments.NewRunner(arch)
+		r.RanksOf = testsets.LargeRanks
+		cache[key] = r
+		return r
+	}
+
+	start := time.Now()
+	dispatch := map[string]func() error{
+		"table1": func() error {
+			return experiments.Table1(out, runner(archmodel.Skylake), t1set, 0.01)
+		},
+		"table2": func() error {
+			return experiments.Table1(out, largeRunner(archmodel.Zen2), t2set, 0.01)
+		},
+		"table3": func() error {
+			return experiments.Table3(out, runner(archmodel.Skylake), t1set)
+		},
+		"table4": func() error {
+			// Fixed per-core workload: the process count scales inversely
+			// with cores per process, as in the paper's hybrid sweep. These
+			// runners change both the profile and the rank rule, so they do
+			// not share the per-architecture cache.
+			mk := func(cores int) *experiments.Runner {
+				r := experiments.NewRunner(archmodel.Skylake.WithCoresPerProcess(cores))
+				r.RanksOf = func(nnz int) int {
+					return testsets.RanksFor(nnz, 2048*cores, 1, 16)
+				}
+				return r
+			}
+			return experiments.WriteHybrid(out, mk, t1set, []int{1, 2, 4, 8, 48})
+		},
+		"table5": func() error {
+			r := runner(archmodel.A64FX)
+			return experiments.WriteFilterGrid(out, r, t1set, core.FSAIEComm, core.DynamicFilter, experiments.PaperFilters)
+		},
+		"table6": func() error {
+			r := runner(archmodel.Zen2)
+			return experiments.WriteFilterGrid(out, r, t1set, core.FSAIEComm, core.DynamicFilter, experiments.PaperFilters)
+		},
+		"table7": func() error {
+			r := largeRunner(archmodel.Zen2)
+			return experiments.WriteFilterGrid(out, r, t2set, core.FSAIEComm, core.DynamicFilter, experiments.PaperFilters)
+		},
+		"fig2": func() error {
+			return experiments.WritePerMatrixFigure(out, runner(archmodel.Skylake), t1set, 0.01)
+		},
+		"fig3a": func() error {
+			return experiments.WriteHistogram(out, runner(archmodel.Skylake), t1set, "misses",
+				"Figure 3a: L1 DCM on x in GᵀGx per G nnz")
+		},
+		"fig3b": func() error {
+			return experiments.WriteHistogram(out, runner(archmodel.Skylake), t1set, "gflops",
+				"Figure 3b: GFLOP/s per process in GᵀGx")
+		},
+		"fig4": func() error {
+			return experiments.WritePerMatrixFigure(out, runner(archmodel.A64FX), t1set, 0.05)
+		},
+		"fig5a": func() error {
+			return experiments.WriteHistogram(out, runner(archmodel.A64FX), t1set, "misses",
+				"Figure 5a: L1 DCM on x in GᵀGx per G nnz")
+		},
+		"fig5b": func() error {
+			return experiments.WriteHistogram(out, runner(archmodel.A64FX), t1set, "gflops",
+				"Figure 5b: GFLOP/s per process in GᵀGx")
+		},
+		"fig6": func() error {
+			return experiments.WritePerMatrixFigure(out, runner(archmodel.Zen2), t1set, 0.05)
+		},
+		"fig7": func() error {
+			return experiments.WriteHistogram(out, runner(archmodel.Zen2), t1set, "gflops",
+				"Figure 7: GFLOP/s per process in GᵀGx")
+		},
+		"fig8": func() error {
+			return experiments.WritePerMatrixFigure(out, largeRunner(archmodel.Zen2), t2set, 0.01)
+		},
+		"baselines": func() error {
+			return experiments.WriteBaselines(out, runner(archmodel.Skylake), t1set)
+		},
+		"setupcost": func() error {
+			return experiments.WriteSetupCost(out, t1set, 64)
+		},
+		"csv": func() error {
+			return experiments.WriteResultsCSV(out, runner(archmodel.Skylake), t1set, experiments.PaperFilters)
+		},
+		"convergence": func() error {
+			spec, err := testsets.ByName("thermal2-sim")
+			if err != nil {
+				return err
+			}
+			return experiments.WriteConvergence(out, runner(archmodel.Skylake), spec, 0.01)
+		},
+		"scaling": func() error {
+			spec, err := testsets.ByName("Queen_4147-sim")
+			if err != nil {
+				return err
+			}
+			// Fresh runners: the sweep overrides the rank rule per point.
+			mk := func() *experiments.Runner { return experiments.NewRunner(archmodel.Zen2) }
+			return experiments.WriteScaling(out, mk, spec, []int{2, 4, 8, 16, 32})
+		},
+		"ablation": func() error {
+			return experiments.WriteAblation(out, runner(archmodel.Skylake), t1set)
+		},
+		"imbalance": func() error {
+			spec, err := testsets.ByName("consph-sim")
+			if err != nil {
+				return err
+			}
+			return experiments.WriteImbalanceStudy(out, runner(archmodel.Skylake), spec, 0.01)
+		},
+	}
+
+	order := []string{"table1", "table2", "table3", "table4", "table5", "table6", "table7",
+		"fig2", "fig3a", "fig3b", "fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8",
+		"imbalance", "ablation", "scaling", "convergence", "setupcost", "baselines"}
+	if exp == "all" {
+		for _, id := range order {
+			fmt.Fprintf(out, "================ %s ================\n", id)
+			if err := dispatch[id](); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+		}
+	} else {
+		fn, ok := dispatch[exp]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", exp)
+		}
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "\n[fsaibench] completed %q on set %q in %v\n", exp, set, time.Since(start).Round(time.Millisecond))
+	return nil
+}

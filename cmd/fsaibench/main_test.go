@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, exp := range []string{"imbalance", "fig3a"} {
+		var buf bytes.Buffer
+		if err := run(exp, "quick", "", &buf); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if !strings.Contains(buf.String(), "completed") {
+			t.Fatalf("%s: output incomplete", exp)
+		}
+	}
+}
+
+func TestRunArchOverride(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("fig3a", "quick", "a64fx", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "a64fx") {
+		t.Fatal("arch override ignored")
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("nope", "quick", "", &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run("table1", "huge", "", &buf); err == nil {
+		t.Fatal("unknown set accepted")
+	}
+}

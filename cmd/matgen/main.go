@@ -1,0 +1,83 @@
+// Command matgen writes the synthetic SPD evaluation matrices to Matrix
+// Market files, so they can be inspected or fed to other solvers.
+//
+// Usage:
+//
+//	matgen -list                        # show the catalogs
+//	matgen -name ecology2-sim -o m.mtx  # write one catalog matrix
+//	matgen -all -dir out/               # write the whole Table 1 catalog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fsaicomm/internal/sparse"
+	"fsaicomm/internal/testsets"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list the catalog entries")
+		name = flag.String("name", "", "catalog matrix name to generate")
+		out  = flag.String("o", "", "output file (default <name>.mtx)")
+		all  = flag.Bool("all", false, "write the whole Table 1 catalog")
+		dir  = flag.String("dir", ".", "output directory for -all")
+	)
+	flag.Parse()
+	if err := run(*list, *name, *out, *all, *dir); err != nil {
+		fmt.Fprintln(os.Stderr, "matgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(list bool, name, out string, all bool, dir string) error {
+	switch {
+	case list:
+		fmt.Println("Table 1 catalog:")
+		for _, s := range testsets.Table1() {
+			fmt.Printf("  %2d  %-22s %s\n", s.ID, s.Name, s.Class)
+		}
+		fmt.Println("Table 2 catalog (large):")
+		for _, s := range testsets.Table2() {
+			fmt.Printf("  %2d  %-22s %s\n", s.ID, s.Name, s.Class)
+		}
+		return nil
+	case all:
+		for _, s := range testsets.Table1() {
+			path := filepath.Join(dir, s.Name+".mtx")
+			if err := writeMatrix(s, path); err != nil {
+				return err
+			}
+			fmt.Println("wrote", path)
+		}
+		return nil
+	case name != "":
+		s, err := testsets.ByName(name)
+		if err != nil {
+			return err
+		}
+		if out == "" {
+			out = name + ".mtx"
+		}
+		if err := writeMatrix(s, out); err != nil {
+			return err
+		}
+		fmt.Println("wrote", out)
+		return nil
+	default:
+		return fmt.Errorf("pass -list, -name or -all (see -h)")
+	}
+}
+
+func writeMatrix(s testsets.Spec, path string) error {
+	a := s.Generate()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return sparse.WriteMatrixMarketSymmetric(f, a)
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fsaicomm/internal/sparse"
+)
+
+func TestListAndGenerate(t *testing.T) {
+	if err := run(true, "", "", false, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "m.mtx")
+	if err := run(false, "qa8fm-sim", out, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	a, err := sparse.ReadMatrixMarket(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 1600 {
+		t.Fatalf("rows = %d", a.Rows)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run(false, "", "", false, ""); err == nil {
+		t.Fatal("no mode accepted")
+	}
+	if err := run(false, "nope", "", false, ""); err == nil {
+		t.Fatal("unknown matrix accepted")
+	}
+}

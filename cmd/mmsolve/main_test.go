@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fsaicomm"
+)
+
+func writeTestMatrix(t *testing.T) string {
+	t.Helper()
+	a := fsaicomm.GeneratePoisson2D(8, 8)
+	path := filepath.Join(t.TempDir(), "a.mtx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := fsaicomm.WriteMatrixMarket(f, a); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSolvesAndWritesSolution(t *testing.T) {
+	mtx := writeTestMatrix(t)
+	out := filepath.Join(t.TempDir(), "x.txt")
+	if err := run(mtx, "", "fsaie-comm", 0.01, true, 64, 2, 1e-8, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	x, err := readVector(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != 64 {
+		t.Fatalf("solution length %d", len(x))
+	}
+}
+
+func TestRunSerialWithRHS(t *testing.T) {
+	mtx := writeTestMatrix(t)
+	rhs := filepath.Join(t.TempDir(), "b.txt")
+	f, _ := os.Create(rhs)
+	for i := 0; i < 64; i++ {
+		f.WriteString("1.0\n")
+	}
+	f.Close()
+	if err := run(mtx, rhs, "fsai", 0, false, 64, 1, 1e-8, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	mtx := writeTestMatrix(t)
+	if err := run("", "", "fsai", 0, false, 64, 1, 0, 0, ""); err == nil {
+		t.Fatal("missing matrix accepted")
+	}
+	if err := run(mtx, "", "bogus", 0, false, 64, 1, 0, 0, ""); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	short := filepath.Join(t.TempDir(), "short.txt")
+	os.WriteFile(short, []byte("1.0\n"), 0o644)
+	if err := run(mtx, short, "fsai", 0, false, 64, 1, 0, 0, ""); err == nil {
+		t.Fatal("short rhs accepted")
+	}
+}

@@ -1,0 +1,106 @@
+// Command partinfo partitions a matrix and reports the distribution
+// quality metrics the FSAIE-Comm machinery depends on: edge cut, per-rank
+// weights, halo sizes, neighbour counts and the entry imbalance index.
+//
+// Usage:
+//
+//	partinfo -matrix A.mtx -ranks 8 [-partitioner multilevel|block|strip]
+//	partinfo -name ecology2-sim -ranks 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/partition"
+	"fsaicomm/internal/sparse"
+	"fsaicomm/internal/testsets"
+)
+
+func main() {
+	var (
+		matrixPath  = flag.String("matrix", "", "Matrix Market file")
+		name        = flag.String("name", "", "catalog matrix name (alternative to -matrix)")
+		ranks       = flag.Int("ranks", 4, "number of parts")
+		partitioner = flag.String("partitioner", "multilevel", "multilevel, block or strip")
+		seed        = flag.Int64("seed", 0, "multilevel partitioner seed")
+	)
+	flag.Parse()
+	if err := run(*matrixPath, *name, *ranks, *partitioner, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "partinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(matrixPath, name string, ranks int, partitioner string, seed int64) error {
+	var a *sparse.CSR
+	switch {
+	case matrixPath != "":
+		f, err := os.Open(matrixPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if a, err = sparse.ReadMatrixMarket(f); err != nil {
+			return err
+		}
+	case name != "":
+		s, err := testsets.ByName(name)
+		if err != nil {
+			return err
+		}
+		a = s.Generate()
+	default:
+		return fmt.Errorf("pass -matrix or -name")
+	}
+
+	g := partition.GraphFromMatrix(a)
+	var part []int
+	var err error
+	switch partitioner {
+	case "multilevel":
+		part, err = partition.Multilevel(g, ranks, partition.Options{Seed: seed})
+		if err != nil {
+			return err
+		}
+	case "block":
+		part = partition.Block(a.Rows, ranks)
+	case "strip":
+		part = partition.Strip(a.Rows, ranks)
+	default:
+		return fmt.Errorf("unknown partitioner %q", partitioner)
+	}
+
+	fmt.Printf("matrix: %d rows, %d entries; %s partition into %d parts\n",
+		a.Rows, a.NNZ(), partitioner, ranks)
+	fmt.Printf("edge cut: %d   comm volume: %d   vertex-weight imbalance (max/avg): %.3f\n",
+		partition.EdgeCut(g, part), partition.CommVolume(g, part, ranks),
+		partition.ImbalanceRatio(g, part, ranks))
+
+	pa, layout, _ := distmat.ApplyPartition(a, part, ranks)
+	var totalHalo int
+	var maxNNZ, sumNNZ int64
+	fmt.Println("rank  rows   nnz     halo  neighbours")
+	for r := 0; r < ranks; r++ {
+		lo, hi := layout.Range(r)
+		rows := distmat.ExtractLocalRows(pa, lo, hi)
+		lz := distmat.Localize(lo, hi, rows)
+		owners := map[int]bool{}
+		for _, gcol := range lz.Halo {
+			owners[layout.Owner(gcol)] = true
+		}
+		fmt.Printf("%4d  %5d  %6d  %4d  %d\n", r, hi-lo, rows.NNZ(), len(lz.Halo), len(owners))
+		totalHalo += len(lz.Halo)
+		if int64(rows.NNZ()) > maxNNZ {
+			maxNNZ = int64(rows.NNZ())
+		}
+		sumNNZ += int64(rows.NNZ())
+	}
+	fmt.Printf("total halo unknowns: %d (%.2f%% of rows)\n",
+		totalHalo, 100*float64(totalHalo)/float64(a.Rows))
+	fmt.Printf("entry imbalance index (avg/max): %.3f\n",
+		float64(sumNNZ)/float64(ranks)/float64(maxNNZ))
+	return nil
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunByName(t *testing.T) {
+	for _, p := range []string{"multilevel", "block", "strip"} {
+		if err := run("", "qa8fm-sim", 4, p, 1); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", 4, "multilevel", 0); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if err := run("", "qa8fm-sim", 4, "bogus", 0); err == nil {
+		t.Fatal("unknown partitioner accepted")
+	}
+	if err := run("/nonexistent.mtx", "", 4, "block", 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

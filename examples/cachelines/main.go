@@ -1,0 +1,65 @@
+// Cachelines: why A64FX gains more. The pattern extension admits every
+// entry of the multiplying vector that shares a cache line with an entry the
+// original pattern already touches — so a 256-byte line (A64FX) admits four
+// times the candidates of a 64-byte line (Skylake/Zen 2), yielding bigger
+// patterns, bigger iteration reductions, and (per the cache simulator)
+// almost no additional misses on x.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fsaicomm"
+	"fsaicomm/internal/cache"
+	"fsaicomm/internal/core"
+	"fsaicomm/internal/fsai"
+	"fsaicomm/internal/matgen"
+)
+
+func main() {
+	a := matgen.ThermalAniso(48, 48, 20, 1)
+	b := fsaicomm.GenerateRHS(a, 11)
+	fmt.Printf("system: %d unknowns, %d nonzeros (anisotropic thermal)\n\n", a.Rows, a.NNZ())
+
+	base, err := fsaicomm.Solve(a, b, fsaicomm.Options{Method: fsaicomm.FSAI})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s iterations=%-5d\n", "FSAI baseline:", base.Iterations)
+
+	for _, lineBytes := range []int{64, 256} {
+		res, err := fsaicomm.Solve(a, b, fsaicomm.Options{
+			Method:    fsaicomm.FSAIEComm,
+			Filter:    0.01,
+			LineBytes: lineBytes,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Measure simulated L1 misses on x for the unfiltered extended factor.
+		s := fsai.LowerPattern(a)
+		ext, err := core.ExtendPatternSerial(s, lineBytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gBase, err := fsai.Build(a, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gExt, err := fsai.Build(a, ext)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim := cache.MustNew(32*1024, lineBytes, 4)
+		missBase := cache.MissesPerNNZ(gBase, gBase.Transpose(), sim)
+		missExt := cache.MissesPerNNZ(gExt, gExt.Transpose(), sim)
+		fmt.Printf("FSAIE-Comm %3dB lines: iterations=%-5d pattern growth=%+7.2f%%  misses/nnz %.4f -> %.4f\n",
+			lineBytes, res.Iterations, res.PctNNZIncrease, missBase, missExt)
+	}
+
+	fmt.Println("\nWider lines admit larger extensions (more %NNZ, fewer iterations)")
+	fmt.Println("while the misses per stored entry DROP — the added entries ride on")
+	fmt.Println("cache lines the kernel was fetching anyway. This is the A64FX effect")
+	fmt.Println("behind the paper's Table 5.")
+}

@@ -1,0 +1,83 @@
+// Distributed: the paper's central claim made visible. A structural system
+// is distributed over simulated MPI ranks; we build FSAI, FSAIE and
+// FSAIE-Comm and show that (a) the communication plan — which unknowns each
+// pair of ranks exchanges per halo update — is *identical* for FSAI and
+// FSAIE-Comm even though the extended pattern has many more entries, and
+// (b) the metered per-iteration traffic of the solve is byte-for-byte the
+// same, while iterations drop.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fsaicomm/internal/core"
+	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/krylov"
+	"fsaicomm/internal/matgen"
+	"fsaicomm/internal/partition"
+	"fsaicomm/internal/simmpi"
+)
+
+const ranks = 6
+
+func main() {
+	a := matgen.Elasticity2D(28, 28, 7)
+	b := matgen.RandomRHS(a.Rows, 3, a.MaxNorm())
+	g := partition.GraphFromMatrix(a)
+	part, err := partition.Multilevel(g, ranks, partition.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pa, layout, _ := distmat.ApplyPartition(a, part, ranks)
+	fmt.Printf("system: %d unknowns, %d nonzeros, %d ranks (multilevel partition)\n\n",
+		pa.Rows, pa.NNZ(), ranks)
+
+	for _, method := range []core.Method{core.FSAI, core.FSAIE, core.FSAIEComm} {
+		var iters int
+		var nnz int64
+		recvPerRank := make([]int, ranks)
+		peersPerRank := make([]int, ranks)
+		world, err := simmpi.Run(ranks, time.Minute, func(c *simmpi.Comm) error {
+			lo, hi := layout.Range(c.Rank())
+			aRows := distmat.ExtractLocalRows(pa, lo, hi)
+			bd, err := core.BuildPrecond(c, layout, aRows, core.Config{
+				Method: method, Filter: 0, Strategy: core.StaticFilter, LineBytes: 64,
+			})
+			if err != nil {
+				return err
+			}
+			recvPerRank[c.Rank()] = bd.GOp.Plan.RecvCount()
+			peersPerRank[c.Rank()] = len(bd.GOp.Plan.RecvPeerIDs())
+			aOp := distmat.NewOp(c, layout, lo, hi, aRows)
+			c.Barrier()
+			if c.Rank() == 0 {
+				c.Meter().Reset() // meter only the solve loop
+			}
+			c.Barrier()
+			x := make([]float64, hi-lo)
+			st, err := krylov.DistCG(c, aOp, b[lo:hi], x,
+				krylov.NewDistSplit(bd.GOp, bd.GTOp), krylov.Options{MaxIter: 20000}, nil)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				iters = st.Iterations
+				nnz = bd.FinalNNZGlobal
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		perIter := float64(world.Meter().TotalP2PBytes()) / float64(iters)
+		fmt.Printf("%-11v G nnz=%-6d iterations=%-5d solve traffic/iter=%8.1f B\n",
+			method, nnz, iters, perIter)
+		fmt.Printf("            per-rank halo recv counts (G product): %v, neighbour counts: %v\n",
+			recvPerRank, peersPerRank)
+	}
+	fmt.Println("\nNote: FSAIE-Comm's G has more entries yet identical halo recv counts,")
+	fmt.Println("neighbour sets and per-iteration bytes — the extension admitted only")
+	fmt.Println("entries whose unknowns were already being exchanged.")
+}

@@ -1,0 +1,84 @@
+// Loadbalance: the §5.3.3 case study. A mesh with one densely coupled
+// region produces a badly imbalanced pattern extension; the dynamic
+// filtering-out strategy (Algorithm 4) raises the Filter value only on the
+// overloaded ranks, restoring the imbalance index while keeping most of the
+// iteration gains.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fsaicomm/internal/core"
+	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/krylov"
+	"fsaicomm/internal/matgen"
+	"fsaicomm/internal/simmpi"
+)
+
+const ranks = 4
+
+func main() {
+	// First quarter of the rows: dense random couplings (an over-resolved
+	// subdomain); rest: a near-singular grid that gates convergence.
+	a := matgen.ImbalancedMesh(56, 56, 0.25, 10, 9)
+	b := matgen.RandomRHS(a.Rows, 5, a.MaxNorm())
+	layout := distmat.NewUniformLayout(a.Rows, ranks)
+	fmt.Printf("system: %d unknowns, %d nonzeros, %d ranks (block layout)\n\n", a.Rows, a.NNZ(), ranks)
+
+	type outcome struct {
+		iters   int
+		imb     float64
+		nnz     []int64
+		filters []float64
+	}
+	runCase := func(method core.Method, strategy core.FilterStrategy) outcome {
+		var out outcome
+		out.nnz = make([]int64, ranks)
+		out.filters = make([]float64, ranks)
+		_, err := simmpi.Run(ranks, time.Minute, func(c *simmpi.Comm) error {
+			lo, hi := layout.Range(c.Rank())
+			aRows := distmat.ExtractLocalRows(a, lo, hi)
+			bd, err := core.BuildPrecond(c, layout, aRows, core.Config{
+				Method: method, Filter: 0.01, Strategy: strategy, LineBytes: 64,
+			})
+			if err != nil {
+				return err
+			}
+			out.nnz[c.Rank()] = int64(bd.GRows.NNZ())
+			out.filters[c.Rank()] = bd.FilterUsed
+			aOp := distmat.NewOp(c, layout, lo, hi, aRows)
+			x := make([]float64, hi-lo)
+			st, err := krylov.DistCG(c, aOp, b[lo:hi], x,
+				krylov.NewDistSplit(bd.GOp, bd.GTOp), krylov.Options{MaxIter: 30000}, nil)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				out.iters = st.Iterations
+				out.imb = bd.ImbalanceIndex
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return out
+	}
+
+	base := runCase(core.FSAI, core.StaticFilter)
+	fmt.Printf("FSAI baseline:        iterations=%-5d imbalance index=%.3f per-rank G nnz=%v\n",
+		base.iters, base.imb, base.nnz)
+	st := runCase(core.FSAIEComm, core.StaticFilter)
+	fmt.Printf("FSAIE-Comm static:    iterations=%-5d imbalance index=%.3f per-rank G nnz=%v\n",
+		st.iters, st.imb, st.nnz)
+	dy := runCase(core.FSAIEComm, core.DynamicFilter)
+	fmt.Printf("FSAIE-Comm dynamic:   iterations=%-5d imbalance index=%.3f per-rank G nnz=%v\n",
+		dy.iters, dy.imb, dy.nnz)
+	fmt.Printf("                      per-rank Filter values after Algorithm 4: %.4v\n\n", dy.filters)
+
+	fmt.Println("The static extension overloads the ranks holding the dense region;")
+	fmt.Println("the dynamic filter raises only their Filter values, trading a little")
+	fmt.Println("of the iteration gain for a balanced per-iteration cost.")
+}

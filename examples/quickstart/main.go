@@ -1,0 +1,43 @@
+// Quickstart: build a 3D Poisson system, solve it with plain FSAI and with
+// the communication-aware extended preconditioner, and compare iteration
+// counts — the one-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fsaicomm"
+)
+
+func main() {
+	// A 7-point Laplacian on a 20x20x20 grid: the canonical SPD test system.
+	a := fsaicomm.GeneratePoisson3D(20, 20, 20)
+	b := fsaicomm.GenerateRHS(a, 42)
+	fmt.Printf("system: %d unknowns, %d nonzeros\n\n", a.Rows, a.NNZ())
+
+	for _, method := range []fsaicomm.Method{fsaicomm.FSAI, fsaicomm.FSAIE, fsaicomm.FSAIEComm} {
+		res, err := fsaicomm.Solve(a, b, fsaicomm.Options{
+			Method: method,
+			Filter: 0.01,
+		})
+		if err != nil {
+			log.Fatalf("%v: %v", method, err)
+		}
+		fmt.Printf("%-11v converged=%v iterations=%-5d pattern growth=%+6.2f%%  setup=%v solve=%v\n",
+			method, res.Converged, res.Iterations, res.PctNNZIncrease,
+			res.SetupTime.Round(0), res.SolveTime.Round(0))
+	}
+
+	fmt.Println("\nSame solve distributed over 8 simulated message-passing ranks:")
+	res, err := fsaicomm.SolveDistributed(a, b, fsaicomm.Options{
+		Method: fsaicomm.FSAIEComm,
+		Filter: 0.01,
+		Ranks:  8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ranks=%d iterations=%d comm=%d bytes (%.0f per iteration) imbalance index=%.3f\n",
+		res.Ranks, res.Iterations, res.CommBytes, res.CommBytesPerIteration, res.ImbalanceIndex)
+}

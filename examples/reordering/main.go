@@ -1,0 +1,70 @@
+// Reordering: the cache-friendly extension feeds on index locality — the
+// entries sharing a cache line with x_j are x_{j±1..}, which are only
+// numerically meaningful neighbours if the unknown ordering reflects the
+// problem geometry. This example destroys the ordering of a grid problem
+// with a random relabeling (the extension finds nothing admissible of
+// value), then applies reverse Cuthill–McKee: RCM restores the bandwidth
+// and re-admits many candidates, but its level-set adjacency is not
+// geometric adjacency, so the iteration gains do not fully return —
+// ordering quality matters beyond bandwidth, which is why the paper's
+// mesh-ordered SuiteSparse inputs suit the method so well.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fsaicomm"
+)
+
+func main() {
+	nx, ny := 40, 40
+	ordered := fsaicomm.GeneratePoisson2D(nx, ny)
+
+	// Randomly relabel the unknowns (what an unstructured mesh generator
+	// without locality-aware numbering produces).
+	n := ordered.Rows
+	rng := rand.New(rand.NewSource(7))
+	perm := rng.Perm(n)
+	shuffled := fsaicomm.PermuteSym(ordered, perm)
+
+	// RCM recovers a low-bandwidth ordering from the shuffled matrix.
+	rcmPerm, err := fsaicomm.RCM(shuffled)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rcm := fsaicomm.PermuteSym(shuffled, rcmPerm)
+
+	fmt.Printf("bandwidth: natural %d, shuffled %d, RCM %d\n\n",
+		fsaicomm.Bandwidth(ordered), fsaicomm.Bandwidth(shuffled), fsaicomm.Bandwidth(rcm))
+
+	fmt.Println("FSAI vs FSAIE-Comm (serial, filter 0.01, 64B lines):")
+	for _, tc := range []struct {
+		name string
+		a    *fsaicomm.Matrix
+	}{
+		{"natural ordering", ordered},
+		{"shuffled ordering", shuffled},
+		{"RCM reordering", rcm},
+	} {
+		b := fsaicomm.GenerateRHS(tc.a, 3)
+		base, err := fsaicomm.Solve(tc.a, b, fsaicomm.Options{Method: fsaicomm.FSAI})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ext, err := fsaicomm.Solve(tc.a, b, fsaicomm.Options{Method: fsaicomm.FSAIEComm, Filter: 0.01})
+		if err != nil {
+			log.Fatal(err)
+		}
+		imp := 100 * float64(base.Iterations-ext.Iterations) / float64(base.Iterations)
+		fmt.Printf("%-18s FSAI %3d iters -> FSAIE-Comm %3d iters (%.1f%% fewer, %+.1f%% NNZ)\n",
+			tc.name+":", base.Iterations, ext.Iterations, imp, ext.PctNNZIncrease)
+	}
+	fmt.Println("\nShuffled labels make cache-line neighbours numerically unrelated, so")
+	fmt.Println("the extension finds (almost) nothing worth keeping. RCM restores the")
+	fmt.Println("bandwidth and re-admits candidates, but its level-set neighbours are")
+	fmt.Println("not geometric neighbours, so the gains do not fully return: the")
+	fmt.Println("extension's value depends on a geometry-respecting ordering, which")
+	fmt.Println("the paper's mesh-ordered SuiteSparse inputs provide out of the box.")
+}

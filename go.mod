@@ -1,0 +1,3 @@
+module fsaicomm
+
+go 1.22

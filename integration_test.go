@@ -1,0 +1,91 @@
+package fsaicomm
+
+// Large-scale integration tests: the full pipeline at the biggest simulated
+// configurations (skipped under -short).
+
+import (
+	"testing"
+	"time"
+
+	"fsaicomm/internal/core"
+	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/krylov"
+	"fsaicomm/internal/matgen"
+	"fsaicomm/internal/partition"
+	"fsaicomm/internal/simmpi"
+)
+
+func TestLargeScale32Ranks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale integration skipped in -short")
+	}
+	a := matgen.Poisson3D(20, 20, 20)
+	const ranks = 32
+	g := partition.GraphFromMatrix(a)
+	part, err := partition.Multilevel(g, ranks, partition.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, layout, _ := distmat.ApplyPartition(a, part, ranks)
+	b := matgen.RandomRHS(pa.Rows, 5, pa.MaxNorm())
+
+	type outcome struct {
+		iters   int
+		bytesIt float64
+	}
+	runCase := func(method core.Method) outcome {
+		var out outcome
+		world, err := simmpi.Run(ranks, 5*time.Minute, func(c *simmpi.Comm) error {
+			lo, hi := layout.Range(c.Rank())
+			aRows := distmat.ExtractLocalRows(pa, lo, hi)
+			base, err := core.BuildPrecond(c, layout, aRows, core.Config{Method: core.FSAI, LineBytes: 64})
+			if err != nil {
+				return err
+			}
+			bd := base
+			if method != core.FSAI {
+				bd, err = core.BuildPrecond(c, layout, aRows, core.Config{Method: method, LineBytes: 64})
+				if err != nil {
+					return err
+				}
+				// The invariance claim must hold at scale.
+				if err := core.VerifyCommInvariance(c, base, bd); err != nil {
+					return err
+				}
+			}
+			aOp := distmat.NewOp(c, layout, lo, hi, aRows)
+			c.Barrier()
+			if c.Rank() == 0 {
+				c.Meter().Reset()
+			}
+			c.Barrier()
+			x := make([]float64, hi-lo)
+			st, err := krylov.DistCG(c, aOp, b[lo:hi], x,
+				krylov.NewDistSplit(bd.GOp, bd.GTOp), krylov.Options{MaxIter: 20000}, nil)
+			if err != nil {
+				return err
+			}
+			if !st.Converged {
+				t.Errorf("%v not converged at 32 ranks", method)
+			}
+			if c.Rank() == 0 {
+				out.iters = st.Iterations
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		out.bytesIt = float64(world.Meter().TotalP2PBytes()) / float64(out.iters)
+		return out
+	}
+
+	fsai := runCase(core.FSAI)
+	comm := runCase(core.FSAIEComm)
+	if comm.iters > fsai.iters {
+		t.Fatalf("FSAIE-Comm %d iterations above FSAI %d at 32 ranks", comm.iters, fsai.iters)
+	}
+	if comm.bytesIt != fsai.bytesIt {
+		t.Fatalf("per-iteration traffic differs at 32 ranks: %v vs %v", comm.bytesIt, fsai.bytesIt)
+	}
+}

@@ -1,0 +1,108 @@
+package archmodel
+
+import (
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"skylake", "a64fx", "zen2"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name != name {
+			t.Fatalf("profile name %q, want %q", p.Name, name)
+		}
+	}
+	if _, err := ByName("m1"); err == nil {
+		t.Fatal("unknown arch accepted")
+	}
+}
+
+func TestLineSizesMatchPaper(t *testing.T) {
+	if Skylake.LineBytes != 64 || Zen2.LineBytes != 64 {
+		t.Fatal("Skylake/Zen2 must have 64B lines")
+	}
+	if A64FX.LineBytes != 256 {
+		t.Fatal("A64FX must have 256B lines")
+	}
+}
+
+func TestProcessCacheGeometry(t *testing.T) {
+	for _, p := range []Profile{Skylake, A64FX, Zen2} {
+		c := p.NewProcessCache()
+		if c.LineBytes() != p.LineBytes {
+			t.Fatalf("%s: cache line %d, want %d", p.Name, c.LineBytes(), p.LineBytes)
+		}
+	}
+	// Odd core counts still produce a valid power-of-two geometry.
+	c := Skylake.WithCoresPerProcess(3).NewProcessCache()
+	if c == nil {
+		t.Fatal("nil cache")
+	}
+}
+
+func TestWithCoresPerProcess(t *testing.T) {
+	p := Skylake.WithCoresPerProcess(48)
+	if p.CoresPerProcess != 48 || Skylake.CoresPerProcess == 48 {
+		t.Fatal("WithCoresPerProcess mutated original or failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cores=0 accepted")
+		}
+	}()
+	Skylake.WithCoresPerProcess(0)
+}
+
+func TestTimeMonotone(t *testing.T) {
+	base := RankCost{Flops: 1e6, CacheMisses: 1e3, CommBytes: 1e4, CommMsgs: 10}
+	t0 := Skylake.Time(base)
+	for _, delta := range []RankCost{
+		{Flops: 1e6}, {CacheMisses: 1e3}, {CommBytes: 1e5}, {CommMsgs: 100},
+	} {
+		more := base
+		more.Add(delta)
+		if Skylake.Time(more) <= t0 {
+			t.Fatalf("cost not monotone in %+v", delta)
+		}
+	}
+}
+
+func TestMoreCoresFasterFlops(t *testing.T) {
+	rc := RankCost{Flops: 1e9}
+	t1 := Skylake.WithCoresPerProcess(1).Time(rc)
+	t8 := Skylake.WithCoresPerProcess(8).Time(rc)
+	if t8 >= t1 {
+		t.Fatalf("8 cores (%g) not faster than 1 (%g)", t8, t1)
+	}
+}
+
+func TestSolveTimeUsesWorstRank(t *testing.T) {
+	costs := []RankCost{{Flops: 1e6}, {Flops: 5e6}, {Flops: 2e6}}
+	got := Skylake.SolveTime(10, costs)
+	want := 10 * Skylake.Time(costs[1])
+	if got != want {
+		t.Fatalf("SolveTime = %g, want %g", got, want)
+	}
+	if Skylake.SolveTime(10, nil) != 0 {
+		t.Fatal("empty ranks should cost 0")
+	}
+}
+
+func TestGFlopsPerProcess(t *testing.T) {
+	rc := RankCost{Flops: 4e9} // exactly one second at 4 GF/s with 1 core
+	p := Skylake.WithCoresPerProcess(1)
+	if g := p.GFlopsPerProcess(rc); g != 4 {
+		t.Fatalf("GFlops = %v, want 4", g)
+	}
+	// Misses reduce achieved GFLOP/s.
+	rc2 := rc
+	rc2.CacheMisses = 1e8
+	if p.GFlopsPerProcess(rc2) >= 4 {
+		t.Fatal("misses did not reduce achieved rate")
+	}
+	if p.GFlopsPerProcess(RankCost{}) != 0 {
+		t.Fatal("zero work should report 0")
+	}
+}

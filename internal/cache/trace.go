@@ -1,0 +1,60 @@
+package cache
+
+import "fsaicomm/internal/sparse"
+
+// xBase is the simulated base address of the multiplying vector. Cache-line
+// aligned so that localized index k lives at line k/W with W = lineBytes/8,
+// matching the alignment assumption of the pattern-extension algorithm.
+const xBase = 1 << 30
+
+// AddrOfX returns the simulated byte address of x[k].
+func AddrOfX(k int) uint64 { return xBase + 8*uint64(k) }
+
+// TraceSpMVOnX replays the x-vector accesses of one product y = M·x against
+// the cache and returns the miss count for this product alone. Rows are
+// walked in order and entries within a row in column order, the access
+// pattern of a CSR SpMV. Only x accesses are traced (the paper's metric); y
+// and the matrix stream have unit stride and would add a constant,
+// method-independent term.
+func TraceSpMVOnX(m *sparse.CSR, c *Cache) int64 {
+	before := c.Misses()
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			c.Access(AddrOfX(m.ColIdx[k]))
+		}
+	}
+	return c.Misses() - before
+}
+
+// TracePrecondProduct replays the x-accesses of the preconditioning
+// operation z = Gᵀ(G·x): first the product with G reading x, then the
+// product with Gᵀ reading the intermediate vector (placed right after x in
+// the simulated address space). It returns total misses across both
+// products. The cache is flushed first so results are reproducible.
+func TracePrecondProduct(g, gt *sparse.CSR, c *Cache) int64 {
+	c.Flush()
+	m1 := TraceSpMVOnX(g, c)
+	// The intermediate vector w = Gx occupies its own range; offset by the
+	// width of x rounded up to a line.
+	off := g.Cols
+	before := c.Misses()
+	for i := 0; i < gt.Rows; i++ {
+		lo, hi := gt.RowPtr[i], gt.RowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			c.Access(AddrOfX(off + gt.ColIdx[k]))
+		}
+	}
+	return m1 + (c.Misses() - before)
+}
+
+// MissesPerNNZ returns the paper's Figure 3a metric for one simulated
+// process: misses on x during GᵀGx divided by the number of stored entries
+// of G (and Gᵀ, which have equal counts globally).
+func MissesPerNNZ(g, gt *sparse.CSR, c *Cache) float64 {
+	nnz := g.NNZ() + gt.NNZ()
+	if nnz == 0 {
+		return 0
+	}
+	return float64(TracePrecondProduct(g, gt, c)) / float64(nnz)
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/fsai"
+	"fsaicomm/internal/simmpi"
+	"fsaicomm/internal/sparse"
+)
+
+// Config selects preconditioner variant, filtering, and architecture
+// parameters for a distributed build.
+type Config struct {
+	Method    Method
+	Filter    float64 // initial Filter value (paper uses 0.01/0.05/0.1/0.2)
+	Strategy  FilterStrategy
+	LineBytes int // cache line size of the target architecture
+	// PatternLevel selects the base sparse pattern: level 1 (default) is
+	// the lower triangle of A, the paper's baseline; level N uses the lower
+	// triangle of pattern(Ã^N) ("sparse level" in §2.2). Threshold is the
+	// tau used to build Ã by dropping small entries; 0 keeps all.
+	PatternLevel int
+	Threshold    float64
+}
+
+// Build is the result of constructing a preconditioner on one rank. All
+// global statistics are identical on every rank.
+type Build struct {
+	Method Method
+	// GRows and GTRows are this rank's rows of G and Gᵀ with global columns.
+	GRows, GTRows *sparse.CSR
+	// GOp and GTOp are the halo-ready distributed operators used by the
+	// preconditioned solve.
+	GOp, GTOp *distmat.Op
+	// FilterUsed is this rank's final Filter value (ranks differ under the
+	// dynamic strategy).
+	FilterUsed float64
+	// BaseNNZGlobal is the global entry count of the unextended FSAI
+	// pattern; FinalNNZGlobal of the pattern actually used.
+	BaseNNZGlobal, FinalNNZGlobal int64
+	// PctNNZIncrease is the paper's "% NNZ": percentage increase of the
+	// lower-triangular pattern entries versus the FSAI pattern.
+	PctNNZIncrease float64
+	// ImbalanceIndex is avg/max per-rank entries of the final factor
+	// (§5.3.3: 1 = balanced, lower = worse).
+	ImbalanceIndex float64
+	// Extension statistics from Algorithm 3 (zero-valued for FSAI).
+	Extend ExtendStats
+}
+
+// BuildPrecond constructs the selected preconditioner variant on a
+// distributed matrix. aRows holds this rank's rows of the SPD matrix A with
+// global column indices over layout l. Collective: every rank calls with
+// the same Config.
+func BuildPrecond(c *simmpi.Comm, l *distmat.Layout, aRows *sparse.CSR, cfg Config) (*Build, error) {
+	lo, hi := l.Range(c.Rank())
+	if aRows.Rows != hi-lo {
+		return nil, fmt.Errorf("core: rank %d has %d rows, layout says %d", c.Rank(), aRows.Rows, hi-lo)
+	}
+	var s *fsai.DistRows
+	if cfg.PatternLevel > 1 || cfg.Threshold > 0 {
+		level := cfg.PatternLevel
+		if level < 1 {
+			level = 1
+		}
+		var err error
+		s, err = fsai.PowerPatternDist(c, l, aRows, lo, hi, level, cfg.Threshold)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		s = LowerPatternDist(aRows, lo)
+	}
+	baseNNZ := c.AllreduceSumInt64(int64(s.Pattern.NNZ()))[0]
+
+	var final *fsai.DistRows
+	var st ExtendStats
+	filterUsed := 0.0
+	switch cfg.Method {
+	case FSAI:
+		// Baseline: the pattern of the lower triangle of A, "without
+		// thresholding and filtering only null entries" — structural zeros
+		// cannot occur in LowerPatternDist, so the pattern is used as is.
+		final = s
+	case FSAIE, FSAIEComm:
+		lz := distmat.Localize(lo, hi, PatternCSR(s))
+		ext, est, err := ExtendPattern(l, s, lz, ExtendOptions{
+			LineBytes: cfg.LineBytes,
+			CommAware: cfg.Method == FSAIEComm,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st = est
+		gExt, err := fsai.BuildDist(c, l, aRows, ext)
+		if err != nil {
+			return nil, fmt.Errorf("core: precompute on extended pattern: %w", err)
+		}
+		f := cfg.Filter
+		if cfg.Strategy == DynamicFilter {
+			f = DynamicFilterValue(c, gExt, lo, cfg.Filter, s.Pattern)
+		}
+		filterUsed = f
+		final = fsai.FilterDist(gExt, lo, hi, f, s.Pattern)
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", cfg.Method)
+	}
+
+	g, err := fsai.BuildDist(c, l, aRows, final)
+	if err != nil {
+		return nil, fmt.Errorf("core: final build: %w", err)
+	}
+	gt := distmat.TransposeDist(c, l, lo, hi, g)
+
+	finalNNZ := c.AllreduceSumInt64(int64(g.NNZ()))[0]
+	b := &Build{
+		Method:         cfg.Method,
+		GRows:          g,
+		GTRows:         gt,
+		GOp:            distmat.NewOp(c, l, lo, hi, g),
+		GTOp:           distmat.NewOp(c, l, lo, hi, gt),
+		FilterUsed:     filterUsed,
+		BaseNNZGlobal:  baseNNZ,
+		FinalNNZGlobal: finalNNZ,
+		ImbalanceIndex: distmat.NNZImbalanceIndex(c, int64(g.NNZ())),
+		Extend:         st,
+	}
+	if baseNNZ > 0 {
+		b.PctNNZIncrease = 100 * float64(finalNNZ-baseNNZ) / float64(baseNNZ)
+	}
+	return b, nil
+}
+
+// BuildSerial constructs the preconditioner on an undistributed matrix (the
+// one-process case; FSAIE and FSAIE-Comm coincide because there is no halo).
+// Returns G and the percentage NNZ increase over the FSAI pattern.
+func BuildSerial(a *sparse.CSR, method Method, filter float64, lineBytes int) (*sparse.CSR, float64, error) {
+	return BuildSerialLevel(a, method, filter, lineBytes, 1, 0)
+}
+
+// BuildSerialLevel is BuildSerial with an explicit base-pattern sparse level
+// and thresholding tau (level ≤ 1 and tau 0 reproduce BuildSerial).
+func BuildSerialLevel(a *sparse.CSR, method Method, filter float64, lineBytes, level int, tau float64) (*sparse.CSR, float64, error) {
+	if level < 1 {
+		level = 1
+	}
+	s := fsai.PowerPattern(a, level, tau)
+	base := s.NNZ()
+	var pattern *sparse.Pattern
+	switch method {
+	case FSAI:
+		pattern = s
+	case FSAIE, FSAIEComm:
+		ext, err := ExtendPatternSerial(s, lineBytes)
+		if err != nil {
+			return nil, 0, err
+		}
+		gExt, err := fsai.Build(a, ext)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Filter extension candidates only; the base pattern is protected.
+		pattern = fsai.FilterDist(gExt, 0, a.Rows, filter, s).Pattern
+	default:
+		return nil, 0, fmt.Errorf("core: unknown method %v", method)
+	}
+	g, err := fsai.Build(a, pattern)
+	if err != nil {
+		return nil, 0, err
+	}
+	pct := 0.0
+	if base > 0 {
+		pct = 100 * float64(g.NNZ()-base) / float64(base)
+	}
+	return g, pct, nil
+}

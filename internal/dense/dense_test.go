@@ -1,0 +1,159 @@
+package dense
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randSPD builds a random SPD matrix as B·Bᵀ + n·I, row-major.
+func randSPD(rng *rand.Rand, n int) []float64 {
+	b := make([]float64, n*n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += b[i*n+k] * b[j*n+k]
+			}
+			a[i*n+j] = s
+		}
+		a[i*n+i] += float64(n)
+	}
+	return a
+}
+
+func TestCholeskySolveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(30)
+		a := randSPD(rng, n)
+		orig := append([]float64(nil), a...)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		MulSym(orig, n, x, b)
+		if err := SolveSPD(a, n, b); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range x {
+			if math.Abs(b[i]-x[i]) > 1e-8*(1+math.Abs(x[i])) {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, b[i], x[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := []float64{1, 0, 0, -1} // diag(1, -1)
+	err := Cholesky(a, 2)
+	if !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+func TestCholeskyRejectsShortBuffer(t *testing.T) {
+	if err := Cholesky(make([]float64, 3), 2); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestCholeskyFactorReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 8
+	a := randSPD(rng, n)
+	orig := append([]float64(nil), a...)
+	if err := Cholesky(a, n); err != nil {
+		t.Fatal(err)
+	}
+	// L·Lᵀ should equal the original lower triangle.
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := 0.0
+			for k := 0; k <= j; k++ {
+				s += a[i*n+k] * a[j*n+k]
+			}
+			if math.Abs(s-orig[i*n+j]) > 1e-9*(1+math.Abs(orig[i*n+j])) {
+				t.Fatalf("LLᵀ(%d,%d) = %v, want %v", i, j, s, orig[i*n+j])
+			}
+		}
+	}
+}
+
+func TestLDLTSolveIndefinite(t *testing.T) {
+	// Symmetric indefinite matrix with nonzero pivots.
+	a := []float64{
+		2, 1, 0,
+		1, -3, 1,
+		0, 1, 1,
+	}
+	orig := append([]float64(nil), a...)
+	x := []float64{1, -2, 0.5}
+	b := make([]float64, 3)
+	MulSym(orig, 3, x, b)
+	if err := LDLT(a, 3); err != nil {
+		t.Fatal(err)
+	}
+	SolveLDLT(a, 3, b)
+	for i := range x {
+		if math.Abs(b[i]-x[i]) > 1e-10 {
+			t.Fatalf("x[%d] = %v, want %v", i, b[i], x[i])
+		}
+	}
+}
+
+func TestLDLTZeroPivot(t *testing.T) {
+	a := []float64{0, 0, 0, 1}
+	if err := LDLT(a, 2); err == nil {
+		t.Fatal("zero pivot accepted")
+	}
+}
+
+func TestSolveN1(t *testing.T) {
+	a := []float64{4}
+	b := []float64{8}
+	if err := SolveSPD(a, 1, b); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 2 {
+		t.Fatalf("x = %v, want 2", b[0])
+	}
+}
+
+// Property: Cholesky and LDLT agree on SPD systems.
+func TestQuickCholLDLTAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := randSPD(rng, n)
+		a2 := append([]float64(nil), a...)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		b2 := append([]float64(nil), b...)
+		if err := SolveSPD(a, n, b); err != nil {
+			return false
+		}
+		if err := LDLT(a2, n); err != nil {
+			return false
+		}
+		SolveLDLT(a2, n, b2)
+		for i := range b {
+			if math.Abs(b[i]-b2[i]) > 1e-7*(1+math.Abs(b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,285 @@
+package distmat
+
+import (
+	"fmt"
+	"sort"
+
+	"fsaicomm/internal/simmpi"
+	"fsaicomm/internal/sparse"
+)
+
+// Message tags used by the distributed kernels. Distinct tags per protocol
+// phase turn cross-phase bugs into immediate tag-mismatch panics.
+const (
+	tagPlanIdx  = 101 // halo plan construction: index lists
+	tagHaloData = 102 // halo update values
+	tagRowMeta  = 103 // remote row gather: row lengths
+	tagRowCols  = 104 // remote row gather: column indices
+	tagRowVals  = 105 // remote row gather: values
+	tagTransp   = 106 // distributed transpose payloads
+)
+
+// Localized is the kernel-ready view of a rank's rows: column indices are
+// remapped so that locals occupy [0, NLocal) (global g → g-lo) and halo
+// columns occupy [NLocal, NLocal+len(Halo)), with Halo[k] recording the
+// global index of halo slot k. Halo is sorted ascending.
+type Localized struct {
+	Lo, Hi int   // global row range
+	Halo   []int // global indices of halo columns, sorted
+	M      *sparse.CSR
+}
+
+// NLocal returns the number of locally owned rows/columns.
+func (lz *Localized) NLocal() int { return lz.Hi - lz.Lo }
+
+// HaloSet returns the halo global indices (shared slice; do not mutate).
+func (lz *Localized) HaloSet() []int { return lz.Halo }
+
+// Localize remaps a local-rows matrix (global column indices) into the
+// local+halo column numbering.
+func Localize(lo, hi int, rows *sparse.CSR) *Localized {
+	// Collect halo columns.
+	haloSet := map[int]bool{}
+	for _, g := range rows.ColIdx {
+		if g < lo || g >= hi {
+			haloSet[g] = true
+		}
+	}
+	halo := make([]int, 0, len(haloSet))
+	for g := range haloSet {
+		halo = append(halo, g)
+	}
+	sort.Ints(halo)
+	slot := make(map[int]int, len(halo))
+	for k, g := range halo {
+		slot[g] = k
+	}
+	nl := hi - lo
+	m := &sparse.CSR{
+		Rows:   rows.Rows,
+		Cols:   nl + len(halo),
+		RowPtr: append([]int(nil), rows.RowPtr...),
+		ColIdx: make([]int, rows.NNZ()),
+		Val:    append([]float64(nil), rows.Val...),
+	}
+	for k, g := range rows.ColIdx {
+		if g >= lo && g < hi {
+			m.ColIdx[k] = g - lo
+		} else {
+			m.ColIdx[k] = nl + slot[g]
+		}
+	}
+	// Re-sort each row by the new column numbering (locals stay ordered;
+	// halo slots are ordered among themselves, but locals and halos
+	// interleave differently than global order).
+	for i := 0; i < m.Rows; i++ {
+		loK, hiK := m.RowPtr[i], m.RowPtr[i+1]
+		idx := m.ColIdx[loK:hiK]
+		val := m.Val[loK:hiK]
+		sort.Sort(&colValSorter{idx, val})
+	}
+	return &Localized{Lo: lo, Hi: hi, Halo: halo, M: m}
+}
+
+type colValSorter struct {
+	idx []int
+	val []float64
+}
+
+func (s *colValSorter) Len() int           { return len(s.idx) }
+func (s *colValSorter) Less(i, j int) bool { return s.idx[i] < s.idx[j] }
+func (s *colValSorter) Swap(i, j int) {
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+	s.val[i], s.val[j] = s.val[j], s.val[i]
+}
+
+// HaloPlan is a rank's halo-update schedule: which locally-owned unknowns it
+// sends to which peers, and which remote unknowns it receives into which
+// halo slots. Peers appear in ascending rank order.
+type HaloPlan struct {
+	SendPeers                [][]int // [peer] -> local row indices (0-based within rank) to send
+	RecvPeers                [][]int // [peer] -> halo slot indices to fill
+	sendPeerIDs, recvPeerIDs []int
+}
+
+// SendPeerIDs returns the sorted ranks this plan sends to.
+func (p *HaloPlan) SendPeerIDs() []int { return p.sendPeerIDs }
+
+// RecvPeerIDs returns the sorted ranks this plan receives from.
+func (p *HaloPlan) RecvPeerIDs() []int { return p.recvPeerIDs }
+
+// SendList returns the local row indices sent to the given peer rank, or nil.
+func (p *HaloPlan) SendList(peer int) []int { return p.SendPeers[peer] }
+
+// RecvCount returns the total number of halo values received per update.
+func (p *HaloPlan) RecvCount() int {
+	n := 0
+	for _, l := range p.RecvPeers {
+		n += len(l)
+	}
+	return n
+}
+
+// SendCount returns the total number of values sent per update.
+func (p *HaloPlan) SendCount() int {
+	n := 0
+	for _, l := range p.SendPeers {
+		n += len(l)
+	}
+	return n
+}
+
+// BuildHaloPlan constructs the halo-update schedule for the given halo set.
+// All ranks must call it collectively. The exchange of index lists is the
+// setup-phase communication METIS-based codes also perform once.
+func BuildHaloPlan(c *simmpi.Comm, l *Layout, lz *Localized) *HaloPlan {
+	size := c.Size()
+	rank := c.Rank()
+	plan := &HaloPlan{
+		SendPeers: make([][]int, size),
+		RecvPeers: make([][]int, size),
+	}
+	// Group my needed globals by owner.
+	needByOwner := make([][]int, size)
+	for slotIdx, g := range lz.Halo {
+		owner := l.Owner(g)
+		if owner == rank {
+			panic(fmt.Sprintf("distmat: rank %d has local global %d in halo", rank, g))
+		}
+		needByOwner[owner] = append(needByOwner[owner], g)
+		plan.RecvPeers[owner] = append(plan.RecvPeers[owner], slotIdx)
+	}
+	// Everyone learns the full need-count matrix.
+	counts := make([]int64, size)
+	for p := 0; p < size; p++ {
+		counts[p] = int64(len(needByOwner[p]))
+	}
+	all := c.AllgatherInt64(counts) // all[r*size+p] = count rank r needs from p
+	// Send my request lists to owners.
+	for p := 0; p < size; p++ {
+		if p != rank && len(needByOwner[p]) > 0 {
+			c.SendInts(p, tagPlanIdx, needByOwner[p])
+		}
+	}
+	// Receive request lists from ranks that need my rows.
+	for r := 0; r < size; r++ {
+		if r == rank || all[r*size+rank] == 0 {
+			continue
+		}
+		wanted := c.RecvInts(r, tagPlanIdx)
+		local := make([]int, len(wanted))
+		for k, g := range wanted {
+			if g < lz.Lo || g >= lz.Hi {
+				panic(fmt.Sprintf("distmat: rank %d asked rank %d for non-local row %d", r, rank, g))
+			}
+			local[k] = g - lz.Lo
+		}
+		plan.SendPeers[r] = local
+	}
+	for p := 0; p < size; p++ {
+		if len(plan.SendPeers[p]) > 0 {
+			plan.sendPeerIDs = append(plan.sendPeerIDs, p)
+		}
+		if len(plan.RecvPeers[p]) > 0 {
+			plan.recvPeerIDs = append(plan.recvPeerIDs, p)
+		}
+	}
+	return plan
+}
+
+// Exchange performs one halo update: xExt must have length
+// NLocal+len(Halo); its first NLocal entries are the local values (already
+// filled by the caller), and Exchange fills the halo slots from peers.
+func (p *HaloPlan) Exchange(c *simmpi.Comm, xExt []float64, nLocal int) {
+	// Post all sends, then drain receives; per-pair FIFO channels make this
+	// deadlock-free with buffered channels.
+	for _, peer := range p.sendPeerIDs {
+		list := p.SendPeers[peer]
+		buf := make([]float64, len(list))
+		for k, li := range list {
+			buf[k] = xExt[li]
+		}
+		c.SendFloats(peer, tagHaloData, buf)
+	}
+	for _, peer := range p.recvPeerIDs {
+		slots := p.RecvPeers[peer]
+		vals := c.RecvFloats(peer, tagHaloData)
+		if len(vals) != len(slots) {
+			panic(fmt.Sprintf("distmat: rank %d halo update from %d: got %d values, want %d",
+				c.Rank(), peer, len(vals), len(slots)))
+		}
+		for k, s := range slots {
+			xExt[nLocal+s] = vals[k]
+		}
+	}
+}
+
+// RecvGlobals returns, per peer rank, the global indices of the unknowns
+// this rank receives in each halo update.
+func (p *HaloPlan) RecvGlobals(lz *Localized) [][]int {
+	out := make([][]int, len(p.RecvPeers))
+	for peer, slots := range p.RecvPeers {
+		for _, s := range slots {
+			out[peer] = append(out[peer], lz.Halo[s])
+		}
+	}
+	return out
+}
+
+// SendGlobals returns, per peer rank, the global indices of the unknowns
+// this rank sends in each halo update.
+func (p *HaloPlan) SendGlobals(lz *Localized) [][]int {
+	out := make([][]int, len(p.SendPeers))
+	for peer, locals := range p.SendPeers {
+		for _, li := range locals {
+			out[peer] = append(out[peer], lz.Lo+li)
+		}
+	}
+	return out
+}
+
+// GlobalsEqual reports whether two per-peer global index lists describe the
+// same exchanged unknown sets (order-insensitive within a peer).
+func GlobalsEqual(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p := range a {
+		if len(a[p]) != len(b[p]) {
+			return false
+		}
+		x := append([]int(nil), a[p]...)
+		y := append([]int(nil), b[p]...)
+		sort.Ints(x)
+		sort.Ints(y)
+		for k := range x {
+			if x[k] != y[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PlanEqual reports whether two plans describe exactly the same
+// communication scheme (same peers, same unknown lists in the same order).
+// The FSAIE-Comm invariance tests compare plans with this.
+func PlanEqual(a, b *HaloPlan) bool {
+	eq := func(x, y [][]int) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for p := range x {
+			if len(x[p]) != len(y[p]) {
+				return false
+			}
+			for k := range x[p] {
+				if x[p][k] != y[p][k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return eq(a.SendPeers, b.SendPeers) && eq(a.RecvPeers, b.RecvPeers)
+}

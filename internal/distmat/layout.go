@@ -1,0 +1,150 @@
+// Package distmat implements the distributed-memory sparse-matrix substrate
+// of the reproduction: row-wise distribution of a square sparse matrix over
+// simmpi ranks, halo-exchange plans, distributed matrix-vector products, and
+// the remote-row gathering the parallel FSAI setup needs.
+//
+// Conventions. A square global matrix is distributed by contiguous row
+// blocks described by a Layout; the helper ApplyPartition turns an arbitrary
+// partition assignment (e.g. from the multilevel partitioner) into a
+// symmetric permutation that makes ownership contiguous, exactly as the
+// paper renumbers unknowns after METIS. Vectors x and b follow the row
+// distribution. Per-rank matrices keep *global* column indices for pattern
+// work; a Localized view remaps columns to local-then-halo positions for the
+// SpMV kernels, mirroring how distributed CSR codes store local and halo
+// entries separately.
+package distmat
+
+import (
+	"fmt"
+	"sort"
+
+	"fsaicomm/internal/sparse"
+)
+
+// Layout describes a contiguous row distribution: rank r owns global rows
+// [Offsets[r], Offsets[r+1]).
+type Layout struct {
+	N       int
+	Offsets []int
+}
+
+// NewUniformLayout splits n rows into nranks near-equal contiguous blocks.
+func NewUniformLayout(n, nranks int) *Layout {
+	if nranks < 1 || n < 0 {
+		panic(fmt.Sprintf("distmat: bad layout n=%d nranks=%d", n, nranks))
+	}
+	off := make([]int, nranks+1)
+	for r := 0; r <= nranks; r++ {
+		off[r] = r * n / nranks
+	}
+	return &Layout{N: n, Offsets: off}
+}
+
+// NRanks returns the number of ranks in the layout.
+func (l *Layout) NRanks() int { return len(l.Offsets) - 1 }
+
+// Owner returns the rank owning global row g.
+func (l *Layout) Owner(g int) int {
+	if g < 0 || g >= l.N {
+		panic(fmt.Sprintf("distmat: Owner(%d) outside [0,%d)", g, l.N))
+	}
+	// Binary search for the block containing g.
+	r := sort.Search(l.NRanks(), func(r int) bool { return l.Offsets[r+1] > g })
+	return r
+}
+
+// Range returns the half-open global row range owned by rank.
+func (l *Layout) Range(rank int) (lo, hi int) {
+	return l.Offsets[rank], l.Offsets[rank+1]
+}
+
+// LocalSize returns the number of rows owned by rank.
+func (l *Layout) LocalSize(rank int) int {
+	return l.Offsets[rank+1] - l.Offsets[rank]
+}
+
+// Validate checks layout invariants.
+func (l *Layout) Validate() error {
+	if len(l.Offsets) < 2 {
+		return fmt.Errorf("distmat: layout needs at least one rank")
+	}
+	if l.Offsets[0] != 0 || l.Offsets[len(l.Offsets)-1] != l.N {
+		return fmt.Errorf("distmat: layout offsets must span [0,%d], got %v", l.N, l.Offsets)
+	}
+	for r := 1; r < len(l.Offsets); r++ {
+		if l.Offsets[r] < l.Offsets[r-1] {
+			return fmt.Errorf("distmat: layout offsets decrease at %d", r)
+		}
+	}
+	return nil
+}
+
+// ApplyPartition symmetrically permutes a so that the rows assigned to each
+// part become contiguous, preserving the original relative order within each
+// part. It returns the permuted matrix, the resulting layout, and the
+// permutation oldToNew (new index of old row i is oldToNew[i]).
+func ApplyPartition(a *sparse.CSR, part []int, nparts int) (*sparse.CSR, *Layout, []int) {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("distmat: ApplyPartition on non-square %dx%d matrix", a.Rows, a.Cols))
+	}
+	if len(part) != a.Rows {
+		panic(fmt.Sprintf("distmat: partition length %d, want %d", len(part), a.Rows))
+	}
+	n := a.Rows
+	counts := make([]int, nparts)
+	for _, p := range part {
+		if p < 0 || p >= nparts {
+			panic(fmt.Sprintf("distmat: part id %d outside [0,%d)", p, nparts))
+		}
+		counts[p]++
+	}
+	offsets := make([]int, nparts+1)
+	for r := 0; r < nparts; r++ {
+		offsets[r+1] = offsets[r] + counts[r]
+	}
+	oldToNew := make([]int, n)
+	next := append([]int(nil), offsets[:nparts]...)
+	for i := 0; i < n; i++ {
+		oldToNew[i] = next[part[i]]
+		next[part[i]]++
+	}
+	return Permute(a, oldToNew), &Layout{N: n, Offsets: offsets}, oldToNew
+}
+
+// Permute applies the symmetric permutation P A Pᵀ where new index of old
+// row/column i is oldToNew[i].
+func Permute(a *sparse.CSR, oldToNew []int) *sparse.CSR {
+	c := sparse.NewCOO(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			c.Add(oldToNew[i], oldToNew[j], vals[k])
+		}
+	}
+	return c.ToCSR()
+}
+
+// PermuteVec returns the vector with components moved to their new indices.
+func PermuteVec(x []float64, oldToNew []int) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[oldToNew[i]] = v
+	}
+	return out
+}
+
+// ExtractLocalRows returns the block of global rows [lo,hi) of a as a new
+// CSR with hi-lo rows and untouched (global) column indices. In this
+// simulated runtime every rank shares the process address space, so
+// "scattering" the matrix is a slice extraction.
+func ExtractLocalRows(a *sparse.CSR, lo, hi int) *sparse.CSR {
+	nl := hi - lo
+	out := sparse.NewCSR(nl, a.Cols, a.RowPtr[hi]-a.RowPtr[lo])
+	for i := 0; i < nl; i++ {
+		cols, vals := a.Row(lo + i)
+		out.ColIdx = append(out.ColIdx, cols...)
+		out.Val = append(out.Val, vals...)
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out
+}

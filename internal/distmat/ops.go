@@ -1,0 +1,232 @@
+package distmat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fsaicomm/internal/simmpi"
+	"fsaicomm/internal/sparse"
+	"fsaicomm/internal/vecops"
+)
+
+// DistVec holds a rank's slice of a distributed vector plus halo workspace
+// for one matrix. Local values live in Ext[:NLocal]; Exchange fills
+// Ext[NLocal:].
+type DistVec struct {
+	NLocal int
+	Ext    []float64
+}
+
+// NewDistVec allocates a distributed vector view compatible with lz.
+func NewDistVec(lz *Localized) *DistVec {
+	return &DistVec{NLocal: lz.NLocal(), Ext: make([]float64, lz.NLocal()+len(lz.Halo))}
+}
+
+// Local returns the locally-owned portion of the vector.
+func (v *DistVec) Local() []float64 { return v.Ext[:v.NLocal] }
+
+// Op bundles a localized matrix with its halo plan so the distributed SpMV
+// reads as a single operation, as it does in the paper's solver.
+type Op struct {
+	LZ   *Localized
+	Plan *HaloPlan
+}
+
+// NewOp localizes the local rows (global columns) of a distributed matrix
+// and builds its halo plan. Collective: all ranks must call it together.
+func NewOp(c *simmpi.Comm, l *Layout, lo, hi int, rows *sparse.CSR) *Op {
+	lz := Localize(lo, hi, rows)
+	return &Op{LZ: lz, Plan: BuildHaloPlan(c, l, lz)}
+}
+
+// MulVec computes the local part of y = A x, performing one halo update.
+// x holds the rank's local values (length NLocal); y receives the local
+// result. scratch must be a DistVec from NewDistVec(op.LZ). The flop counter
+// records 2·nnz operations.
+func (op *Op) MulVec(c *simmpi.Comm, x, y []float64, scratch *DistVec, fc *vecops.FlopCounter) {
+	nl := op.LZ.NLocal()
+	if len(x) != nl || len(y) != nl {
+		panic(fmt.Sprintf("distmat: MulVec local length %d/%d, want %d", len(x), len(y), nl))
+	}
+	copy(scratch.Ext[:nl], x)
+	op.Plan.Exchange(c, scratch.Ext, nl)
+	op.LZ.M.MulVec(scratch.Ext, y)
+	fc.Add(2 * int64(op.LZ.M.NNZ()))
+}
+
+// Dot returns the global dot product of two distributed vectors.
+func Dot(c *simmpi.Comm, x, y []float64, fc *vecops.FlopCounter) float64 {
+	local := vecops.Dot(x, y, fc)
+	return c.AllreduceSum(local)[0]
+}
+
+// Norm2 returns the global Euclidean norm of a distributed vector.
+func Norm2(c *simmpi.Comm, x []float64, fc *vecops.FlopCounter) float64 {
+	local := vecops.Dot(x, x, fc)
+	s := c.AllreduceSum(local)[0]
+	if s < 0 {
+		s = 0
+	}
+	return math.Sqrt(s)
+}
+
+// GatherRemoteRows fetches full rows of the distributed matrix for the given
+// global indices from their owners. rows is this rank's local block with
+// global column indices; wanted lists global row indices (duplicates
+// allowed, remote or local). The result maps each wanted global row to its
+// (cols, vals). Collective: all ranks must call together. This is the FSAI
+// setup-phase exchange (each process needs A's rows for its halo unknowns);
+// it happens once per preconditioner build, not per iteration.
+func GatherRemoteRows(c *simmpi.Comm, l *Layout, lo, hi int, rows *sparse.CSR, wanted []int) map[int]RowData {
+	size := c.Size()
+	rank := c.Rank()
+	out := make(map[int]RowData, len(wanted))
+	needByOwner := make([][]int, size)
+	seen := map[int]bool{}
+	for _, g := range wanted {
+		if seen[g] {
+			continue
+		}
+		seen[g] = true
+		if g >= lo && g < hi {
+			cols, vals := rows.Row(g - lo)
+			out[g] = RowData{Cols: append([]int(nil), cols...), Vals: append([]float64(nil), vals...)}
+			continue
+		}
+		needByOwner[l.Owner(g)] = append(needByOwner[l.Owner(g)], g)
+	}
+	for p := range needByOwner {
+		sort.Ints(needByOwner[p])
+	}
+	counts := make([]int64, size)
+	for p := 0; p < size; p++ {
+		counts[p] = int64(len(needByOwner[p]))
+	}
+	all := c.AllgatherInt64(counts)
+	// Send requests.
+	for p := 0; p < size; p++ {
+		if p != rank && len(needByOwner[p]) > 0 {
+			c.SendInts(p, tagRowMeta, needByOwner[p])
+		}
+	}
+	// Serve requests.
+	for r := 0; r < size; r++ {
+		if r == rank || all[r*size+rank] == 0 {
+			continue
+		}
+		req := c.RecvInts(r, tagRowMeta)
+		var lens []int
+		var flatCols []int
+		var flatVals []float64
+		for _, g := range req {
+			if g < lo || g >= hi {
+				panic(fmt.Sprintf("distmat: rank %d asked rank %d for non-local row %d", r, rank, g))
+			}
+			cols, vals := rows.Row(g - lo)
+			lens = append(lens, len(cols))
+			flatCols = append(flatCols, cols...)
+			flatVals = append(flatVals, vals...)
+		}
+		c.SendInts(r, tagRowCols, append(lens, flatCols...))
+		c.SendFloats(r, tagRowVals, flatVals)
+	}
+	// Collect responses.
+	for p := 0; p < size; p++ {
+		req := needByOwner[p]
+		if p == rank || len(req) == 0 {
+			continue
+		}
+		meta := c.RecvInts(p, tagRowCols)
+		vals := c.RecvFloats(p, tagRowVals)
+		lens := meta[:len(req)]
+		flatCols := meta[len(req):]
+		pos := 0
+		for k, g := range req {
+			n := lens[k]
+			out[g] = RowData{
+				Cols: append([]int(nil), flatCols[pos:pos+n]...),
+				Vals: append([]float64(nil), vals[pos:pos+n]...),
+			}
+			pos += n
+		}
+	}
+	return out
+}
+
+// RowData is one gathered matrix row: global column indices and values.
+type RowData struct {
+	Cols []int
+	Vals []float64
+}
+
+// TransposeDist computes the distributed transpose: given this rank's local
+// rows of G (global columns), it returns this rank's local rows of Gᵀ
+// (global columns). Entry (i,j) owned here is shipped to the owner of row j
+// of Gᵀ (= owner of global column j). Collective.
+func TransposeDist(c *simmpi.Comm, l *Layout, lo, hi int, rows *sparse.CSR) *sparse.CSR {
+	size := c.Size()
+	rank := c.Rank()
+	// Bucket entries by destination owner; local ones short-circuit.
+	type triple struct {
+		i, j int // global
+		v    float64
+	}
+	buckets := make([][]triple, size)
+	for li := 0; li < rows.Rows; li++ {
+		gi := lo + li
+		cols, vals := rows.Row(li)
+		for k, gj := range cols {
+			dst := l.Owner(gj)
+			buckets[dst] = append(buckets[dst], triple{i: gi, j: gj, v: vals[k]})
+		}
+	}
+	counts := make([]int64, size)
+	for p := 0; p < size; p++ {
+		counts[p] = int64(len(buckets[p]))
+	}
+	all := c.AllgatherInt64(counts)
+	for p := 0; p < size; p++ {
+		if p == rank || len(buckets[p]) == 0 {
+			continue
+		}
+		flat := make([]int, 0, 2*len(buckets[p]))
+		vals := make([]float64, 0, len(buckets[p]))
+		for _, t := range buckets[p] {
+			flat = append(flat, t.i, t.j)
+			vals = append(vals, t.v)
+		}
+		c.SendInts(p, tagTransp, flat)
+		c.SendFloats(p, tagTransp, vals)
+	}
+	nl := hi - lo
+	coo := sparse.NewCOO(nl, l.N)
+	for _, t := range buckets[rank] {
+		coo.Add(t.j-lo, t.i, t.v) // transposed: row j, column i
+	}
+	for r := 0; r < size; r++ {
+		if r == rank || all[r*size+rank] == 0 {
+			continue
+		}
+		flat := c.RecvInts(r, tagTransp)
+		vals := c.RecvFloats(r, tagTransp)
+		for k := range vals {
+			gi, gj := flat[2*k], flat[2*k+1]
+			coo.Add(gj-lo, gi, vals[k])
+		}
+	}
+	return coo.ToCSR()
+}
+
+// NNZImbalanceIndex computes the paper's imbalance index for per-rank entry
+// counts: average entries / maximum entries (≤ 1; 1 means balanced).
+// Collective.
+func NNZImbalanceIndex(c *simmpi.Comm, localNNZ int64) float64 {
+	sums := c.AllreduceSumInt64(localNNZ)
+	maxs := c.AllreduceMaxInt64(localNNZ)
+	if maxs[0] == 0 {
+		return 1
+	}
+	avg := float64(sums[0]) / float64(c.Size())
+	return avg / float64(maxs[0])
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"fsaicomm/internal/archmodel"
+	"fsaicomm/internal/cache"
+	"fsaicomm/internal/core"
+	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/fsai"
+	"fsaicomm/internal/krylov"
+	"fsaicomm/internal/simmpi"
+	"fsaicomm/internal/testsets"
+)
+
+// AblationRow compares one matrix across FSAI, FSAIE-Comm and the
+// communication-oblivious "naive" extension (cache-line candidates in
+// global index space with no admissibility test). It quantifies what the
+// paper's Algorithm 3 rule buys: the naive variant gains similar iteration
+// reductions but inflates the halo exchange, which the α–β model converts
+// into lost time at scale.
+type AblationRow struct {
+	Spec       testsets.Spec
+	Ranks      int
+	Iterations [3]int     // FSAI, FSAIE-Comm, naive
+	HaloRecv   [3]int     // total unknowns received per halo update of G
+	Neighbours [3]int     // total neighbour pairs in G's halo update
+	BytesIter  [3]float64 // metered solve traffic per iteration
+	ModelTime  [3]float64 // cost-model solve time
+}
+
+// variantNames orders the ablation columns.
+var variantNames = [3]string{"FSAI", "FSAIE-Comm", "naive-ext"}
+
+// RunAblation executes the ablation for one matrix.
+func RunAblation(r *Runner, spec testsets.Spec) (AblationRow, error) {
+	var row AblationRow
+	row.Spec = spec
+	_, nnz := r.size(spec)
+	ranks := r.RanksOf(nnz)
+	row.Ranks = ranks
+	me, err := r.matrix(spec, ranks)
+	if err != nil {
+		return row, err
+	}
+
+	for vi := 0; vi < 3; vi++ {
+		perRank := make([]archmodel.RankCost, ranks)
+		var iters int
+		var haloRecv, neigh int
+		world, err := simmpi.Run(ranks, runTimeout, func(c *simmpi.Comm) error {
+			lo, hi := me.layout.Range(c.Rank())
+			nl := hi - lo
+			aRows := distmat.ExtractLocalRows(me.a, lo, hi)
+			s := core.LowerPatternDist(aRows, lo)
+			pat := s
+			switch vi {
+			case 1: // FSAIE-Comm
+				lz := distmat.Localize(lo, hi, core.PatternCSR(s))
+				ext, _, err := core.ExtendPattern(me.layout, s, lz, core.ExtendOptions{
+					LineBytes: r.Arch.LineBytes, CommAware: true,
+				})
+				if err != nil {
+					return err
+				}
+				pat = ext
+			case 2: // naive
+				ext, err := core.ExtendPatternNaive(me.layout, s, core.ExtendOptions{
+					LineBytes: r.Arch.LineBytes,
+				})
+				if err != nil {
+					return err
+				}
+				pat = ext
+			}
+			g, err := fsai.BuildDist(c, me.layout, aRows, pat)
+			if err != nil {
+				return err
+			}
+			gt := distmat.TransposeDist(c, me.layout, lo, hi, g)
+			aOp := distmat.NewOp(c, me.layout, lo, hi, aRows)
+			gOp := distmat.NewOp(c, me.layout, lo, hi, g)
+			gtOp := distmat.NewOp(c, me.layout, lo, hi, gt)
+
+			recv := c.AllreduceSumInt64(int64(gOp.Plan.RecvCount()))[0]
+			nb := c.AllreduceSumInt64(int64(len(gOp.Plan.RecvPeerIDs())))[0]
+
+			sim := r.Arch.NewProcessCache()
+			missA := cache.TraceSpMVOnX(aOp.LZ.M, sim)
+			missPre := cache.TracePrecondProduct(gOp.LZ.M, gtOp.LZ.M, sim)
+			logP := int64(math.Ceil(math.Log2(float64(ranks + 1))))
+			perRank[c.Rank()] = archmodel.RankCost{
+				Flops:       2*int64(aOp.LZ.M.NNZ()+gOp.LZ.M.NNZ()+gtOp.LZ.M.NNZ()) + 12*int64(nl),
+				StreamBytes: 12*int64(aOp.LZ.M.NNZ()+gOp.LZ.M.NNZ()+gtOp.LZ.M.NNZ()) + 80*int64(nl),
+				CacheMisses: missA + missPre,
+				CommBytes:   int64(8 * (aOp.Plan.SendCount() + gOp.Plan.SendCount() + gtOp.Plan.SendCount())),
+				CommMsgs: int64(len(aOp.Plan.SendPeerIDs())+len(gOp.Plan.SendPeerIDs())+
+					len(gtOp.Plan.SendPeerIDs())) + 3*logP,
+			}
+
+			c.Barrier()
+			if c.Rank() == 0 {
+				c.Meter().Reset()
+			}
+			c.Barrier()
+			x := make([]float64, nl)
+			st, err := krylov.DistCG(c, aOp, me.b[lo:hi], x,
+				krylov.NewDistSplit(gOp, gtOp), krylov.Options{Tol: r.Tol, MaxIter: r.MaxIter}, nil)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				iters = st.Iterations
+				haloRecv = int(recv)
+				neigh = int(nb)
+			}
+			return nil
+		})
+		if err != nil {
+			return row, fmt.Errorf("experiments: ablation %s/%s: %w", spec.Name, variantNames[vi], err)
+		}
+		row.Iterations[vi] = iters
+		row.HaloRecv[vi] = haloRecv
+		row.Neighbours[vi] = neigh
+		row.BytesIter[vi] = float64(world.Meter().TotalP2PBytes()) / float64(iters)
+		row.ModelTime[vi] = r.Arch.SolveTime(iters, perRank)
+	}
+	return row, nil
+}
+
+// WriteAblation renders the ablation table for a set of matrices.
+func WriteAblation(w io.Writer, r *Runner, set []testsets.Spec) error {
+	fmt.Fprintf(w, "Ablation: communication-aware admissibility rule (arch %s, unfiltered)\n", r.Arch.Name)
+	fmt.Fprintln(w, "naive-ext extends over global cache lines with no admissibility test.")
+	var rows [][]string
+	for _, spec := range set {
+		row, err := RunAblation(r, spec)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			row.Spec.Name, fmt.Sprintf("%d", row.Ranks),
+			fmt.Sprintf("%d/%d/%d", row.Iterations[0], row.Iterations[1], row.Iterations[2]),
+			fmt.Sprintf("%d/%d/%d", row.HaloRecv[0], row.HaloRecv[1], row.HaloRecv[2]),
+			fmt.Sprintf("%d/%d/%d", row.Neighbours[0], row.Neighbours[1], row.Neighbours[2]),
+			fmt.Sprintf("%.0f/%.0f/%.0f", row.BytesIter[0], row.BytesIter[1], row.BytesIter[2]),
+			fmt.Sprintf("%.2e/%.2e/%.2e", row.ModelTime[0], row.ModelTime[1], row.ModelTime[2]),
+		})
+	}
+	writeTable(w, []string{
+		"Matrix", "Ranks", "Iters F/C/N", "Halo recv F/C/N", "Neigh F/C/N",
+		"Bytes/iter F/C/N", "Model time F/C/N",
+	}, rows)
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,333 @@
+// Package experiments drives the reproduction of every table and figure in
+// the paper's evaluation (§5): it runs (matrix × method × filter × strategy
+// × architecture) grids over the synthetic catalogs, collects real CG
+// iteration counts, metered communication, simulated cache misses and
+// modeled solve times, and renders the paper's tables and figure series as
+// text.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"fsaicomm/internal/archmodel"
+	"fsaicomm/internal/cache"
+	"fsaicomm/internal/core"
+	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/fsai"
+	"fsaicomm/internal/krylov"
+	"fsaicomm/internal/matgen"
+	"fsaicomm/internal/partition"
+	"fsaicomm/internal/simmpi"
+	"fsaicomm/internal/sparse"
+	"fsaicomm/internal/testsets"
+)
+
+// runTimeout bounds each simulated-MPI run; a hit means a deadlock bug, not
+// a slow solve, so it is generous.
+const runTimeout = 10 * time.Minute
+
+// Result is the outcome of solving one matrix with one configuration.
+type Result struct {
+	Spec     testsets.Spec
+	Method   core.Method
+	Filter   float64
+	Strategy core.FilterStrategy
+	Ranks    int
+
+	Rows, NNZ int
+
+	Iterations int
+	Converged  bool
+	SolveTime  float64 // modeled seconds (arch cost model)
+
+	PctNNZ         float64 // % pattern entries added vs FSAI
+	ImbalanceIndex float64 // avg/max per-rank entries of G
+
+	// Per-process averages for the preconditioning product GᵀGx.
+	MissesPerNNZ  float64 // simulated L1 misses on x per G/Gᵀ entry
+	GFlopsPrecond float64 // modeled GFLOP/s per process
+	// Communication per iteration (bytes sent, all ranks).
+	CommBytesPerIter float64
+}
+
+// Runner executes configurations against a catalog with memoization of the
+// expensive stages: matrix generation + partitioning (per spec and rank
+// count) and the extended-pattern FSAI precompute (per spec, method, line
+// size and rank count), which the filter sweeps of Tables 3/5/6/7 reuse
+// exactly as the paper's two-pass algorithm does.
+type Runner struct {
+	Arch archmodel.Profile
+	// RanksOf chooses the simulated process count for a matrix; defaults to
+	// testsets.DefaultRanks.
+	RanksOf func(nnz int) int
+	// Tol and MaxIter configure the CG solves (paper: residual reduction by
+	// 1e8).
+	Tol     float64
+	MaxIter int
+
+	mats    map[matKey]*matEntry
+	exts    map[extKey]*extEntry
+	sizes   map[string][2]int // spec name -> rows, nnz
+	results map[resKey]Result
+}
+
+type resKey struct {
+	name     string
+	method   core.Method
+	filter   float64
+	strategy core.FilterStrategy
+	line     int
+	cores    int
+}
+
+// NewRunner returns a Runner for the given architecture profile.
+func NewRunner(arch archmodel.Profile) *Runner {
+	return &Runner{
+		Arch:    arch,
+		RanksOf: testsets.DefaultRanks,
+		Tol:     1e-8,
+		MaxIter: 30000,
+		mats:    map[matKey]*matEntry{},
+		exts:    map[extKey]*extEntry{},
+		sizes:   map[string][2]int{},
+		results: map[resKey]Result{},
+	}
+}
+
+type matKey struct {
+	id    int
+	name  string
+	ranks int
+}
+
+type matEntry struct {
+	a      *sparse.CSR // permuted
+	layout *distmat.Layout
+	b      []float64
+}
+
+type extKey struct {
+	matKey
+	method    core.Method
+	lineBytes int
+}
+
+type extEntry struct {
+	gExt    []*sparse.CSR // per-rank precomputed factor on the extended pattern
+	baseNNZ int64
+}
+
+// size returns (rows, nnz) for a spec, generating the matrix at most once.
+func (r *Runner) size(spec testsets.Spec) (int, int) {
+	if sz, ok := r.sizes[spec.Name]; ok {
+		return sz[0], sz[1]
+	}
+	a := spec.Generate()
+	r.sizes[spec.Name] = [2]int{a.Rows, a.NNZ()}
+	return a.Rows, a.NNZ()
+}
+
+func (r *Runner) matrix(spec testsets.Spec, ranks int) (*matEntry, error) {
+	key := matKey{spec.ID, spec.Name, ranks}
+	if e, ok := r.mats[key]; ok {
+		return e, nil
+	}
+	a := spec.Generate()
+	g := partition.GraphFromMatrix(a)
+	part, err := partition.Multilevel(g, ranks, partition.Options{Seed: int64(spec.ID)})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: partition %s: %w", spec.Name, err)
+	}
+	pa, layout, _ := distmat.ApplyPartition(a, part, ranks)
+	e := &matEntry{
+		a:      pa,
+		layout: layout,
+		b:      matgen.RandomRHS(pa.Rows, int64(1000+spec.ID), pa.MaxNorm()),
+	}
+	r.mats[key] = e
+	return e, nil
+}
+
+// extended returns the per-rank FSAI factor precomputed on the (possibly
+// extended) pattern, before filtering: the "Step 4" precompute of
+// Algorithm 2. For FSAI the pattern is the unextended lower triangle.
+func (r *Runner) extended(spec testsets.Spec, me *matEntry, method core.Method, ranks int) (*extEntry, error) {
+	key := extKey{matKey{spec.ID, spec.Name, ranks}, method, r.Arch.LineBytes}
+	if method == core.FSAI {
+		key.lineBytes = 0 // line size does not matter for the baseline
+	}
+	if e, ok := r.exts[key]; ok {
+		return e, nil
+	}
+	entry := &extEntry{gExt: make([]*sparse.CSR, ranks)}
+	_, err := simmpi.Run(ranks, runTimeout, func(c *simmpi.Comm) error {
+		lo, hi := me.layout.Range(c.Rank())
+		aRows := distmat.ExtractLocalRows(me.a, lo, hi)
+		s := core.LowerPatternDist(aRows, lo)
+		base := c.AllreduceSumInt64(int64(s.Pattern.NNZ()))[0]
+		pat := s
+		if method != core.FSAI {
+			lz := distmat.Localize(lo, hi, core.PatternCSR(s))
+			ext, _, err := core.ExtendPattern(me.layout, s, lz, core.ExtendOptions{
+				LineBytes: r.Arch.LineBytes,
+				CommAware: method == core.FSAIEComm,
+			})
+			if err != nil {
+				return err
+			}
+			pat = ext
+		}
+		g, err := fsai.BuildDist(c, me.layout, aRows, pat)
+		if err != nil {
+			return err
+		}
+		entry.gExt[c.Rank()] = g
+		if c.Rank() == 0 {
+			entry.baseNNZ = base
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: extended build %s/%s: %w", spec.Name, method, err)
+	}
+	r.exts[key] = entry
+	return entry, nil
+}
+
+// Run solves one configuration and returns its Result. Results are
+// memoized, so drivers sharing configurations (e.g. the per-matrix figures
+// reusing the filter-grid runs) pay for each solve once.
+func (r *Runner) Run(spec testsets.Spec, method core.Method, filter float64, strategy core.FilterStrategy) (Result, error) {
+	rk := resKey{spec.Name, method, filter, strategy, r.Arch.LineBytes, r.Arch.CoresPerProcess}
+	if method == core.FSAI {
+		rk.filter, rk.strategy, rk.line = 0, core.StaticFilter, 0
+	}
+	if res, ok := r.results[rk]; ok {
+		return res, nil
+	}
+	res := Result{Spec: spec, Method: method, Filter: filter, Strategy: strategy}
+
+	// Rank count depends only on the matrix (paper §5.2 rule).
+	rows, nnz := r.size(spec)
+	ranks := r.RanksOf(nnz)
+	res.Ranks = ranks
+	res.Rows, res.NNZ = rows, nnz
+
+	me, err := r.matrix(spec, ranks)
+	if err != nil {
+		return res, err
+	}
+	ee, err := r.extended(spec, me, method, ranks)
+	if err != nil {
+		return res, err
+	}
+
+	perRank := make([]archmodel.RankCost, ranks)
+	precondRank := make([]archmodel.RankCost, ranks)
+	nnzPrecond := make([]int64, ranks)
+	var finalNNZ int64
+	world, err := simmpi.Run(ranks, runTimeout, func(c *simmpi.Comm) error {
+		lo, hi := me.layout.Range(c.Rank())
+		nl := hi - lo
+		aRows := distmat.ExtractLocalRows(me.a, lo, hi)
+		gExt := ee.gExt[c.Rank()]
+
+		// Filtering (Algorithm 2 step 4 / Algorithm 4) and final build.
+		var g *sparse.CSR
+		if method == core.FSAI {
+			g = gExt
+		} else {
+			base := core.LowerPatternDist(aRows, lo).Pattern
+			f := filter
+			if strategy == core.DynamicFilter {
+				f = core.DynamicFilterValue(c, gExt, lo, filter, base)
+			}
+			final := fsai.FilterDist(gExt, lo, hi, f, base)
+			var err error
+			g, err = fsai.BuildDist(c, me.layout, aRows, final)
+			if err != nil {
+				return err
+			}
+		}
+		gt := distmat.TransposeDist(c, me.layout, lo, hi, g)
+
+		aOp := distmat.NewOp(c, me.layout, lo, hi, aRows)
+		gOp := distmat.NewOp(c, me.layout, lo, hi, g)
+		gtOp := distmat.NewOp(c, me.layout, lo, hi, gt)
+
+		imb := distmat.NNZImbalanceIndex(c, int64(g.NNZ()))
+		gNNZ := c.AllreduceSumInt64(int64(g.NNZ()))[0]
+
+		// Cost model inputs (independent of the solve).
+		commMsgs := int64(len(aOp.Plan.SendPeerIDs()) + len(gOp.Plan.SendPeerIDs()) + len(gtOp.Plan.SendPeerIDs()))
+		logP := int64(math.Ceil(math.Log2(float64(ranks + 1))))
+		commBytes := int64(8 * (aOp.Plan.SendCount() + gOp.Plan.SendCount() + gtOp.Plan.SendCount()))
+		sim := r.Arch.NewProcessCache()
+		missA := cache.TraceSpMVOnX(aOp.LZ.M, sim)
+		missPre := cache.TracePrecondProduct(gOp.LZ.M, gtOp.LZ.M, sim)
+		flopsIter := 2*int64(aOp.LZ.M.NNZ()+gOp.LZ.M.NNZ()+gtOp.LZ.M.NNZ()) + 12*int64(nl)
+		// Matrix entries stream 12 bytes each (8 B value + 4 B index);
+		// the CG vector kernels stream roughly 10 vector reads/writes.
+		streamIter := 12*int64(aOp.LZ.M.NNZ()+gOp.LZ.M.NNZ()+gtOp.LZ.M.NNZ()) + 80*int64(nl)
+		perRank[c.Rank()] = archmodel.RankCost{
+			Flops:       flopsIter,
+			StreamBytes: streamIter,
+			CacheMisses: missA + missPre,
+			CommBytes:   commBytes,
+			CommMsgs:    commMsgs + 3*logP,
+		}
+		precondRank[c.Rank()] = archmodel.RankCost{
+			Flops:       2 * int64(gOp.LZ.M.NNZ()+gtOp.LZ.M.NNZ()),
+			StreamBytes: 12*int64(gOp.LZ.M.NNZ()+gtOp.LZ.M.NNZ()) + 24*int64(nl),
+			CacheMisses: missPre,
+			CommBytes:   int64(8 * (gOp.Plan.SendCount() + gtOp.Plan.SendCount())),
+			CommMsgs:    int64(len(gOp.Plan.SendPeerIDs()) + len(gtOp.Plan.SendPeerIDs())),
+		}
+		nnzPrecond[c.Rank()] = int64(gOp.LZ.M.NNZ() + gtOp.LZ.M.NNZ())
+
+		// Meter only the solve.
+		c.Barrier()
+		if c.Rank() == 0 {
+			c.Meter().Reset()
+		}
+		c.Barrier()
+		x := make([]float64, nl)
+		st, err := krylov.DistCG(c, aOp, me.b[lo:hi], x,
+			krylov.NewDistSplit(gOp, gtOp),
+			krylov.Options{Tol: r.Tol, MaxIter: r.MaxIter}, nil)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			res.Iterations = st.Iterations
+			res.Converged = st.Converged
+			res.ImbalanceIndex = imb
+			finalNNZ = gNNZ
+		}
+		return nil
+	})
+	if err != nil {
+		return res, fmt.Errorf("experiments: solve %s/%s: %w", spec.Name, method, err)
+	}
+
+	res.SolveTime = r.Arch.SolveTime(res.Iterations, perRank)
+	if ee.baseNNZ > 0 {
+		res.PctNNZ = 100 * float64(finalNNZ-ee.baseNNZ) / float64(ee.baseNNZ)
+	}
+	var missSum, gflopSum float64
+	for rk := 0; rk < ranks; rk++ {
+		if nnzPrecond[rk] > 0 {
+			missSum += float64(precondRank[rk].CacheMisses) / float64(nnzPrecond[rk])
+		}
+		gflopSum += r.Arch.GFlopsPerProcess(precondRank[rk])
+	}
+	res.MissesPerNNZ = missSum / float64(ranks)
+	res.GFlopsPrecond = gflopSum / float64(ranks)
+	if res.Iterations > 0 {
+		res.CommBytesPerIter = float64(world.Meter().TotalP2PBytes()) / float64(res.Iterations)
+	}
+	r.results[rk] = res
+	return res, nil
+}

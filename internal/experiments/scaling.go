@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fsaicomm/internal/core"
+	"fsaicomm/internal/testsets"
+)
+
+// ScalingRow is one rank count of the strong-scaling sweep.
+type ScalingRow struct {
+	Ranks        int
+	ItersFSAI    int
+	ItersComm    int
+	TimeImpE     float64 // FSAIE vs FSAI, model time
+	TimeImpC     float64 // FSAIE-Comm vs FSAI, model time
+	HaloPct      float64 // FSAI halo unknowns / rows, %
+	BytesPerIter float64 // FSAIE-Comm metered solve traffic per iteration
+}
+
+// RunScaling sweeps the simulated process count for one matrix (an
+// extension of the paper's large-scale §5.5.1 story): as ranks grow, the
+// halo fraction grows, and the gap between FSAIE (local-only extension) and
+// FSAIE-Comm (halo too) widens. Uses the best paper Filter per run with the
+// dynamic strategy.
+func RunScaling(arch func() *Runner, spec testsets.Spec, rankCounts []int) ([]ScalingRow, error) {
+	var out []ScalingRow
+	for _, ranks := range rankCounts {
+		r := arch()
+		rk := ranks
+		r.RanksOf = func(int) int { return rk }
+		base, err := r.Run(spec, core.FSAI, 0, core.StaticFilter)
+		if err != nil {
+			return nil, err
+		}
+		bestE, bestC := 1e18, 1e18
+		var bestCommRes Result
+		for _, f := range PaperFilters {
+			re, err := r.Run(spec, core.FSAIE, f, core.DynamicFilter)
+			if err != nil {
+				return nil, err
+			}
+			rc, err := r.Run(spec, core.FSAIEComm, f, core.DynamicFilter)
+			if err != nil {
+				return nil, err
+			}
+			if re.SolveTime < bestE {
+				bestE = re.SolveTime
+			}
+			if rc.SolveTime < bestC {
+				bestC = rc.SolveTime
+				bestCommRes = rc
+			}
+		}
+		out = append(out, ScalingRow{
+			Ranks:        ranks,
+			ItersFSAI:    base.Iterations,
+			ItersComm:    bestCommRes.Iterations,
+			TimeImpE:     improvementPct(base.SolveTime, bestE),
+			TimeImpC:     improvementPct(base.SolveTime, bestC),
+			HaloPct:      100 * base.CommBytesPerIter / (8 * float64(base.Rows)),
+			BytesPerIter: bestCommRes.CommBytesPerIter,
+		})
+	}
+	return out, nil
+}
+
+// WriteScaling renders the strong-scaling sweep.
+func WriteScaling(w io.Writer, arch func() *Runner, spec testsets.Spec, rankCounts []int) error {
+	rows, err := RunScaling(arch, spec, rankCounts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Strong scaling on %s: FSAIE/FSAIE-Comm vs FSAI (best dynamic Filter)\n", spec.Name)
+	var cells [][]string
+	for _, s := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", s.Ranks),
+			fmt.Sprintf("%d", s.ItersFSAI),
+			fmt.Sprintf("%d", s.ItersComm),
+			fmt.Sprintf("%.2f", s.TimeImpE),
+			fmt.Sprintf("%.2f", s.TimeImpC),
+			fmt.Sprintf("%.2f", s.TimeImpC-s.TimeImpE),
+			fmt.Sprintf("%.0f", s.BytesPerIter),
+		})
+	}
+	writeTable(w, []string{"Ranks", "FSAI iters", "Comm iters",
+		"FSAIE time imp %", "Comm time imp %", "Comm advantage pp", "Bytes/iter"}, cells)
+	fmt.Fprintln(w)
+	return nil
+}

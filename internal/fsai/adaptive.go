@@ -1,0 +1,151 @@
+package fsai
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fsaicomm/internal/dense"
+	"fsaicomm/internal/sparse"
+)
+
+// Adaptive (dynamic-pattern) FSAI in the spirit of Huckle's FSPAI: instead
+// of fixing the sparsity pattern a priori, each row grows its own pattern
+// greedily by the largest entries of the row residual A·g − e. The paper's
+// related-work section positions such dynamic methods as more powerful but
+// costlier and harder to parallelize than static patterns with cache-aware
+// extensions; BuildAdaptive exists as that comparison point (see the
+// BenchmarkAdaptiveSetup ablation).
+
+// AdaptiveOptions configures BuildAdaptive.
+type AdaptiveOptions struct {
+	// Steps is the number of pattern-growth rounds per row. 0 reduces to a
+	// diagonal (Jacobi-like) factor.
+	Steps int
+	// AddPerStep is how many candidate indices join the pattern each round.
+	AddPerStep int
+	// MaxRow caps the final per-row pattern size.
+	MaxRow int
+}
+
+func (o AdaptiveOptions) withDefaults() AdaptiveOptions {
+	if o.Steps <= 0 {
+		o.Steps = 3
+	}
+	if o.AddPerStep <= 0 {
+		o.AddPerStep = 4
+	}
+	if o.MaxRow <= 0 {
+		o.MaxRow = 64
+	}
+	return o
+}
+
+// BuildAdaptive computes an FSAI factor with a per-row adaptively grown
+// pattern. a must be SPD with a symmetric pattern (candidates are found
+// through A's rows).
+func BuildAdaptive(a *sparse.CSR, opt AdaptiveOptions) (*sparse.CSR, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("fsai: adaptive build on non-square matrix")
+	}
+	opt = opt.withDefaults()
+	n := a.Rows
+	rowSets := make([][]int, n)
+	rowVals := make([][]float64, n)
+
+	var buf, rhs []float64
+	for i := 0; i < n; i++ {
+		// Start from the diagonal alone.
+		set := []int{i}
+		var g []float64
+		for step := 0; ; step++ {
+			m := len(set)
+			if cap(buf) < m*m {
+				buf = make([]float64, 2*m*m)
+				rhs = make([]float64, 2*m)
+			}
+			sub := buf[:m*m]
+			a.SubMatrix(set, set, sub)
+			y := rhs[:m]
+			for k := range y {
+				y[k] = 0
+			}
+			y[m-1] = 1 // diagonal position: set is sorted and ends at i
+			if err := dense.SolveSPD(sub, m, y); err != nil {
+				return nil, fmt.Errorf("fsai: adaptive row %d: %w", i, err)
+			}
+			yd := y[m-1]
+			if yd <= 0 || math.IsNaN(yd) {
+				return nil, fmt.Errorf("fsai: adaptive row %d produced non-positive diagonal", i)
+			}
+			scale := 1 / math.Sqrt(yd)
+			g = append(g[:0], y...)
+			for k := range g {
+				g[k] *= scale
+			}
+			if step == opt.Steps || len(set) >= opt.MaxRow {
+				break
+			}
+			// Residual-driven candidates: score j < i, j ∉ set by
+			// |(A·g)_j| = |Σ_k∈set A[j][k]·g[k]|; A symmetric, so walk the
+			// rows of the current set.
+			score := map[int]float64{}
+			inSet := map[int]bool{}
+			for _, k := range set {
+				inSet[k] = true
+			}
+			for ki, k := range set {
+				cols, vals := a.Row(k)
+				for t, j := range cols {
+					if j >= i || inSet[j] {
+						continue
+					}
+					score[j] += vals[t] * g[ki]
+				}
+			}
+			type cand struct {
+				j int
+				s float64
+			}
+			cands := make([]cand, 0, len(score))
+			for j, s := range score {
+				cands = append(cands, cand{j, math.Abs(s)})
+			}
+			if len(cands) == 0 {
+				break
+			}
+			sort.Slice(cands, func(x, y int) bool {
+				if cands[x].s != cands[y].s {
+					return cands[x].s > cands[y].s
+				}
+				return cands[x].j < cands[y].j
+			})
+			add := opt.AddPerStep
+			if add > len(cands) {
+				add = len(cands)
+			}
+			grew := false
+			for _, cd := range cands[:add] {
+				if cd.s == 0 {
+					break
+				}
+				set = append(set, cd.j)
+				grew = true
+			}
+			if !grew {
+				break
+			}
+			sort.Ints(set)
+		}
+		rowSets[i] = set
+		rowVals[i] = append([]float64(nil), g...)
+	}
+
+	out := sparse.NewCSR(n, n, 0)
+	for i := 0; i < n; i++ {
+		out.ColIdx = append(out.ColIdx, rowSets[i]...)
+		out.Val = append(out.Val, rowVals[i]...)
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out, nil
+}

@@ -1,0 +1,338 @@
+// Package fsai implements the Factorized Sparse Approximate Inverse
+// preconditioner (Kolotilina–Yeremin 1993; Chow 2001), the baseline of the
+// paper. Given an SPD matrix A and a lower-triangular sparse pattern S with
+// full diagonal, it computes the factor G with pattern S minimizing
+// ‖I − G·L‖_F (L the Cholesky factor of A), normalized so that
+// diag(G·A·Gᵀ) = 1, so that Gᵀ·G ≈ A⁻¹.
+//
+// Each row is independent: solve A(S_i,S_i)·y = e_pos(i) and set
+// g_i = y/√y_pos — the textbook recipe that never forms L. Rows are tiny
+// dense SPD systems solved with internal/dense (the paper used MKL/OpenBLAS
+// here).
+//
+// The distributed build mirrors the paper's MPI implementation: each process
+// owns a block of rows of A and of S; the rows of A needed for halo columns
+// of S are fetched once from their owners during setup.
+package fsai
+
+import (
+	"fmt"
+	"math"
+
+	"fsaicomm/internal/dense"
+	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/simmpi"
+	"fsaicomm/internal/sparse"
+)
+
+// LowerPattern returns the paper's baseline FSAI pattern: the lower
+// triangular part of A's sparsity pattern with the diagonal guaranteed.
+func LowerPattern(a *sparse.CSR) *sparse.Pattern {
+	return sparse.PatternOf(a).LowerTriangle().WithDiagonal()
+}
+
+// PowerPattern returns the level-N pattern: lower triangle of pattern(Ã^N)
+// where Ã drops entries below tau (scale-independent). Level 1 with tau 0
+// reduces to LowerPattern.
+func PowerPattern(a *sparse.CSR, level int, tau float64) *sparse.Pattern {
+	at := a
+	if tau > 0 {
+		at = sparse.Threshold(a, tau)
+	}
+	return sparse.PatternPower(at, level).LowerTriangle().WithDiagonal()
+}
+
+// Build computes the FSAI factor G of A on the lower-triangular pattern s
+// (serial). The returned matrix has exactly the pattern s.
+func Build(a *sparse.CSR, s *sparse.Pattern) (*sparse.CSR, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("fsai: matrix %dx%d not square", a.Rows, a.Cols)
+	}
+	if s.Rows != a.Rows || s.Cols != a.Cols {
+		return nil, fmt.Errorf("fsai: pattern shape %dx%d does not match matrix", s.Rows, s.Cols)
+	}
+	g := &sparse.CSR{
+		Rows:   s.Rows,
+		Cols:   s.Cols,
+		RowPtr: append([]int(nil), s.RowPtr...),
+		ColIdx: append([]int(nil), s.ColIdx...),
+		Val:    make([]float64, s.NNZ()),
+	}
+	var buf []float64
+	var rhs []float64
+	for i := 0; i < s.Rows; i++ {
+		cols := s.Row(i)
+		if err := checkRowPattern(i, cols); err != nil {
+			return nil, err
+		}
+		m := len(cols)
+		if cap(buf) < m*m {
+			buf = make([]float64, m*m)
+			rhs = make([]float64, m)
+		}
+		sub := buf[:m*m]
+		a.SubMatrix(cols, cols, sub)
+		if err := solveRow(i, sub, m, rhs[:m]); err != nil {
+			return nil, err
+		}
+		copy(g.Val[g.RowPtr[i]:g.RowPtr[i+1]], rhs[:m])
+	}
+	return g, nil
+}
+
+func checkRowPattern(i int, cols []int) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("fsai: row %d has empty pattern", i)
+	}
+	last := cols[len(cols)-1]
+	if last != i {
+		return fmt.Errorf("fsai: row %d pattern must end at the diagonal, ends at %d", i, last)
+	}
+	return nil
+}
+
+// solveRow solves sub·y = e_{m-1} (sub is the SPD restriction, m×m,
+// row-major; the diagonal position of row i is last because the pattern is
+// lower triangular and sorted) and writes the normalized g-row into out.
+func solveRow(i int, sub []float64, m int, out []float64) error {
+	for k := range out {
+		out[k] = 0
+	}
+	out[m-1] = 1
+	if err := dense.SolveSPD(sub, m, out); err != nil {
+		return fmt.Errorf("fsai: row %d local system: %w", i, err)
+	}
+	yd := out[m-1]
+	if yd <= 0 || math.IsNaN(yd) {
+		return fmt.Errorf("fsai: row %d produced non-positive diagonal %g", i, yd)
+	}
+	scale := 1 / math.Sqrt(yd)
+	for k := range out {
+		out[k] *= scale
+	}
+	return nil
+}
+
+// FilterPattern drops entries of g with |g_ij| < filter·|g_ii| (the paper's
+// scale-independent comparison with the diagonal) and returns the surviving
+// pattern. Diagonal entries always survive. filter ≤ 0 keeps every stored
+// position.
+func FilterPattern(g *sparse.CSR, filter float64) *sparse.Pattern {
+	p := &sparse.Pattern{Rows: g.Rows, Cols: g.Cols, RowPtr: make([]int, g.Rows+1)}
+	for i := 0; i < g.Rows; i++ {
+		cols, vals := g.Row(i)
+		diag := 0.0
+		for k, c := range cols {
+			if c == i {
+				diag = math.Abs(vals[k])
+			}
+		}
+		for k, c := range cols {
+			if c == i || math.Abs(vals[k]) >= filter*diag {
+				p.ColIdx = append(p.ColIdx, c)
+			}
+		}
+		p.RowPtr[i+1] = len(p.ColIdx)
+	}
+	return p
+}
+
+// CountFiltered returns how many entries of g survive FilterPattern with the
+// given filter value, without materializing the pattern. Used by the dynamic
+// filtering bisection (Algorithm 4), which probes many filter values.
+func CountFiltered(g *sparse.CSR, filter float64) int64 {
+	var n int64
+	for i := 0; i < g.Rows; i++ {
+		cols, vals := g.Row(i)
+		diag := 0.0
+		for k, c := range cols {
+			if c == i {
+				diag = math.Abs(vals[k])
+			}
+		}
+		for k, c := range cols {
+			if c == i || math.Abs(vals[k]) >= filter*diag {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// BuildFiltered runs the two-pass serial pipeline: compute G on s, filter
+// its small entries, and recompute G on the surviving pattern (Algorithm 2
+// steps 4–5 of the paper, also the "drop and rescale" of Algorithm 1).
+func BuildFiltered(a *sparse.CSR, s *sparse.Pattern, filter float64) (*sparse.CSR, error) {
+	g1, err := Build(a, s)
+	if err != nil {
+		return nil, err
+	}
+	if filter <= 0 {
+		return g1, nil
+	}
+	return Build(a, FilterPattern(g1, filter))
+}
+
+// DistRows is a rank's block of a distributed lower-triangular pattern:
+// local rows [Lo,Hi) with global column indices.
+type DistRows struct {
+	Lo, Hi  int
+	Pattern *sparse.Pattern // Rows = Hi-Lo, Cols = global n
+}
+
+// Validate checks the lower-triangular + diagonal invariants.
+func (d *DistRows) Validate() error {
+	if d.Pattern.Rows != d.Hi-d.Lo {
+		return fmt.Errorf("fsai: DistRows has %d rows, want %d", d.Pattern.Rows, d.Hi-d.Lo)
+	}
+	for li := 0; li < d.Pattern.Rows; li++ {
+		cols := d.Pattern.Row(li)
+		gi := d.Lo + li
+		if len(cols) == 0 || cols[len(cols)-1] != gi {
+			return fmt.Errorf("fsai: global row %d pattern must end at its diagonal", gi)
+		}
+	}
+	return nil
+}
+
+// BuildDist computes this rank's rows of the FSAI factor G on the
+// distributed pattern s. aRows holds the rank's rows of A (global columns).
+// Rows of A required for halo columns of s are gathered from their owners
+// (setup-phase communication). Collective.
+func BuildDist(c *simmpi.Comm, l *distmat.Layout, aRows *sparse.CSR, s *DistRows) (*sparse.CSR, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	lo, hi := s.Lo, s.Hi
+	// Collect the global rows of A needed: every column index in the
+	// pattern (the restriction A(S_i,S_i) reads row k for each k ∈ S_i).
+	needSet := map[int]bool{}
+	var need []int
+	for _, g := range s.Pattern.ColIdx {
+		if !needSet[g] {
+			needSet[g] = true
+			need = append(need, g)
+		}
+	}
+	rows := distmat.GatherRemoteRows(c, l, lo, hi, aRows, need)
+
+	g := &sparse.CSR{
+		Rows:   s.Pattern.Rows,
+		Cols:   s.Pattern.Cols,
+		RowPtr: append([]int(nil), s.Pattern.RowPtr...),
+		ColIdx: append([]int(nil), s.Pattern.ColIdx...),
+		Val:    make([]float64, s.Pattern.NNZ()),
+	}
+	var buf, rhs []float64
+	for li := 0; li < s.Pattern.Rows; li++ {
+		cols := s.Pattern.Row(li)
+		m := len(cols)
+		if cap(buf) < m*m {
+			buf = make([]float64, m*m)
+			rhs = make([]float64, m)
+		}
+		sub := buf[:m*m]
+		gatherSub(rows, cols, sub)
+		if err := solveRow(lo+li, sub, m, rhs[:m]); err != nil {
+			return nil, err
+		}
+		copy(g.Val[g.RowPtr[li]:g.RowPtr[li+1]], rhs[:m])
+	}
+	return g, nil
+}
+
+// gatherSub fills the dense m×m restriction A(cols, cols) from gathered row
+// data. cols is sorted; each row's stored columns are sorted, so a merge
+// walk fills each row in O(row nnz + m).
+func gatherSub(rows map[int]distmat.RowData, cols []int, sub []float64) {
+	m := len(cols)
+	for k := range sub {
+		sub[k] = 0
+	}
+	for ri, gk := range cols {
+		rd, ok := rows[gk]
+		if !ok {
+			panic(fmt.Sprintf("fsai: missing gathered row %d", gk))
+		}
+		a, b := 0, 0
+		for a < len(rd.Cols) && b < m {
+			switch {
+			case rd.Cols[a] < cols[b]:
+				a++
+			case rd.Cols[a] > cols[b]:
+				b++
+			default:
+				sub[ri*m+b] = rd.Vals[a]
+				a++
+				b++
+			}
+		}
+	}
+}
+
+// FilterDist applies the paper's value filtering to a rank's local rows of
+// G (global columns), returning the filtered DistRows pattern. Entries of
+// the protected base pattern (the original S being extended; Algorithm 2
+// filters "entries of S_ext", i.e. extension candidates only) and the
+// diagonal always survive; other entries survive when
+// |g_ij| ≥ filter·|g_ii|. base may be nil to filter every off-diagonal.
+func FilterDist(g *sparse.CSR, lo, hi int, filter float64, base *sparse.Pattern) *DistRows {
+	p := &sparse.Pattern{Rows: g.Rows, Cols: g.Cols, RowPtr: make([]int, g.Rows+1)}
+	for li := 0; li < g.Rows; li++ {
+		gi := lo + li
+		cols, vals := g.Row(li)
+		diag := 0.0
+		for k, c := range cols {
+			if c == gi {
+				diag = math.Abs(vals[k])
+			}
+		}
+		var prot []int
+		if base != nil {
+			prot = base.Row(li)
+		}
+		pi := 0
+		for k, c := range cols {
+			for pi < len(prot) && prot[pi] < c {
+				pi++
+			}
+			protected := pi < len(prot) && prot[pi] == c
+			if c == gi || protected || math.Abs(vals[k]) >= filter*diag {
+				p.ColIdx = append(p.ColIdx, c)
+			}
+		}
+		p.RowPtr[li+1] = len(p.ColIdx)
+	}
+	return &DistRows{Lo: lo, Hi: hi, Pattern: p}
+}
+
+// CountFilteredDist counts the entries FilterDist would keep, without
+// materializing the pattern. Used by the dynamic-filter bisection.
+func CountFilteredDist(g *sparse.CSR, lo int, filter float64, base *sparse.Pattern) int64 {
+	var n int64
+	for li := 0; li < g.Rows; li++ {
+		gi := lo + li
+		cols, vals := g.Row(li)
+		diag := 0.0
+		for k, c := range cols {
+			if c == gi {
+				diag = math.Abs(vals[k])
+			}
+		}
+		var prot []int
+		if base != nil {
+			prot = base.Row(li)
+		}
+		pi := 0
+		for k, c := range cols {
+			for pi < len(prot) && prot[pi] < c {
+				pi++
+			}
+			protected := pi < len(prot) && prot[pi] == c
+			if c == gi || protected || math.Abs(vals[k]) >= filter*diag {
+				n++
+			}
+		}
+	}
+	return n
+}

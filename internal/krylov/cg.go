@@ -1,0 +1,268 @@
+// Package krylov implements the Conjugate Gradient solver of the paper —
+// serial and distributed-memory variants — together with the preconditioner
+// application interfaces the FSAI family plugs into. The distributed solver
+// mirrors the paper's MPI parallelization: the matrix and vectors are
+// distributed by rows, SpMV performs a halo update, and dot products reduce
+// globally.
+package krylov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/simmpi"
+	"fsaicomm/internal/sparse"
+	"fsaicomm/internal/vecops"
+)
+
+// ErrNoConvergence is wrapped by solver errors when the iteration limit is
+// reached before the residual tolerance.
+var ErrNoConvergence = errors.New("krylov: no convergence within iteration limit")
+
+// Options controls a CG solve.
+type Options struct {
+	// Tol is the relative residual reduction target; the paper uses 1e-8
+	// ("reduction of the initial residual by eight orders of magnitude").
+	Tol float64
+	// MaxIter caps iterations. Default 10·n.
+	MaxIter int
+	// RecordResiduals makes Stats.Residuals hold the relative residual
+	// after every iteration (costs one float per iteration).
+	RecordResiduals bool
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10 * n
+		if o.MaxIter < 100 {
+			o.MaxIter = 100
+		}
+	}
+	return o
+}
+
+// Stats reports the outcome of a solve.
+type Stats struct {
+	Iterations  int
+	Converged   bool
+	RelResidual float64 // final ‖r‖/‖r₀‖
+	Flops       int64   // this rank's flops (global flops in serial runs)
+	// Residuals holds the per-iteration relative residuals when
+	// Options.RecordResiduals is set.
+	Residuals []float64
+}
+
+// Preconditioner applies z ← M·r in the serial solver. Implementations must
+// tolerate aliasing-free distinct r and z slices of equal length.
+type Preconditioner interface {
+	Apply(r, z []float64, fc *vecops.FlopCounter)
+}
+
+// Identity is the "no preconditioner" preconditioner.
+type Identity struct{}
+
+// Apply copies r into z.
+func (Identity) Apply(r, z []float64, fc *vecops.FlopCounter) { copy(z, r) }
+
+// Jacobi is diagonal scaling, the cheapest classical baseline.
+type Jacobi struct{ InvDiag []float64 }
+
+// NewJacobi builds a Jacobi preconditioner from the matrix diagonal.
+func NewJacobi(a *sparse.CSR) (*Jacobi, error) {
+	d := a.Diagonal()
+	inv := make([]float64, len(d))
+	for i, v := range d {
+		if v == 0 {
+			return nil, fmt.Errorf("krylov: Jacobi: zero diagonal at %d", i)
+		}
+		inv[i] = 1 / v
+	}
+	return &Jacobi{InvDiag: inv}, nil
+}
+
+// Apply computes z = D⁻¹ r.
+func (j *Jacobi) Apply(r, z []float64, fc *vecops.FlopCounter) {
+	for i := range r {
+		z[i] = r[i] * j.InvDiag[i]
+	}
+	fc.Add(int64(len(r)))
+}
+
+// Split applies the factorized approximate inverse z = Gᵀ(G·r), the
+// preconditioning operation of FSAI/FSAIE/FSAIE-Comm in the serial solver.
+type Split struct {
+	G, GT *sparse.CSR
+	w     []float64
+}
+
+// NewSplit builds the split preconditioner from the FSAI factor G (lower
+// triangular) and its transpose.
+func NewSplit(g, gt *sparse.CSR) *Split {
+	return &Split{G: g, GT: gt, w: make([]float64, g.Rows)}
+}
+
+// Apply computes z = Gᵀ(G·r).
+func (s *Split) Apply(r, z []float64, fc *vecops.FlopCounter) {
+	s.G.MulVec(r, s.w)
+	s.GT.MulVec(s.w, z)
+	fc.Add(2 * int64(s.G.NNZ()+s.GT.NNZ()))
+}
+
+// CG solves A x = b with preconditioned conjugate gradients, starting from
+// the zero initial guess (as the paper's experiments do). x is overwritten
+// with the solution; pass a zeroed slice.
+func CG(a *sparse.CSR, b, x []float64, m Preconditioner, opt Options, fc *vecops.FlopCounter) (Stats, error) {
+	n := a.Rows
+	opt = opt.withDefaults(n)
+	if m == nil {
+		m = Identity{}
+	}
+	r := append([]float64(nil), b...) // r = b - A·0 = b
+	z := make([]float64, n)
+	d := make([]float64, n)
+	q := make([]float64, n)
+
+	norm0 := vecops.Norm2(r, fc)
+	if norm0 == 0 {
+		vecops.Fill(x, 0)
+		return Stats{Iterations: 0, Converged: true, RelResidual: 0, Flops: fc.Count()}, nil
+	}
+	m.Apply(r, z, fc)
+	copy(d, z)
+	rho := vecops.Dot(r, z, fc)
+
+	st := Stats{}
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		a.MulVec(d, q)
+		fc.Add(2 * int64(a.NNZ()))
+		dq := vecops.Dot(d, q, fc)
+		if dq <= 0 || math.IsNaN(dq) {
+			return st, fmt.Errorf("krylov: CG breakdown at iteration %d (dᵀAd = %g); matrix not SPD?", iter, dq)
+		}
+		alpha := rho / dq
+		vecops.Axpy(alpha, d, x, fc)
+		vecops.Axpy(-alpha, q, r, fc)
+		rnorm := vecops.Norm2(r, fc)
+		st.Iterations = iter
+		st.RelResidual = rnorm / norm0
+		if opt.RecordResiduals {
+			st.Residuals = append(st.Residuals, st.RelResidual)
+		}
+		if st.RelResidual <= opt.Tol {
+			st.Converged = true
+			st.Flops = fc.Count()
+			return st, nil
+		}
+		m.Apply(r, z, fc)
+		rhoNew := vecops.Dot(r, z, fc)
+		beta := rhoNew / rho
+		rho = rhoNew
+		vecops.Xpay(z, beta, d, fc)
+	}
+	st.Flops = fc.Count()
+	return st, fmt.Errorf("%w: %d iterations, rel residual %.3e", ErrNoConvergence, st.Iterations, st.RelResidual)
+}
+
+// DistPreconditioner applies z ← M·r on a rank's local slice, communicating
+// as needed. Implementations are collective: every rank must call Apply the
+// same number of times.
+type DistPreconditioner interface {
+	Apply(c *simmpi.Comm, r, z []float64, fc *vecops.FlopCounter)
+}
+
+// DistIdentity is the distributed no-op preconditioner.
+type DistIdentity struct{}
+
+// Apply copies r into z (no communication).
+func (DistIdentity) Apply(c *simmpi.Comm, r, z []float64, fc *vecops.FlopCounter) { copy(z, r) }
+
+// DistSplit applies z = Gᵀ(G·r) with distributed G and Gᵀ, each with its own
+// halo plan — the two preconditioning SpMVs of the paper.
+type DistSplit struct {
+	G, GT  *distmat.Op
+	wG     *distmat.DistVec
+	wGT    *distmat.DistVec
+	interm []float64
+}
+
+// NewDistSplit builds the distributed split preconditioner from the local
+// operators for G and Gᵀ.
+func NewDistSplit(g, gt *distmat.Op) *DistSplit {
+	return &DistSplit{
+		G:      g,
+		GT:     gt,
+		wG:     distmat.NewDistVec(g.LZ),
+		wGT:    distmat.NewDistVec(gt.LZ),
+		interm: make([]float64, g.LZ.NLocal()),
+	}
+}
+
+// Apply computes the local slice of z = Gᵀ(G·r).
+func (s *DistSplit) Apply(c *simmpi.Comm, r, z []float64, fc *vecops.FlopCounter) {
+	s.G.MulVec(c, r, s.interm, s.wG, fc)
+	s.GT.MulVec(c, s.interm, z, s.wGT, fc)
+}
+
+// DistCG solves A x = b in the distributed setting. Every rank passes its
+// local slices of b and x (x zeroed); all ranks receive identical Stats.
+// The operator op must be built over the same layout as b/x.
+func DistCG(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreconditioner, opt Options, fc *vecops.FlopCounter) (Stats, error) {
+	nl := op.LZ.NLocal()
+	nGlobal := int(c.AllreduceSumInt64(int64(nl))[0])
+	opt = opt.withDefaults(nGlobal)
+	if m == nil {
+		m = DistIdentity{}
+	}
+	if len(b) != nl || len(x) != nl {
+		panic(fmt.Sprintf("krylov: DistCG local length %d/%d, want %d", len(b), len(x), nl))
+	}
+	r := append([]float64(nil), b...)
+	z := make([]float64, nl)
+	d := make([]float64, nl)
+	q := make([]float64, nl)
+	scratch := distmat.NewDistVec(op.LZ)
+
+	norm0 := distmat.Norm2(c, r, fc)
+	if norm0 == 0 {
+		vecops.Fill(x, 0)
+		return Stats{Converged: true}, nil
+	}
+	m.Apply(c, r, z, fc)
+	copy(d, z)
+	rho := distmat.Dot(c, r, z, fc)
+
+	st := Stats{}
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		op.MulVec(c, d, q, scratch, fc)
+		dq := distmat.Dot(c, d, q, fc)
+		if dq <= 0 || math.IsNaN(dq) {
+			return st, fmt.Errorf("krylov: DistCG breakdown at iteration %d (dᵀAd = %g)", iter, dq)
+		}
+		alpha := rho / dq
+		vecops.Axpy(alpha, d, x, fc)
+		vecops.Axpy(-alpha, q, r, fc)
+		rnorm := distmat.Norm2(c, r, fc)
+		st.Iterations = iter
+		st.RelResidual = rnorm / norm0
+		if opt.RecordResiduals {
+			st.Residuals = append(st.Residuals, st.RelResidual)
+		}
+		if st.RelResidual <= opt.Tol {
+			st.Converged = true
+			st.Flops = fc.Count()
+			return st, nil
+		}
+		m.Apply(c, r, z, fc)
+		rhoNew := distmat.Dot(c, r, z, fc)
+		beta := rhoNew / rho
+		rho = rhoNew
+		vecops.Xpay(z, beta, d, fc)
+	}
+	st.Flops = fc.Count()
+	return st, fmt.Errorf("%w: %d iterations, rel residual %.3e", ErrNoConvergence, st.Iterations, st.RelResidual)
+}

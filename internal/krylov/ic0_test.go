@@ -1,0 +1,211 @@
+package krylov
+
+import (
+	"math"
+	"testing"
+
+	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/matgen"
+	"fsaicomm/internal/simmpi"
+	"fsaicomm/internal/sparse"
+)
+
+func TestIC0ExactOnTridiagonal(t *testing.T) {
+	// For a tridiagonal SPD matrix the lower-triangular pattern holds the
+	// full Cholesky factor, so IC(0) is exact: PCG converges in one or two
+	// iterations.
+	n := 50
+	c := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 4)
+		if i > 0 {
+			c.AddSym(i, i-1, -1)
+		}
+	}
+	a := c.ToCSR()
+	ic, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := matgen.RandomRHS(n, 1, a.MaxNorm())
+	x := make([]float64, n)
+	st, err := CG(a, b, x, ic, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations > 2 {
+		t.Fatalf("exact factorization took %d iterations", st.Iterations)
+	}
+}
+
+func TestIC0FactorIsExactCholeskyOnFullPattern(t *testing.T) {
+	// Verify L·Lᵀ reproduces a tridiagonal A exactly.
+	n := 10
+	c := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 3)
+		if i > 0 {
+			c.AddSym(i, i-1, -1)
+		}
+	}
+	a := c.ToCSR()
+	ic, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ic.L.Dense()
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := 0.0
+			for k := 0; k <= j; k++ {
+				s += l[i][k] * l[j][k]
+			}
+			if math.Abs(s-a.At(i, j)) > 1e-12 {
+				t.Fatalf("LLᵀ(%d,%d) = %v, want %v", i, j, s, a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestIC0ReducesIterations(t *testing.T) {
+	a := matgen.Poisson2D(20, 20)
+	b := matgen.RandomRHS(a.Rows, 2, a.MaxNorm())
+	x1 := make([]float64, a.Rows)
+	plain, err := CG(a, b, x1, nil, Options{MaxIter: 100000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2 := make([]float64, a.Rows)
+	pre, err := CG(a, b, x2, ic, Options{MaxIter: 100000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Iterations >= plain.Iterations/2 {
+		t.Fatalf("IC(0) %d iterations vs plain %d: too weak", pre.Iterations, plain.Iterations)
+	}
+}
+
+func TestIC0RejectsRectangular(t *testing.T) {
+	if _, err := NewIC0(sparse.NewCSR(2, 3, 0)); err == nil {
+		t.Fatal("rectangular accepted")
+	}
+}
+
+func TestIC0ShiftRecovery(t *testing.T) {
+	// A matrix where plain IC(0) breaks down but a shifted retry succeeds:
+	// strongly nonsymmetric-dominance SPD matrix built as BᵀB with wide
+	// off-diagonal mass. Construct a small SPD matrix with weak diagonal.
+	n := 30
+	c := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 1.0)
+		if i > 0 {
+			c.AddSym(i, i-1, -0.6)
+		}
+		if i > 4 {
+			c.AddSym(i, i-5, -0.55)
+		}
+	}
+	a := c.ToCSR()
+	// This matrix may or may not be SPD; only require that NewIC0 either
+	// fails cleanly or produces a usable preconditioner.
+	ic, err := NewIC0(a)
+	if err != nil {
+		t.Skipf("matrix rejected cleanly: %v", err)
+	}
+	z := make([]float64, n)
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = 1
+	}
+	ic.Apply(r, z, nil)
+	for _, v := range z {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("Apply produced non-finite values")
+		}
+	}
+}
+
+func TestBlockJacobiICDistributed(t *testing.T) {
+	a := matgen.Poisson2D(16, 16)
+	n := a.Rows
+	b := matgen.RandomRHS(n, 3, a.MaxNorm())
+	plainIters := 0
+	{
+		x := make([]float64, n)
+		st, err := CG(a, b, x, nil, Options{MaxIter: 100000}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainIters = st.Iterations
+	}
+	for _, nranks := range []int{2, 4} {
+		l := distmat.NewUniformLayout(n, nranks)
+		iters := 0
+		_, err := simmpi.Run(nranks, testTimeout, func(c *simmpi.Comm) error {
+			lo, hi := l.Range(c.Rank())
+			aRows := distmat.ExtractLocalRows(a, lo, hi)
+			bj, err := NewBlockJacobiIC(aRows, lo, hi)
+			if err != nil {
+				return err
+			}
+			op := distmat.NewOp(c, l, lo, hi, aRows)
+			x := make([]float64, hi-lo)
+			st, err := DistCG(c, op, b[lo:hi], x, bj, Options{MaxIter: 100000}, nil)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				iters = st.Iterations
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("nranks=%d: %v", nranks, err)
+		}
+		if iters >= plainIters {
+			t.Fatalf("nranks=%d: block-Jacobi %d iterations not below plain %d", nranks, iters, plainIters)
+		}
+	}
+}
+
+func TestBlockJacobiDegradesWithRanks(t *testing.T) {
+	// The classical weakness: more blocks = weaker preconditioner. This is
+	// the contrast with FSAI-family methods whose quality is rank-invariant.
+	a := matgen.Poisson2D(20, 20)
+	n := a.Rows
+	b := matgen.RandomRHS(n, 4, a.MaxNorm())
+	itersAt := func(nranks int) int {
+		l := distmat.NewUniformLayout(n, nranks)
+		iters := 0
+		_, err := simmpi.Run(nranks, testTimeout, func(c *simmpi.Comm) error {
+			lo, hi := l.Range(c.Rank())
+			aRows := distmat.ExtractLocalRows(a, lo, hi)
+			bj, err := NewBlockJacobiIC(aRows, lo, hi)
+			if err != nil {
+				return err
+			}
+			op := distmat.NewOp(c, l, lo, hi, aRows)
+			x := make([]float64, hi-lo)
+			st, err := DistCG(c, op, b[lo:hi], x, bj, Options{MaxIter: 100000}, nil)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				iters = st.Iterations
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return iters
+	}
+	if i2, i8 := itersAt(2), itersAt(8); i8 <= i2 {
+		t.Fatalf("block-Jacobi did not degrade: %d iters at 2 ranks vs %d at 8", i2, i8)
+	}
+}

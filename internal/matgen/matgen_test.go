@@ -1,0 +1,353 @@
+package matgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fsaicomm/internal/sparse"
+)
+
+// checkSPD verifies symmetry and positive definiteness (via dense Cholesky
+// logic: leading principal minors through Gaxpy-Cholesky) for small n.
+func checkSPD(t *testing.T, name string, a *sparse.CSR) {
+	t.Helper()
+	if a.Rows != a.Cols {
+		t.Fatalf("%s: not square", name)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("%s: invalid CSR: %v", name, err)
+	}
+	if !a.IsSymmetric(1e-12) {
+		t.Fatalf("%s: not symmetric", name)
+	}
+	n := a.Rows
+	if n > 600 {
+		t.Fatalf("%s: checkSPD matrix too large (%d)", name, n)
+	}
+	d := a.Dense()
+	// In-place dense Cholesky; fails on non-PD.
+	for j := 0; j < n; j++ {
+		diag := d[j][j]
+		for k := 0; k < j; k++ {
+			diag -= d[j][k] * d[j][k]
+		}
+		if diag <= 0 {
+			t.Fatalf("%s: not positive definite (pivot %d = %g)", name, j, diag)
+		}
+		diag = math.Sqrt(diag)
+		d[j][j] = diag
+		for i := j + 1; i < n; i++ {
+			s := d[i][j]
+			for k := 0; k < j; k++ {
+				s -= d[i][k] * d[j][k]
+			}
+			d[i][j] = s / diag
+		}
+	}
+}
+
+func TestPoisson2DSPD(t *testing.T) {
+	a := Poisson2D(7, 9)
+	if a.Rows != 63 {
+		t.Fatalf("rows = %d", a.Rows)
+	}
+	checkSPD(t, "poisson2d", a)
+	// Interior row has 5 entries.
+	if a.RowNNZ(7+3) == 5 {
+		// fine
+	}
+}
+
+func TestPoisson3DSPD(t *testing.T) {
+	a := Poisson3D(4, 5, 3)
+	if a.Rows != 60 {
+		t.Fatalf("rows = %d", a.Rows)
+	}
+	checkSPD(t, "poisson3d", a)
+	// Fully interior node (if any) has 7 entries; check the center node of
+	// a 5x5x5 grid instead.
+	b := Poisson3D(5, 5, 5)
+	center := (2*5+2)*5 + 2
+	if b.RowNNZ(center) != 7 {
+		t.Fatalf("center row nnz = %d, want 7", b.RowNNZ(center))
+	}
+}
+
+func TestThermalAnisoSPD(t *testing.T) {
+	a := ThermalAniso(10, 10, 1, 100)
+	checkSPD(t, "thermal", a)
+	if a.At(0, 1) != -1 || a.At(0, 10) != -100 {
+		t.Fatalf("anisotropy not applied: %v %v", a.At(0, 1), a.At(0, 10))
+	}
+}
+
+func TestThermalAnisoRejectsBadConductivity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ThermalAniso(3, 3, 0, 1)
+}
+
+func TestElasticity2DSPD(t *testing.T) {
+	a := Elasticity2D(8, 8, 3)
+	// Q4 FEM: (nx+1)*(ny+1) nodes minus the clamped x=0 column, 2 dof each.
+	if want := 2 * 8 * 9; a.Rows != want {
+		t.Fatalf("rows = %d, want %d", a.Rows, want)
+	}
+	checkSPD(t, "elasticity", a)
+}
+
+func TestShell2DSPDAndWideStencil(t *testing.T) {
+	a := Shell2D(9, 9)
+	checkSPD(t, "shell", a)
+	// Interior node (4,4) must have the full 13-point stencil.
+	i := 4*9 + 4
+	if a.RowNNZ(i) != 13 {
+		t.Fatalf("interior stencil nnz = %d, want 13", a.RowNNZ(i))
+	}
+}
+
+func TestCircuitLaplacianSPDAndIrregular(t *testing.T) {
+	a := CircuitLaplacian(200, 6, 42)
+	checkSPD(t, "circuit", a)
+	// Degree distribution must be irregular: max degree well above average.
+	maxDeg, sumDeg := 0, 0
+	for i := 0; i < a.Rows; i++ {
+		d := a.RowNNZ(i) - 1
+		sumDeg += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(sumDeg) / float64(a.Rows)
+	if float64(maxDeg) < 2.5*avg {
+		t.Fatalf("degree distribution too regular: max %d vs avg %.1f", maxDeg, avg)
+	}
+}
+
+func TestCFDDiffusionSPD(t *testing.T) {
+	a := CFDDiffusion(12, 12, 1000, 7)
+	checkSPD(t, "cfd", a)
+	// Coefficient contrast should show up in the entry range.
+	min, max := math.Inf(1), 0.0
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			if j != i {
+				v := math.Abs(vals[k])
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+			}
+		}
+	}
+	if max/min < 10 {
+		t.Fatalf("coefficient contrast too low: %g", max/min)
+	}
+}
+
+func TestElectromagneticsSPD(t *testing.T) {
+	a := Electromagnetics(150, 3, 5)
+	checkSPD(t, "emag", a)
+}
+
+func TestModelReductionSPDAndBanded(t *testing.T) {
+	a := ModelReduction(100, 10, 2, 9)
+	checkSPD(t, "modelred", a)
+	// Band must be present.
+	if !a.Has(50, 55) || !a.Has(50, 45) {
+		t.Fatal("band missing")
+	}
+}
+
+func TestAcousticsSPDWellConditioned(t *testing.T) {
+	a := Acoustics(10, 10, 50)
+	checkSPD(t, "acoustics", a)
+	// Strong diagonal shift: diag dominates row sums by far.
+	if a.At(0, 0) < 50 {
+		t.Fatalf("shift not applied: %v", a.At(0, 0))
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Elasticity2D(6, 6, 11)
+	b := Elasticity2D(6, 6, 11)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("nondeterministic structure")
+	}
+	for k := range a.Val {
+		if a.Val[k] != b.Val[k] {
+			t.Fatal("nondeterministic values")
+		}
+	}
+	c := CircuitLaplacian(100, 5, 1)
+	d := CircuitLaplacian(100, 5, 2)
+	if c.NNZ() == d.NNZ() {
+		sameVals := true
+		for k := range c.Val {
+			if k < len(d.Val) && c.Val[k] != d.Val[k] {
+				sameVals = false
+				break
+			}
+		}
+		if sameVals {
+			t.Fatal("different seeds gave identical matrices")
+		}
+	}
+}
+
+func TestRandomRHSNormalization(t *testing.T) {
+	b := RandomRHS(1000, 3, 42.5)
+	maxAbs := 0.0
+	for _, v := range b {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if math.Abs(maxAbs-42.5) > 1e-9 {
+		t.Fatalf("max |b| = %v, want 42.5", maxAbs)
+	}
+	// Deterministic.
+	b2 := RandomRHS(1000, 3, 42.5)
+	for i := range b {
+		if b[i] != b2[i] {
+			t.Fatal("RHS not deterministic")
+		}
+	}
+	// Zero norm edge case.
+	z := RandomRHS(5, 1, 0)
+	if len(z) != 5 {
+		t.Fatal("zero-norm RHS wrong length")
+	}
+}
+
+// Property: every generator family yields symmetric diagonally-nonnegative
+// matrices across random parameters.
+func TestQuickGeneratorsSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nx, ny := 3+rng.Intn(8), 3+rng.Intn(8)
+		mats := []*sparse.CSR{
+			Poisson2D(nx, ny),
+			ThermalAniso(nx, ny, 1+rng.Float64()*10, 1+rng.Float64()*10),
+			Elasticity2D(nx, ny, seed),
+			Shell2D(nx+2, ny+2),
+			CircuitLaplacian(20+rng.Intn(50), 4, seed),
+			CFDDiffusion(nx, ny, 10+rng.Float64()*100, seed),
+			Electromagnetics(20+rng.Intn(40), 3, seed),
+			ModelReduction(20+rng.Intn(50), 3+rng.Intn(5), 1, seed),
+			Acoustics(nx, ny, rng.Float64()*10),
+		}
+		for _, m := range mats {
+			if !m.IsSymmetric(1e-12) {
+				return false
+			}
+			for i := 0; i < m.Rows; i++ {
+				if m.At(i, i) <= 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiagShift(t *testing.T) {
+	a := Poisson2D(4, 4)
+	s := DiagShift(a, 3)
+	if s.At(0, 0) != a.At(0, 0)+3 {
+		t.Fatalf("shift not applied")
+	}
+	if s.At(0, 1) != a.At(0, 1) {
+		t.Fatalf("off-diagonal changed")
+	}
+	if a.At(0, 0) != 4 {
+		t.Fatalf("original mutated")
+	}
+}
+
+func TestImbalancedMeshSPDAndImbalanced(t *testing.T) {
+	a := ImbalancedMesh(15, 15, 0.25, 8, 3)
+	checkSPD(t, "imbalanced", a)
+	n := a.Rows
+	// The first quarter of the rows must be much denser than the rest.
+	denseN := n / 4
+	var denseNNZ, restNNZ int
+	for i := 0; i < n; i++ {
+		if i < denseN {
+			denseNNZ += a.RowNNZ(i)
+		} else {
+			restNNZ += a.RowNNZ(i)
+		}
+	}
+	denseAvg := float64(denseNNZ) / float64(denseN)
+	restAvg := float64(restNNZ) / float64(n-denseN)
+	if denseAvg < 2*restAvg {
+		t.Fatalf("dense region avg %.1f not ≫ rest avg %.1f", denseAvg, restAvg)
+	}
+}
+
+func TestQ4ElementRigidBodyModes(t *testing.T) {
+	// The unit plane-stress element stiffness must be symmetric, PSD, and
+	// annihilate the three rigid-body modes (two translations + rotation).
+	ke := q4PlaneStress(0.3)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if math.Abs(ke[i][j]-ke[j][i]) > 1e-12 {
+				t.Fatalf("ke not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Node coordinates of the unit element in assembly order.
+	xs := []float64{0, 1, 1, 0}
+	ys := []float64{0, 0, 1, 1}
+	modes := [][]float64{
+		{1, 0, 1, 0, 1, 0, 1, 0}, // x translation
+		{0, 1, 0, 1, 0, 1, 0, 1}, // y translation
+		nil,                      // rotation filled below
+	}
+	rot := make([]float64, 8)
+	for n := 0; n < 4; n++ {
+		rot[2*n] = -ys[n]
+		rot[2*n+1] = xs[n]
+	}
+	modes[2] = rot
+	for mi, mode := range modes {
+		for i := 0; i < 8; i++ {
+			s := 0.0
+			for j := 0; j < 8; j++ {
+				s += ke[i][j] * mode[j]
+			}
+			if math.Abs(s) > 1e-10 {
+				t.Fatalf("rigid mode %d not in null space: (ke·m)[%d] = %g", mi, i, s)
+			}
+		}
+	}
+	// PSD: xᵀ ke x ≥ 0 for random x.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		var x [8]float64
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		q := 0.0
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				q += x[i] * ke[i][j] * x[j]
+			}
+		}
+		if q < -1e-10 {
+			t.Fatalf("element energy negative: %g", q)
+		}
+	}
+}

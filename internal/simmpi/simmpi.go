@@ -1,0 +1,509 @@
+// Package simmpi is an in-process message-passing runtime that stands in for
+// MPI in the FSAIE-Comm reproduction. Ranks run as goroutines inside one OS
+// process and exchange messages over Go channels.
+//
+// The runtime provides the subset of MPI the paper's solver needs —
+// point-to-point sends/receives with tags, and the collectives Barrier,
+// Allreduce, Allgather and Bcast — and, crucially, it meters every byte that
+// crosses rank boundaries. The paper's central communication claim (the
+// FSAIE-Comm pattern extension leaves the halo-exchange neighbour sets and
+// volumes untouched) is verified against this meter rather than against
+// wall-clock timings.
+package simmpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// message is a tagged point-to-point payload. Exactly one of f64 and ints is
+// non-nil.
+type message struct {
+	src, tag int
+	f64      []float64
+	ints     []int
+}
+
+// World is a communication universe of Size ranks. Create one with NewWorld
+// and derive per-rank communicators with Comm.
+type World struct {
+	size    int
+	timeout time.Duration
+	meter   *Meter
+	// p2p[dst][src] carries messages from src to dst; per-pair channels keep
+	// message order deterministic per sender as MPI guarantees.
+	p2p [][]chan message
+	// Collective rendezvous: every rank sends its contribution to the root
+	// goroutine slot and receives the result back.
+	collUp   []chan collMsg
+	collDown []chan collMsg
+}
+
+type collMsg struct {
+	op   string
+	f64  []float64
+	i64  []int64
+	ints []int
+}
+
+// NewWorld creates a world with the given number of ranks. timeout bounds
+// every blocking receive and collective; zero means block forever. A small
+// timeout turns would-be deadlocks into explicit panics in tests.
+func NewWorld(size int, timeout time.Duration) *World {
+	if size < 1 {
+		panic(fmt.Sprintf("simmpi: world size %d < 1", size))
+	}
+	w := &World{
+		size:     size,
+		timeout:  timeout,
+		meter:    NewMeter(size),
+		p2p:      make([][]chan message, size),
+		collUp:   make([]chan collMsg, size),
+		collDown: make([]chan collMsg, size),
+	}
+	for d := 0; d < size; d++ {
+		w.p2p[d] = make([]chan message, size)
+		for s := 0; s < size; s++ {
+			// Each protocol phase posts at most a few messages per pair
+			// before draining; a small buffer keeps worlds cheap (they are
+			// created per solve in the experiment sweeps).
+			w.p2p[d][s] = make(chan message, 64)
+		}
+		w.collUp[d] = make(chan collMsg, 1)
+		w.collDown[d] = make(chan collMsg, 1)
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Meter returns the world's traffic meter.
+func (w *World) Meter() *Meter { return w.meter }
+
+// Comm returns the communicator for the given rank.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("simmpi: rank %d outside [0,%d)", rank, w.size))
+	}
+	return &Comm{w: w, rank: rank}
+}
+
+// Run spawns fn on every rank of a fresh world and waits for all of them.
+// Panics inside a rank are recovered and returned as errors; the first
+// non-nil error wins. The world is returned so callers can inspect the
+// traffic meter afterwards.
+func Run(size int, timeout time.Duration, fn func(c *Comm) error) (*World, error) {
+	w := NewWorld(size, timeout)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("simmpi: rank %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = fn(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return w, err
+		}
+	}
+	return w, nil
+}
+
+// Comm is one rank's handle on a World. A Comm is confined to its rank's
+// goroutine; distinct Comms may be used concurrently.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.size }
+
+// Meter returns the world's shared traffic meter.
+func (c *Comm) Meter() *Meter { return c.w.meter }
+
+func (c *Comm) checkPeer(peer int) {
+	if peer < 0 || peer >= c.w.size {
+		panic(fmt.Sprintf("simmpi: rank %d addressed invalid peer %d", c.rank, peer))
+	}
+	if peer == c.rank {
+		panic(fmt.Sprintf("simmpi: rank %d attempted self-send", c.rank))
+	}
+}
+
+// SendFloats sends a copy of data to dst with the given tag.
+func (c *Comm) SendFloats(dst, tag int, data []float64) {
+	c.checkPeer(dst)
+	payload := append([]float64(nil), data...)
+	c.w.meter.record(c.rank, dst, 8*len(data))
+	c.w.p2p[dst][c.rank] <- message{src: c.rank, tag: tag, f64: payload}
+}
+
+// SendInts sends a copy of data to dst with the given tag.
+func (c *Comm) SendInts(dst, tag int, data []int) {
+	c.checkPeer(dst)
+	payload := append([]int(nil), data...)
+	c.w.meter.record(c.rank, dst, 8*len(data))
+	c.w.p2p[dst][c.rank] <- message{src: c.rank, tag: tag, ints: payload}
+}
+
+func (c *Comm) recv(src, tag int) message {
+	c.checkPeer(src)
+	ch := c.w.p2p[c.rank][src]
+	var m message
+	if c.w.timeout > 0 {
+		select {
+		case m = <-ch:
+		case <-time.After(c.w.timeout):
+			panic(fmt.Sprintf("simmpi: rank %d timed out receiving tag %d from %d (deadlock?)", c.rank, tag, src))
+		}
+	} else {
+		m = <-ch
+	}
+	if m.tag != tag {
+		panic(fmt.Sprintf("simmpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag))
+	}
+	return m
+}
+
+// RecvFloats receives a float payload from src with the given tag. Messages
+// from one sender arrive in send order; mismatched tags panic (the solver
+// uses strictly ordered phases, so a mismatch is a protocol bug).
+func (c *Comm) RecvFloats(src, tag int) []float64 {
+	m := c.recv(src, tag)
+	if m.f64 == nil && m.ints != nil {
+		panic(fmt.Sprintf("simmpi: rank %d expected floats from %d tag %d, got ints", c.rank, src, tag))
+	}
+	return m.f64
+}
+
+// RecvInts receives an int payload from src with the given tag.
+func (c *Comm) RecvInts(src, tag int) []int {
+	m := c.recv(src, tag)
+	if m.ints == nil && m.f64 != nil {
+		panic(fmt.Sprintf("simmpi: rank %d expected ints from %d tag %d, got floats", c.rank, src, tag))
+	}
+	return m.ints
+}
+
+// collective performs a gather-to-root / broadcast rendezvous. All ranks
+// must call the same op in the same order; op mismatches panic.
+func (c *Comm) collective(op string, contrib collMsg) collMsg {
+	contrib.op = op
+	w := c.w
+	if c.rank == 0 {
+		parts := make([]collMsg, w.size)
+		parts[0] = contrib
+		for r := 1; r < w.size; r++ {
+			parts[r] = c.collRecv(w.collUp[r], op, r)
+		}
+		result := reduceColl(op, parts)
+		for r := 1; r < w.size; r++ {
+			w.collDown[r] <- result
+		}
+		return result
+	}
+	w.collUp[c.rank] <- contrib
+	return c.collRecv(w.collDown[c.rank], op, 0)
+}
+
+func (c *Comm) collRecv(ch chan collMsg, op string, from int) collMsg {
+	var m collMsg
+	if c.w.timeout > 0 {
+		select {
+		case m = <-ch:
+		case <-time.After(c.w.timeout):
+			panic(fmt.Sprintf("simmpi: rank %d timed out in collective %q waiting for rank %d", c.rank, op, from))
+		}
+	} else {
+		m = <-ch
+	}
+	if m.op != op {
+		panic(fmt.Sprintf("simmpi: rank %d collective mismatch: in %q, rank %d sent %q", c.rank, op, from, m.op))
+	}
+	return m
+}
+
+func reduceColl(op string, parts []collMsg) collMsg {
+	out := collMsg{op: op}
+	switch op {
+	case "barrier":
+	case "allreduce-sum":
+		out.f64 = make([]float64, len(parts[0].f64))
+		for _, p := range parts {
+			for i, v := range p.f64 {
+				out.f64[i] += v
+			}
+		}
+	case "allreduce-max":
+		out.f64 = append([]float64(nil), parts[0].f64...)
+		for _, p := range parts[1:] {
+			for i, v := range p.f64 {
+				if v > out.f64[i] {
+					out.f64[i] = v
+				}
+			}
+		}
+	case "allreduce-min":
+		out.f64 = append([]float64(nil), parts[0].f64...)
+		for _, p := range parts[1:] {
+			for i, v := range p.f64 {
+				if v < out.f64[i] {
+					out.f64[i] = v
+				}
+			}
+		}
+	case "allreduce-sum-i64":
+		out.i64 = make([]int64, len(parts[0].i64))
+		for _, p := range parts {
+			for i, v := range p.i64 {
+				out.i64[i] += v
+			}
+		}
+	case "allreduce-max-i64":
+		out.i64 = append([]int64(nil), parts[0].i64...)
+		for _, p := range parts[1:] {
+			for i, v := range p.i64 {
+				if v > out.i64[i] {
+					out.i64[i] = v
+				}
+			}
+		}
+	case "allgather-i64":
+		for _, p := range parts {
+			out.i64 = append(out.i64, p.i64...)
+		}
+	case "allgather-f64":
+		for _, p := range parts {
+			out.f64 = append(out.f64, p.f64...)
+		}
+	case "allgather-int":
+		for _, p := range parts {
+			out.ints = append(out.ints, p.ints...)
+		}
+	case "bcast":
+		out = parts[0]
+		out.op = op
+	default:
+		panic("simmpi: unknown collective op " + op)
+	}
+	return out
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	c.collective("barrier", collMsg{})
+}
+
+// AllreduceSum returns the element-wise sum of vals over all ranks.
+// The result slice is shared between ranks; callers must not mutate it.
+func (c *Comm) AllreduceSum(vals ...float64) []float64 {
+	c.meterCollective(8 * len(vals))
+	return c.collective("allreduce-sum", collMsg{f64: vals}).f64
+}
+
+// AllreduceMax returns the element-wise max of vals over all ranks.
+func (c *Comm) AllreduceMax(vals ...float64) []float64 {
+	c.meterCollective(8 * len(vals))
+	return c.collective("allreduce-max", collMsg{f64: vals}).f64
+}
+
+// AllreduceMin returns the element-wise min of vals over all ranks.
+func (c *Comm) AllreduceMin(vals ...float64) []float64 {
+	c.meterCollective(8 * len(vals))
+	return c.collective("allreduce-min", collMsg{f64: vals}).f64
+}
+
+// AllreduceSumInt64 returns the element-wise sum of vals over all ranks.
+func (c *Comm) AllreduceSumInt64(vals ...int64) []int64 {
+	c.meterCollective(8 * len(vals))
+	return c.collective("allreduce-sum-i64", collMsg{i64: vals}).i64
+}
+
+// AllreduceMaxInt64 returns the element-wise max of vals over all ranks.
+func (c *Comm) AllreduceMaxInt64(vals ...int64) []int64 {
+	c.meterCollective(8 * len(vals))
+	return c.collective("allreduce-max-i64", collMsg{i64: vals}).i64
+}
+
+// AllgatherInt64 concatenates every rank's vals in rank order.
+func (c *Comm) AllgatherInt64(vals []int64) []int64 {
+	c.meterCollective(8 * len(vals))
+	return c.collective("allgather-i64", collMsg{i64: vals}).i64
+}
+
+// AllgatherFloats concatenates every rank's vals in rank order.
+func (c *Comm) AllgatherFloats(vals []float64) []float64 {
+	c.meterCollective(8 * len(vals))
+	return c.collective("allgather-f64", collMsg{f64: vals}).f64
+}
+
+// AllgatherInt concatenates every rank's vals in rank order.
+func (c *Comm) AllgatherInt(vals []int) []int {
+	c.meterCollective(8 * len(vals))
+	return c.collective("allgather-int", collMsg{ints: vals}).ints
+}
+
+// BcastFloats distributes root's vals to every rank. Non-root callers pass
+// their (ignored) local slice; the broadcast value is returned everywhere.
+func (c *Comm) BcastFloats(root int, vals []float64) []float64 {
+	if root != 0 {
+		// The rendezvous always reduces at rank 0; rotate via a send.
+		panic("simmpi: BcastFloats currently supports root 0 only")
+	}
+	if c.rank == root {
+		c.meterCollective(8 * len(vals))
+	}
+	return c.collective("bcast", collMsg{f64: vals}).f64
+}
+
+// meterCollective charges a collective's payload as size-1 point-to-point
+// messages from this rank (a flat cost model; the experiments only compare
+// collective counts between methods, which are identical by construction).
+func (c *Comm) meterCollective(bytes int) {
+	c.w.meter.recordCollective(c.rank, bytes)
+}
+
+// Meter accumulates communication statistics. Safe for concurrent use.
+type Meter struct {
+	mu        sync.Mutex
+	size      int
+	pairBytes [][]int64
+	pairMsgs  [][]int64
+	collBytes []int64
+	collOps   []int64
+}
+
+// NewMeter returns a meter for the given world size.
+func NewMeter(size int) *Meter {
+	m := &Meter{
+		size:      size,
+		pairBytes: make([][]int64, size),
+		pairMsgs:  make([][]int64, size),
+		collBytes: make([]int64, size),
+		collOps:   make([]int64, size),
+	}
+	for i := 0; i < size; i++ {
+		m.pairBytes[i] = make([]int64, size)
+		m.pairMsgs[i] = make([]int64, size)
+	}
+	return m
+}
+
+func (m *Meter) record(src, dst, bytes int) {
+	m.mu.Lock()
+	m.pairBytes[src][dst] += int64(bytes)
+	m.pairMsgs[src][dst]++
+	m.mu.Unlock()
+}
+
+func (m *Meter) recordCollective(rank, bytes int) {
+	m.mu.Lock()
+	m.collBytes[rank] += int64(bytes)
+	m.collOps[rank]++
+	m.mu.Unlock()
+}
+
+// Reset zeroes all counters.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := 0; i < m.size; i++ {
+		for j := 0; j < m.size; j++ {
+			m.pairBytes[i][j] = 0
+			m.pairMsgs[i][j] = 0
+		}
+		m.collBytes[i] = 0
+		m.collOps[i] = 0
+	}
+}
+
+// TotalP2PBytes returns the total point-to-point bytes sent.
+func (m *Meter) TotalP2PBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var s int64
+	for i := range m.pairBytes {
+		for _, b := range m.pairBytes[i] {
+			s += b
+		}
+	}
+	return s
+}
+
+// TotalP2PMessages returns the total point-to-point message count.
+func (m *Meter) TotalP2PMessages() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var s int64
+	for i := range m.pairMsgs {
+		for _, n := range m.pairMsgs[i] {
+			s += n
+		}
+	}
+	return s
+}
+
+// PairBytes returns the bytes sent from src to dst.
+func (m *Meter) PairBytes(src, dst int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pairBytes[src][dst]
+}
+
+// CollectiveBytes returns the collective payload bytes charged to rank.
+func (m *Meter) CollectiveBytes(rank int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.collBytes[rank]
+}
+
+// NeighborSets returns, for every rank, the sorted set of peers it sent at
+// least one point-to-point message to. This is the communication scheme the
+// paper requires FSAIE-Comm to leave unchanged.
+func (m *Meter) NeighborSets() [][]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([][]int, m.size)
+	for s := 0; s < m.size; s++ {
+		for d := 0; d < m.size; d++ {
+			if m.pairMsgs[s][d] > 0 {
+				out[s] = append(out[s], d)
+			}
+		}
+		sort.Ints(out[s])
+	}
+	return out
+}
+
+// MaxRankP2PBytes returns the largest per-rank outgoing byte count, the
+// quantity the cost model's max-over-ranks communication term uses.
+func (m *Meter) MaxRankP2PBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var max int64
+	for s := 0; s < m.size; s++ {
+		var b int64
+		for d := 0; d < m.size; d++ {
+			b += m.pairBytes[s][d]
+		}
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}

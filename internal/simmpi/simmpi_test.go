@@ -1,0 +1,348 @@
+package simmpi
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+const testTimeout = 5 * time.Second
+
+func TestRunBasicSendRecv(t *testing.T) {
+	w, err := Run(2, testTimeout, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.SendFloats(1, 7, []float64{1, 2, 3})
+			return nil
+		}
+		got := c.RecvFloats(0, 7)
+		if len(got) != 3 || got[2] != 3 {
+			return fmt.Errorf("got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := w.Meter().PairBytes(0, 1); b != 24 {
+		t.Fatalf("metered %d bytes, want 24", b)
+	}
+	if n := w.Meter().TotalP2PMessages(); n != 1 {
+		t.Fatalf("metered %d messages, want 1", n)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	_, err := Run(2, testTimeout, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []float64{1, 2}
+			c.SendFloats(1, 0, buf)
+			buf[0] = 99 // must not affect the received value
+			c.Barrier()
+			return nil
+		}
+		c.Barrier()
+		got := c.RecvFloats(0, 0)
+		if got[0] != 1 {
+			return fmt.Errorf("payload aliased sender buffer: %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvInts(t *testing.T) {
+	_, err := Run(3, testTimeout, func(c *Comm) error {
+		next := (c.Rank() + 1) % 3
+		prev := (c.Rank() + 2) % 3
+		c.SendInts(next, 1, []int{c.Rank() * 10})
+		got := c.RecvInts(prev, 1)
+		if got[0] != prev*10 {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageOrderPerSender(t *testing.T) {
+	_, err := Run(2, testTimeout, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < 50; i++ {
+				c.SendFloats(1, i, []float64{float64(i)})
+			}
+			return nil
+		}
+		for i := 0; i < 50; i++ {
+			got := c.RecvFloats(0, i)
+			if got[0] != float64(i) {
+				return fmt.Errorf("message %d out of order: %v", i, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	_, err := Run(4, testTimeout, func(c *Comm) error {
+		got := c.AllreduceSum(float64(c.Rank()), 1)
+		if got[0] != 6 || got[1] != 4 {
+			return fmt.Errorf("rank %d: %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	_, err := Run(5, testTimeout, func(c *Comm) error {
+		mx := c.AllreduceMax(float64(c.Rank()))
+		mn := c.AllreduceMin(float64(c.Rank()))
+		if mx[0] != 4 || mn[0] != 0 {
+			return fmt.Errorf("max=%v min=%v", mx, mn)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceInt64(t *testing.T) {
+	_, err := Run(3, testTimeout, func(c *Comm) error {
+		s := c.AllreduceSumInt64(int64(c.Rank() + 1))
+		m := c.AllreduceMaxInt64(int64(c.Rank() + 1))
+		if s[0] != 6 || m[0] != 3 {
+			return fmt.Errorf("sum=%v max=%v", s, m)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	_, err := Run(3, testTimeout, func(c *Comm) error {
+		g := c.AllgatherInt64([]int64{int64(c.Rank()), int64(c.Rank() * 2)})
+		want := []int64{0, 0, 1, 2, 2, 4}
+		if len(g) != len(want) {
+			return fmt.Errorf("len %d", len(g))
+		}
+		for i := range want {
+			if g[i] != want[i] {
+				return fmt.Errorf("g=%v", g)
+			}
+		}
+		gi := c.AllgatherInt([]int{c.Rank()})
+		if len(gi) != 3 || gi[2] != 2 {
+			return fmt.Errorf("gi=%v", gi)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	_, err := Run(4, testTimeout, func(c *Comm) error {
+		var in []float64
+		if c.Rank() == 0 {
+			in = []float64{math.Pi}
+		}
+		got := c.BcastFloats(0, in)
+		if got[0] != math.Pi {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	// After a barrier, all pre-barrier sends must be visible.
+	_, err := Run(2, testTimeout, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.SendInts(1, 0, []int{42})
+		}
+		c.Barrier()
+		if c.Rank() == 1 {
+			got := c.RecvInts(0, 0)
+			if got[0] != 42 {
+				return fmt.Errorf("got %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetectedByTimeout(t *testing.T) {
+	_, err := Run(2, 50*time.Millisecond, func(c *Comm) error {
+		if c.Rank() == 1 {
+			c.RecvFloats(0, 0) // rank 0 never sends
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("deadlock not detected: %v", err)
+	}
+}
+
+func TestCollectiveMismatchPanics(t *testing.T) {
+	// Short timeout: after rank 0 detects the mismatch and panics, rank 1 is
+	// left waiting for the broadcast and must time out.
+	_, err := Run(2, 100*time.Millisecond, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.AllreduceSum(1)
+		} else {
+			c.AllreduceMax(1)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("collective mismatch not detected: %v", err)
+	}
+}
+
+func TestTagMismatchPanics(t *testing.T) {
+	_, err := Run(2, testTimeout, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.SendFloats(1, 5, []float64{1})
+			return nil
+		}
+		c.RecvFloats(0, 6)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "tag") {
+		t.Fatalf("tag mismatch not detected: %v", err)
+	}
+}
+
+func TestPayloadTypeMismatchPanics(t *testing.T) {
+	_, err := Run(2, testTimeout, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.SendInts(1, 0, []int{1})
+			return nil
+		}
+		c.RecvFloats(0, 0)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("payload type mismatch not detected")
+	}
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	_, err := Run(1, testTimeout, func(c *Comm) error {
+		c.SendFloats(0, 0, []float64{1})
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "self-send") {
+		t.Fatalf("self-send not detected: %v", err)
+	}
+}
+
+func TestInvalidPeerPanics(t *testing.T) {
+	_, err := Run(1, testTimeout, func(c *Comm) error {
+		c.SendFloats(3, 0, []float64{1})
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "invalid peer") {
+		t.Fatalf("invalid peer not detected: %v", err)
+	}
+}
+
+func TestMeterNeighborSetsAndReset(t *testing.T) {
+	w, err := Run(3, testTimeout, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.SendFloats(1, 0, []float64{1})
+			c.SendFloats(2, 0, []float64{1, 2})
+		}
+		c.Barrier()
+		if c.Rank() != 0 {
+			c.RecvFloats(0, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := w.Meter().NeighborSets()
+	if len(ns[0]) != 2 || ns[0][0] != 1 || ns[0][1] != 2 || len(ns[1]) != 0 {
+		t.Fatalf("neighbor sets = %v", ns)
+	}
+	if got := w.Meter().MaxRankP2PBytes(); got != 24 {
+		t.Fatalf("MaxRankP2PBytes = %d, want 24", got)
+	}
+	w.Meter().Reset()
+	if w.Meter().TotalP2PBytes() != 0 || w.Meter().TotalP2PMessages() != 0 {
+		t.Fatal("Reset did not zero meter")
+	}
+}
+
+func TestWorldSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size 0 accepted")
+		}
+	}()
+	NewWorld(0, 0)
+}
+
+func TestManyRanksStress(t *testing.T) {
+	// Ring exchange over 32 ranks with collectives mixed in.
+	_, err := Run(32, testTimeout, func(c *Comm) error {
+		n := c.Size()
+		next, prev := (c.Rank()+1)%n, (c.Rank()+n-1)%n
+		for iter := 0; iter < 10; iter++ {
+			c.SendFloats(next, iter, []float64{float64(c.Rank())})
+			got := c.RecvFloats(prev, iter)
+			if got[0] != float64(prev) {
+				return fmt.Errorf("iter %d: got %v", iter, got)
+			}
+			sum := c.AllreduceSum(1)
+			if sum[0] != float64(n) {
+				return fmt.Errorf("allreduce = %v", sum)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherFloats(t *testing.T) {
+	_, err := Run(3, testTimeout, func(c *Comm) error {
+		g := c.AllgatherFloats([]float64{float64(c.Rank()) + 0.5})
+		want := []float64{0.5, 1.5, 2.5}
+		if len(g) != 3 {
+			return fmt.Errorf("len %d", len(g))
+		}
+		for i := range want {
+			if g[i] != want[i] {
+				return fmt.Errorf("g=%v", g)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

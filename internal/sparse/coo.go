@@ -1,0 +1,80 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a coordinate-format builder for sparse matrices. Entries may be
+// added in any order; duplicates are summed when converting to CSR.
+type COO struct {
+	Rows, Cols int
+	I, J       []int
+	V          []float64
+}
+
+// NewCOO returns an empty COO builder with the given shape.
+func NewCOO(rows, cols int) *COO {
+	return &COO{Rows: rows, Cols: cols}
+}
+
+// Add appends entry (i, j) = v. It panics on out-of-range indices so that
+// generator bugs fail loudly.
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.Rows || j < 0 || j >= c.Cols {
+		panic(fmt.Sprintf("sparse: COO.Add (%d,%d) out of range for %dx%d", i, j, c.Rows, c.Cols))
+	}
+	c.I = append(c.I, i)
+	c.J = append(c.J, j)
+	c.V = append(c.V, v)
+}
+
+// AddSym appends (i, j) = v and, when i != j, also (j, i) = v.
+func (c *COO) AddSym(i, j int, v float64) {
+	c.Add(i, j, v)
+	if i != j {
+		c.Add(j, i, v)
+	}
+}
+
+// NNZ returns the number of accumulated (possibly duplicate) entries.
+func (c *COO) NNZ() int { return len(c.I) }
+
+// ToCSR converts the accumulated entries into CSR form, summing duplicates
+// and dropping entries that sum to exactly zero is NOT done (structural
+// zeros are preserved, as FSAI patterns distinguish structure from value).
+func (c *COO) ToCSR() *CSR {
+	type ent struct {
+		i, j int
+		v    float64
+	}
+	ents := make([]ent, len(c.I))
+	for k := range c.I {
+		ents[k] = ent{c.I[k], c.J[k], c.V[k]}
+	}
+	sort.Slice(ents, func(a, b int) bool {
+		if ents[a].i != ents[b].i {
+			return ents[a].i < ents[b].i
+		}
+		return ents[a].j < ents[b].j
+	})
+	m := NewCSR(c.Rows, c.Cols, len(ents))
+	for k := 0; k < len(ents); {
+		e := ents[k]
+		sum := 0.0
+		for k < len(ents) && ents[k].i == e.i && ents[k].j == e.j {
+			sum += ents[k].v
+			k++
+		}
+		m.ColIdx = append(m.ColIdx, e.j)
+		m.Val = append(m.Val, sum)
+		m.RowPtr[e.i+1] = len(m.ColIdx)
+	}
+	// Fill row pointers for empty rows.
+	for i := 1; i <= c.Rows; i++ {
+		if m.RowPtr[i] < m.RowPtr[i-1] {
+			m.RowPtr[i] = m.RowPtr[i-1]
+		}
+	}
+	return m
+}

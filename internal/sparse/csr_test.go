@@ -1,0 +1,387 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// small deterministic test matrix:
+//
+//	[ 4 -1  0  0 ]
+//	[-1  4 -1  0 ]
+//	[ 0 -1  4 -1 ]
+//	[ 0  0 -1  4 ]
+func tri4() *CSR {
+	c := NewCOO(4, 4)
+	for i := 0; i < 4; i++ {
+		c.Add(i, i, 4)
+		if i > 0 {
+			c.Add(i, i-1, -1)
+			c.Add(i-1, i, -1)
+		}
+	}
+	return c.ToCSR()
+}
+
+func randomCSR(rng *rand.Rand, rows, cols int, density float64) *CSR {
+	c := NewCOO(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				c.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+func TestCSRValidate(t *testing.T) {
+	m := tri4()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid matrix rejected: %v", err)
+	}
+	if got := m.NNZ(); got != 10 {
+		t.Fatalf("NNZ = %d, want 10", got)
+	}
+}
+
+func TestCSRValidateDetectsCorruption(t *testing.T) {
+	cases := map[string]func(*CSR){
+		"rowptr-start":    func(m *CSR) { m.RowPtr[0] = 1 },
+		"rowptr-decrease": func(m *CSR) { m.RowPtr[2] = 0 },
+		"rowptr-end":      func(m *CSR) { m.RowPtr[len(m.RowPtr)-1]-- },
+		"col-range":       func(m *CSR) { m.ColIdx[0] = 99 },
+		"col-order":       func(m *CSR) { m.ColIdx[1], m.ColIdx[2] = m.ColIdx[2], m.ColIdx[1] },
+		"val-length":      func(m *CSR) { m.Val = m.Val[:len(m.Val)-1] },
+	}
+	for name, corrupt := range cases {
+		m := tri4()
+		corrupt(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+}
+
+func TestAtAndHas(t *testing.T) {
+	m := tri4()
+	if got := m.At(1, 0); got != -1 {
+		t.Errorf("At(1,0) = %v, want -1", got)
+	}
+	if got := m.At(0, 3); got != 0 {
+		t.Errorf("At(0,3) = %v, want 0", got)
+	}
+	if !m.Has(2, 3) || m.Has(0, 2) {
+		t.Errorf("Has gave wrong structure answers")
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		m := randomCSR(rng, rows, cols, 0.3)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := make([]float64, rows)
+		m.MulVec(x, y)
+		d := m.Dense()
+		for i := 0; i < rows; i++ {
+			want := 0.0
+			for j := 0; j < cols; j++ {
+				want += d[i][j] * x[j]
+			}
+			if math.Abs(y[i]-want) > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("trial %d: y[%d] = %v, want %v", trial, i, y[i], want)
+			}
+		}
+	}
+}
+
+func TestMulVecTransMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := 1+rng.Intn(15), 1+rng.Intn(15)
+		m := randomCSR(rng, rows, cols, 0.4)
+		x := make([]float64, rows)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, cols)
+		y2 := make([]float64, cols)
+		m.MulVecTrans(x, y1)
+		m.Transpose().MulVec(x, y2)
+		for j := range y1 {
+			if math.Abs(y1[j]-y2[j]) > 1e-12*(1+math.Abs(y2[j])) {
+				t.Fatalf("trial %d: column %d: %v vs %v", trial, j, y1[j], y2[j])
+			}
+		}
+	}
+}
+
+func TestMulVecShapePanics(t *testing.T) {
+	m := tri4()
+	for name, fn := range map[string]func(){
+		"short-x": func() { m.MulVec(make([]float64, 3), make([]float64, 4)) },
+		"short-y": func() { m.MulVec(make([]float64, 4), make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomCSR(rng, 17, 11, 0.3)
+	tt := m.Transpose().Transpose()
+	if tt.Rows != m.Rows || tt.Cols != m.Cols || tt.NNZ() != m.NNZ() {
+		t.Fatalf("shape changed under double transpose")
+	}
+	for i := 0; i < m.Rows; i++ {
+		ca, va := m.Row(i)
+		cb, vb := tt.Row(i)
+		if len(ca) != len(cb) {
+			t.Fatalf("row %d length changed", i)
+		}
+		for k := range ca {
+			if ca[k] != cb[k] || va[k] != vb[k] {
+				t.Fatalf("row %d entry %d changed", i, k)
+			}
+		}
+	}
+	if err := tt.Validate(); err != nil {
+		t.Fatalf("double transpose invalid: %v", err)
+	}
+}
+
+func TestTriangles(t *testing.T) {
+	m := tri4()
+	l, u := m.LowerTriangle(), m.UpperTriangle()
+	if l.NNZ() != 7 || u.NNZ() != 7 {
+		t.Fatalf("triangle nnz = %d/%d, want 7/7", l.NNZ(), u.NNZ())
+	}
+	for i := 0; i < 4; i++ {
+		cols, _ := l.Row(i)
+		for _, c := range cols {
+			if c > i {
+				t.Fatalf("lower triangle has (%d,%d)", i, c)
+			}
+		}
+	}
+	// L + U - diag == A
+	d := m.Diagonal()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			sum := l.At(i, j) + u.At(i, j)
+			if i == j {
+				sum -= d[i]
+			}
+			if sum != m.At(i, j) {
+				t.Fatalf("(%d,%d): L+U-D = %v, want %v", i, j, sum, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	if !tri4().IsSymmetric(1e-14) {
+		t.Errorf("tridiagonal SPD matrix reported asymmetric")
+	}
+	c := NewCOO(3, 3)
+	c.Add(0, 0, 1)
+	c.Add(0, 1, 2)
+	c.Add(1, 0, 3)
+	c.Add(1, 1, 1)
+	c.Add(2, 2, 1)
+	if c.ToCSR().IsSymmetric(1e-14) {
+		t.Errorf("asymmetric matrix reported symmetric")
+	}
+	// Structurally asymmetric.
+	c2 := NewCOO(3, 3)
+	c2.Add(0, 1, 2)
+	c2.Add(0, 0, 1)
+	c2.Add(1, 1, 1)
+	c2.Add(2, 2, 1)
+	if c2.ToCSR().IsSymmetric(1e-14) {
+		t.Errorf("structurally asymmetric matrix reported symmetric")
+	}
+}
+
+func TestSubMatrix(t *testing.T) {
+	m := tri4()
+	rows := []int{1, 2}
+	cols := []int{0, 1, 3}
+	dst := make([]float64, 6)
+	m.SubMatrix(rows, cols, dst)
+	want := []float64{-1, 4, 0, 0, -1, -1}
+	for k := range want {
+		if dst[k] != want[k] {
+			t.Fatalf("dst = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestCOOSumsDuplicates(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Add(0, 0, 2.5)
+	c.Add(1, 1, -1)
+	m := c.ToCSR()
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", m.NNZ())
+	}
+	if got := m.At(0, 0); got != 3.5 {
+		t.Fatalf("At(0,0) = %v, want 3.5", got)
+	}
+}
+
+func TestCOOEmptyRows(t *testing.T) {
+	c := NewCOO(5, 5)
+	c.Add(0, 0, 1)
+	c.Add(4, 4, 1)
+	m := c.ToCSR()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("empty-row matrix invalid: %v", err)
+	}
+	if m.RowNNZ(2) != 0 {
+		t.Fatalf("row 2 should be empty")
+	}
+}
+
+func TestCOOOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range Add")
+		}
+	}()
+	NewCOO(2, 2).Add(2, 0, 1)
+}
+
+func TestScaleAndNorms(t *testing.T) {
+	m := tri4()
+	m.Scale(2)
+	if got := m.At(0, 0); got != 8 {
+		t.Fatalf("scaled At(0,0) = %v, want 8", got)
+	}
+	if got := m.MaxNorm(); got != 8 {
+		t.Fatalf("MaxNorm = %v, want 8", got)
+	}
+	want := math.Sqrt(4*64 + 6*4)
+	if math.Abs(m.FrobeniusNorm()-want) > 1e-12 {
+		t.Fatalf("FrobeniusNorm = %v, want %v", m.FrobeniusNorm(), want)
+	}
+}
+
+// Property: for any matrix built from random entries, (Aᵀ)x via MulVecTrans
+// equals dense-transpose multiplication.
+func TestQuickTransposeProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(12), 1+rng.Intn(12)
+		m := randomCSR(rng, rows, cols, 0.35)
+		x := make([]float64, rows)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := make([]float64, cols)
+		m.MulVecTrans(x, y)
+		d := m.Dense()
+		for j := 0; j < cols; j++ {
+			want := 0.0
+			for i := 0; i < rows; i++ {
+				want += d[i][j] * x[i]
+			}
+			if math.Abs(y[j]-want) > 1e-10*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clone is deep — mutating the clone leaves the original intact.
+func TestQuickCloneIsDeep(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCSR(rng, 1+rng.Intn(10), 1+rng.Intn(10), 0.5)
+		if m.NNZ() == 0 {
+			return true
+		}
+		c := m.Clone()
+		c.Val[0] += 42
+		c.ColIdx[0] = 0
+		return m.Validate() == nil && (m.NNZ() == 0 || m.Val[0] != c.Val[0])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymCSRMatchesCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		c := NewCOO(n, n)
+		for i := 0; i < n; i++ {
+			c.Add(i, i, 4+rng.Float64())
+		}
+		for k := 0; k < 2*n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				c.AddSym(i, j, rng.NormFloat64())
+			}
+		}
+		a := c.ToCSR()
+		s, err := NewSymCSR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NNZStored() >= a.NNZ() && a.NNZ() > n {
+			t.Fatalf("symmetric storage %d not below full %d", s.NNZStored(), a.NNZ())
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, n)
+		y2 := make([]float64, n)
+		a.MulVec(x, y1)
+		s.MulVec(x, y2)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-12*(1+math.Abs(y1[i])) {
+				t.Fatalf("trial %d: y[%d] = %v vs %v", trial, i, y2[i], y1[i])
+			}
+		}
+		// Round trip.
+		back := s.ToCSR()
+		if back.NNZ() != a.NNZ() {
+			t.Fatalf("ToCSR changed nnz: %d vs %d", back.NNZ(), a.NNZ())
+		}
+	}
+}
+
+func TestSymCSRRejectsAsymmetric(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Add(1, 1, 1)
+	c.Add(0, 1, 2)
+	if _, err := NewSymCSR(c.ToCSR()); err == nil {
+		t.Fatal("asymmetric accepted")
+	}
+	if _, err := NewSymCSR(NewCSR(2, 3, 0)); err == nil {
+		t.Fatal("rectangular accepted")
+	}
+}

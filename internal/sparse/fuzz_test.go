@@ -1,0 +1,50 @@
+package sparse
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMatrixMarket asserts the parser's safety contract: any input
+// either fails with an error or yields a structurally valid CSR matrix
+// whose round trip re-parses to the same shape. Seeds run under plain
+// `go test`; `go test -fuzz=FuzzReadMatrixMarket ./internal/sparse` explores
+// further.
+func FuzzReadMatrixMarket(f *testing.F) {
+	seeds := []string{
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 4\n3 1 -1\n",
+		"%%MatrixMarket matrix coordinate real general\n% comment\n\n1 1 1\n1 1 -2.5e-3\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",   // count mismatch
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n", // out of range
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",     // unsupported kind
+		"",
+		"garbage",
+		"%%MatrixMarket matrix coordinate real general\n0 0 0\n",
+		"%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 nan\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadMatrixMarket(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("parser accepted input but produced invalid CSR: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, m); err != nil {
+			t.Fatalf("cannot re-serialize parsed matrix: %v", err)
+		}
+		back, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if back.Rows != m.Rows || back.Cols != m.Cols || back.NNZ() != m.NNZ() {
+			t.Fatalf("round trip changed shape: %dx%d/%d vs %dx%d/%d",
+				back.Rows, back.Cols, back.NNZ(), m.Rows, m.Cols, m.NNZ())
+		}
+	})
+}

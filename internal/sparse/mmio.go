@@ -1,0 +1,147 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Matrix Market text codec. Supports the subset of the format the tooling
+// needs: "matrix coordinate real {general|symmetric}" with 1-based indices
+// and '%' comments. Symmetric files store only the lower triangle; reading
+// mirrors the entries.
+
+// WriteMatrixMarket writes m in coordinate/general form.
+func WriteMatrixMarket(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.Row(i)
+		for k, c := range cols {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, c+1, vals[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteMatrixMarketSymmetric writes the lower triangle of a symmetric m in
+// coordinate/symmetric form.
+func WriteMatrixMarketSymmetric(w io.Writer, m *CSR) error {
+	l := m.LowerTriangle()
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real symmetric\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, l.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < l.Rows; i++ {
+		cols, vals := l.Row(i)
+		for k, c := range cols {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, c+1, vals[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a Matrix Market stream into a CSR matrix.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty Matrix Market stream")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("sparse: bad Matrix Market header %q", sc.Text())
+	}
+	if header[2] != "coordinate" || header[3] != "real" {
+		return nil, fmt.Errorf("sparse: unsupported Matrix Market kind %q (only coordinate real)", sc.Text())
+	}
+	symmetric := false
+	switch header[4] {
+	case "general":
+	case "symmetric":
+		symmetric = true
+	default:
+		return nil, fmt.Errorf("sparse: unsupported Matrix Market symmetry %q", header[4])
+	}
+
+	var rows, cols, nnz int
+	sized := false
+	var coo *COO
+	seen := 0
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if !sized {
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("sparse: line %d: bad size line %q", line, text)
+			}
+			var err error
+			if rows, err = strconv.Atoi(fields[0]); err != nil {
+				return nil, fmt.Errorf("sparse: line %d: %v", line, err)
+			}
+			if cols, err = strconv.Atoi(fields[1]); err != nil {
+				return nil, fmt.Errorf("sparse: line %d: %v", line, err)
+			}
+			if nnz, err = strconv.Atoi(fields[2]); err != nil {
+				return nil, fmt.Errorf("sparse: line %d: %v", line, err)
+			}
+			coo = NewCOO(rows, cols)
+			sized = true
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("sparse: line %d: bad entry line %q", line, text)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: line %d: %v", line, err)
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: line %d: %v", line, err)
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: line %d: %v", line, err)
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("sparse: line %d: index (%d,%d) out of range for %dx%d", line, i, j, rows, cols)
+		}
+		if symmetric {
+			coo.AddSym(i-1, j-1, v)
+		} else {
+			coo.Add(i-1, j-1, v)
+		}
+		seen++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sized {
+		return nil, fmt.Errorf("sparse: missing Matrix Market size line")
+	}
+	if seen != nnz {
+		return nil, fmt.Errorf("sparse: Matrix Market declared %d entries, found %d", nnz, seen)
+	}
+	return coo.ToCSR(), nil
+}

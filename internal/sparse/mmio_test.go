@@ -1,0 +1,96 @@
+package sparse
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTripGeneral(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomCSR(rng, 13, 9, 0.3)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != m.Rows || got.Cols != m.Cols || got.NNZ() != m.NNZ() {
+		t.Fatalf("shape/nnz changed: %dx%d/%d vs %dx%d/%d",
+			got.Rows, got.Cols, got.NNZ(), m.Rows, m.Cols, m.NNZ())
+	}
+	for i := 0; i < m.Rows; i++ {
+		ca, va := m.Row(i)
+		cb, vb := got.Row(i)
+		for k := range ca {
+			if ca[k] != cb[k] || math.Abs(va[k]-vb[k]) > 1e-15*math.Abs(va[k]) {
+				t.Fatalf("row %d entry %d mismatch", i, k)
+			}
+		}
+	}
+}
+
+func TestMatrixMarketRoundTripSymmetric(t *testing.T) {
+	m := tri4()
+	var buf bytes.Buffer
+	if err := WriteMatrixMarketSymmetric(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "symmetric") {
+		t.Fatalf("missing symmetric header: %q", buf.String())
+	}
+	got, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != m.NNZ() {
+		t.Fatalf("NNZ = %d, want %d", got.NNZ(), m.NNZ())
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if got.At(i, j) != m.At(i, j) {
+				t.Fatalf("(%d,%d) = %v, want %v", i, j, got.At(i, j), m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMatrixMarketComments(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+
+2 2 2
+1 1 3.5
+2 2 -1
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 3.5 || m.At(1, 1) != -1 {
+		t.Fatalf("values wrong")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad-header":  "hello\n1 1 1\n1 1 1\n",
+		"bad-kind":    "%%MatrixMarket matrix array real general\n1 1\n1\n",
+		"bad-sym":     "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"short-size":  "%%MatrixMarket matrix coordinate real general\n2 2\n",
+		"bad-index":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+		"bad-value":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zzz\n",
+		"wrong-count": "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+		"no-size":     "%%MatrixMarket matrix coordinate real general\n% only comments\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: error not detected", name)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Pattern is a structure-only sparse matrix: the set of (row, column)
+// positions where a matrix is allowed to be nonzero. FSAI-family
+// preconditioners are defined on a pattern first and valued second.
+type Pattern struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+}
+
+// NNZ returns the number of positions in the pattern.
+func (p *Pattern) NNZ() int { return len(p.ColIdx) }
+
+// Row returns the (sorted) column indices of row i as a shared slice.
+func (p *Pattern) Row(i int) []int {
+	return p.ColIdx[p.RowPtr[i]:p.RowPtr[i+1]]
+}
+
+// Has reports whether (i, j) is in the pattern.
+func (p *Pattern) Has(i, j int) bool {
+	cols := p.Row(i)
+	k := sort.SearchInts(cols, j)
+	return k < len(cols) && cols[k] == j
+}
+
+// Clone returns a deep copy of the pattern.
+func (p *Pattern) Clone() *Pattern {
+	return &Pattern{
+		Rows:   p.Rows,
+		Cols:   p.Cols,
+		RowPtr: append([]int(nil), p.RowPtr...),
+		ColIdx: append([]int(nil), p.ColIdx...),
+	}
+}
+
+// Validate checks structural invariants of the pattern.
+func (p *Pattern) Validate() error {
+	m := &CSR{Rows: p.Rows, Cols: p.Cols, RowPtr: p.RowPtr, ColIdx: p.ColIdx,
+		Val: make([]float64, len(p.ColIdx))}
+	return m.Validate()
+}
+
+// PatternOf extracts the sparsity pattern of a CSR matrix.
+func PatternOf(m *CSR) *Pattern {
+	return &Pattern{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		ColIdx: append([]int(nil), m.ColIdx...),
+	}
+}
+
+// PatternFromRows builds a pattern from per-row column sets. Each row slice
+// is sorted and deduplicated; the input slices are not retained.
+func PatternFromRows(rows, cols int, rowSets [][]int) *Pattern {
+	if len(rowSets) != rows {
+		panic(fmt.Sprintf("sparse: PatternFromRows got %d row sets for %d rows", len(rowSets), rows))
+	}
+	p := &Pattern{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	for i, rs := range rowSets {
+		set := append([]int(nil), rs...)
+		sort.Ints(set)
+		prev := -1
+		for _, c := range set {
+			if c < 0 || c >= cols {
+				panic(fmt.Sprintf("sparse: PatternFromRows column %d out of range [0,%d)", c, cols))
+			}
+			if c != prev {
+				p.ColIdx = append(p.ColIdx, c)
+				prev = c
+			}
+		}
+		p.RowPtr[i+1] = len(p.ColIdx)
+	}
+	return p
+}
+
+// LowerTriangle restricts the pattern to positions with column ≤ row.
+func (p *Pattern) LowerTriangle() *Pattern {
+	l := &Pattern{Rows: p.Rows, Cols: p.Cols, RowPtr: make([]int, p.Rows+1)}
+	for i := 0; i < p.Rows; i++ {
+		for _, c := range p.Row(i) {
+			if c <= i {
+				l.ColIdx = append(l.ColIdx, c)
+			}
+		}
+		l.RowPtr[i+1] = len(l.ColIdx)
+	}
+	return l
+}
+
+// WithDiagonal returns the pattern with all diagonal positions present.
+// FSAI requires g_ii to be in the pattern of every row.
+func (p *Pattern) WithDiagonal() *Pattern {
+	out := &Pattern{Rows: p.Rows, Cols: p.Cols, RowPtr: make([]int, p.Rows+1)}
+	for i := 0; i < p.Rows; i++ {
+		row := p.Row(i)
+		k := sort.SearchInts(row, i)
+		hasDiag := k < len(row) && row[k] == i
+		out.ColIdx = append(out.ColIdx, row[:k]...)
+		out.ColIdx = append(out.ColIdx, i)
+		if hasDiag {
+			out.ColIdx = append(out.ColIdx, row[k+1:]...)
+		} else {
+			out.ColIdx = append(out.ColIdx, row[k:]...)
+		}
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out
+}
+
+// Union returns the position-wise union of two patterns of equal shape.
+func (p *Pattern) Union(q *Pattern) *Pattern {
+	if p.Rows != q.Rows || p.Cols != q.Cols {
+		panic("sparse: Pattern.Union shape mismatch")
+	}
+	out := &Pattern{Rows: p.Rows, Cols: p.Cols, RowPtr: make([]int, p.Rows+1)}
+	for i := 0; i < p.Rows; i++ {
+		a, b := p.Row(i), q.Row(i)
+		x, y := 0, 0
+		for x < len(a) || y < len(b) {
+			switch {
+			case y == len(b) || (x < len(a) && a[x] < b[y]):
+				out.ColIdx = append(out.ColIdx, a[x])
+				x++
+			case x == len(a) || b[y] < a[x]:
+				out.ColIdx = append(out.ColIdx, b[y])
+				y++
+			default:
+				out.ColIdx = append(out.ColIdx, a[x])
+				x++
+				y++
+			}
+		}
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out
+}
+
+// Contains reports whether every position of q is also in p.
+func (p *Pattern) Contains(q *Pattern) bool {
+	if p.Rows != q.Rows || p.Cols != q.Cols {
+		return false
+	}
+	for i := 0; i < p.Rows; i++ {
+		a, b := p.Row(i), q.Row(i)
+		x := 0
+		for _, c := range b {
+			for x < len(a) && a[x] < c {
+				x++
+			}
+			if x == len(a) || a[x] != c {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports whether two patterns contain exactly the same positions.
+func (p *Pattern) Equal(q *Pattern) bool {
+	return p.NNZ() == q.NNZ() && p.Contains(q)
+}
+
+// Threshold returns the matrix Ã obtained from A by dropping off-diagonal
+// entries with |a_ij| < tau * sqrt(|a_ii| * |a_jj|) (a scale-independent
+// comparison, Chow 2001). Diagonal entries are always kept. tau = 0 keeps
+// every stored entry.
+func Threshold(a *CSR, tau float64) *CSR {
+	d := a.Diagonal()
+	out := NewCSR(a.Rows, a.Cols, a.NNZ())
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		for k, c := range cols {
+			keep := c == i
+			if !keep {
+				scale := math.Sqrt(math.Abs(d[i]) * math.Abs(d[c]))
+				keep = math.Abs(vals[k]) >= tau*scale
+			}
+			if keep {
+				out.ColIdx = append(out.ColIdx, c)
+				out.Val = append(out.Val, vals[k])
+			}
+		}
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out
+}
+
+// PatternPower computes the sparsity pattern of Ãᴺ symbolically. level must
+// be ≥ 1; level 1 is the pattern of Ã itself. The result always includes the
+// diagonal. Symbolic row-by-row expansion with a visited scratch keeps the
+// cost proportional to the output size times the average row degree.
+func PatternPower(a *CSR, level int) *Pattern {
+	if level < 1 {
+		panic(fmt.Sprintf("sparse: PatternPower level %d < 1", level))
+	}
+	base := PatternOf(a).WithDiagonal()
+	cur := base
+	for l := 1; l < level; l++ {
+		cur = symbolicProduct(cur, base)
+	}
+	return cur
+}
+
+// symbolicProduct returns the pattern of P*Q for square patterns.
+func symbolicProduct(p, q *Pattern) *Pattern {
+	out := &Pattern{Rows: p.Rows, Cols: q.Cols, RowPtr: make([]int, p.Rows+1)}
+	mark := make([]int, q.Cols)
+	for i := range mark {
+		mark[i] = -1
+	}
+	var scratch []int
+	for i := 0; i < p.Rows; i++ {
+		scratch = scratch[:0]
+		for _, k := range p.Row(i) {
+			for _, j := range q.Row(k) {
+				if mark[j] != i {
+					mark[j] = i
+					scratch = append(scratch, j)
+				}
+			}
+		}
+		sort.Ints(scratch)
+		out.ColIdx = append(out.ColIdx, scratch...)
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out
+}
+
+// RestrictToPattern returns a CSR matrix with exactly the positions of p,
+// valued from a where a has an entry and zero elsewhere.
+func RestrictToPattern(a *CSR, p *Pattern) *CSR {
+	if a.Rows != p.Rows || a.Cols != p.Cols {
+		panic("sparse: RestrictToPattern shape mismatch")
+	}
+	out := &CSR{
+		Rows:   p.Rows,
+		Cols:   p.Cols,
+		RowPtr: append([]int(nil), p.RowPtr...),
+		ColIdx: append([]int(nil), p.ColIdx...),
+		Val:    make([]float64, p.NNZ()),
+	}
+	for i := 0; i < p.Rows; i++ {
+		acols, avals := a.Row(i)
+		pcols := p.Row(i)
+		x := 0
+		for k, c := range pcols {
+			for x < len(acols) && acols[x] < c {
+				x++
+			}
+			if x < len(acols) && acols[x] == c {
+				out.Val[out.RowPtr[i]+k] = avals[x]
+			}
+		}
+	}
+	return out
+}

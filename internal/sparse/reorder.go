@@ -1,0 +1,103 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Reordering utilities. Bandwidth-reducing permutations increase the index
+// locality the cache-friendly pattern extension feeds on: after RCM,
+// graph-adjacent unknowns sit on nearby indices, so cache-line candidates
+// are numerically meaningful neighbours. cmd and tests use these to study
+// ordering sensitivity (an ablation the paper leaves implicit by using
+// mesh-ordered SuiteSparse matrices).
+
+// RCM computes the reverse Cuthill–McKee ordering of a structurally
+// symmetric matrix and returns oldToNew: the new index of old row i.
+// Disconnected components are processed in order of their lowest-degree
+// seed vertex.
+func RCM(a *CSR) ([]int, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("sparse: RCM on non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	deg := make([]int, n)
+	for i := 0; i < n; i++ {
+		deg[i] = a.RowNNZ(i)
+	}
+	visited := make([]bool, n)
+	order := make([]int, 0, n) // Cuthill–McKee order (reversed at the end)
+	var queue []int
+
+	// Seeds: vertices in increasing degree order.
+	seeds := make([]int, n)
+	for i := range seeds {
+		seeds[i] = i
+	}
+	sort.Slice(seeds, func(x, y int) bool { return deg[seeds[x]] < deg[seeds[y]] })
+
+	var nbuf []int
+	for _, seed := range seeds {
+		if visited[seed] {
+			continue
+		}
+		visited[seed] = true
+		queue = append(queue[:0], seed)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			cols, _ := a.Row(v)
+			nbuf = nbuf[:0]
+			for _, u := range cols {
+				if u != v && !visited[u] {
+					visited[u] = true
+					nbuf = append(nbuf, u)
+				}
+			}
+			sort.Slice(nbuf, func(x, y int) bool { return deg[nbuf[x]] < deg[nbuf[y]] })
+			queue = append(queue, nbuf...)
+		}
+	}
+	oldToNew := make([]int, n)
+	for pos, v := range order {
+		oldToNew[v] = n - 1 - pos // reverse
+	}
+	return oldToNew, nil
+}
+
+// Bandwidth returns the maximum |i-j| over stored entries (0 for diagonal
+// matrices).
+func Bandwidth(a *CSR) int {
+	bw := 0
+	for i := 0; i < a.Rows; i++ {
+		cols, _ := a.Row(i)
+		for _, j := range cols {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}
+
+// PermuteSym applies the symmetric permutation P·A·Pᵀ (new index of old
+// row/column i is oldToNew[i]).
+func PermuteSym(a *CSR, oldToNew []int) *CSR {
+	if len(oldToNew) != a.Rows || a.Rows != a.Cols {
+		panic(fmt.Sprintf("sparse: PermuteSym permutation length %d for %dx%d matrix",
+			len(oldToNew), a.Rows, a.Cols))
+	}
+	c := NewCOO(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			c.Add(oldToNew[i], oldToNew[j], vals[k])
+		}
+	}
+	return c.ToCSR()
+}

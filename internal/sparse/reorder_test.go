@@ -1,0 +1,162 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// shuffledGrid returns a 2D grid Laplacian with randomly permuted labels
+// (destroying index locality) plus the permutation used.
+func shuffledGrid(nx, ny int, seed int64) *CSR {
+	n := nx * ny
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	c := NewCOO(n, n)
+	id := func(x, y int) int { return perm[y*nx+x] }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			i := id(x, y)
+			c.Add(i, i, 4)
+			if x > 0 {
+				c.Add(i, id(x-1, y), -1)
+			}
+			if x < nx-1 {
+				c.Add(i, id(x+1, y), -1)
+			}
+			if y > 0 {
+				c.Add(i, id(x, y-1), -1)
+			}
+			if y < ny-1 {
+				c.Add(i, id(x, y+1), -1)
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	a := shuffledGrid(12, 12, 3)
+	before := Bandwidth(a)
+	perm, err := RCM(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := PermuteSym(a, perm)
+	after := Bandwidth(b)
+	if after >= before/2 {
+		t.Fatalf("RCM bandwidth %d not well below original %d", after, before)
+	}
+	// The permuted matrix must stay symmetric with the same nnz.
+	if b.NNZ() != a.NNZ() || !b.IsSymmetric(1e-14) {
+		t.Fatal("RCM permutation damaged the matrix")
+	}
+}
+
+func TestRCMIsPermutation(t *testing.T) {
+	a := shuffledGrid(7, 9, 5)
+	perm, err := RCM(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, len(perm))
+	for _, p := range perm {
+		if p < 0 || p >= len(perm) || seen[p] {
+			t.Fatalf("not a permutation: %v", perm)
+		}
+		seen[p] = true
+	}
+}
+
+func TestRCMDisconnected(t *testing.T) {
+	// Two disjoint paths.
+	c := NewCOO(8, 8)
+	for i := 0; i < 8; i++ {
+		c.Add(i, i, 2)
+	}
+	for i := 0; i < 3; i++ {
+		c.AddSym(i, i+1, -1)
+	}
+	for i := 4; i < 7; i++ {
+		c.AddSym(i, i+1, -1)
+	}
+	a := c.ToCSR()
+	perm, err := RCM(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := PermuteSym(a, perm)
+	if Bandwidth(b) > 1 {
+		t.Fatalf("path graphs should reach bandwidth 1, got %d", Bandwidth(b))
+	}
+}
+
+func TestRCMRejectsRectangular(t *testing.T) {
+	if _, err := RCM(NewCSR(2, 3, 0)); err == nil {
+		t.Fatal("rectangular accepted")
+	}
+}
+
+func TestBandwidthDiagonal(t *testing.T) {
+	c := NewCOO(4, 4)
+	for i := 0; i < 4; i++ {
+		c.Add(i, i, 1)
+	}
+	if bw := Bandwidth(c.ToCSR()); bw != 0 {
+		t.Fatalf("diagonal bandwidth = %d", bw)
+	}
+}
+
+func TestPermuteSymValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for bad permutation length")
+		}
+	}()
+	PermuteSym(tri4(), []int{0, 1})
+}
+
+// Property: RCM never increases bandwidth on shuffled grids, and permuted
+// spectra match (checked via x'Ax for random x under the permutation).
+func TestQuickRCMConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nx, ny := 3+rng.Intn(8), 3+rng.Intn(8)
+		a := shuffledGrid(nx, ny, seed)
+		perm, err := RCM(a)
+		if err != nil {
+			return false
+		}
+		b := PermuteSym(a, perm)
+		if Bandwidth(b) > Bandwidth(a) {
+			return false
+		}
+		n := a.Rows
+		x := make([]float64, n)
+		px := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = rng.NormFloat64()
+			px[perm[i]] = x[i]
+		}
+		ax := make([]float64, n)
+		bpx := make([]float64, n)
+		a.MulVec(x, ax)
+		b.MulVec(px, bpx)
+		var qa, qb float64
+		for i := 0; i < n; i++ {
+			qa += x[i] * ax[i]
+			qb += px[i] * bpx[i]
+		}
+		return abs64(qa-qb) < 1e-9*(1+abs64(qa))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

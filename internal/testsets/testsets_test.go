@@ -1,0 +1,125 @@
+package testsets
+
+import (
+	"testing"
+)
+
+func TestTable1Catalog(t *testing.T) {
+	specs := Table1()
+	if len(specs) != 39 {
+		t.Fatalf("Table 1 has %d entries, want 39", len(specs))
+	}
+	seen := map[string]bool{}
+	for i, s := range specs {
+		if s.ID != i+1 {
+			t.Fatalf("entry %d has ID %d", i, s.ID)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Class == "" {
+			t.Fatalf("%s has empty class", s.Name)
+		}
+	}
+}
+
+func TestTable2Catalog(t *testing.T) {
+	specs := Table2()
+	if len(specs) != 8 {
+		t.Fatalf("Table 2 has %d entries, want 8", len(specs))
+	}
+}
+
+func TestAllMatricesGenerateValidSPDish(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix generation sweep skipped in -short")
+	}
+	for _, s := range append(Table1(), Table2()...) {
+		a := s.Generate()
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if !a.IsSymmetric(1e-12) {
+			t.Fatalf("%s: not symmetric", s.Name)
+		}
+		if a.Rows < 500 {
+			t.Fatalf("%s: too small (%d rows)", s.Name, a.Rows)
+		}
+		for i := 0; i < a.Rows; i++ {
+			if a.At(i, i) <= 0 {
+				t.Fatalf("%s: non-positive diagonal at %d", s.Name, i)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := Table1()[2]
+	a, b := s.Generate(), s.Generate()
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("generation not deterministic")
+	}
+	for k := range a.Val {
+		if a.Val[k] != b.Val[k] {
+			t.Fatal("values not deterministic")
+		}
+	}
+}
+
+func TestRanksFor(t *testing.T) {
+	if got := RanksFor(100, 16384, 2, 12); got != 2 {
+		t.Fatalf("tiny matrix ranks = %d, want 2", got)
+	}
+	if got := RanksFor(1<<30, 16384, 2, 12); got != 12 {
+		t.Fatalf("huge matrix ranks = %d, want 12", got)
+	}
+	if got := RanksFor(16384*5, 16384, 2, 12); got != 5 {
+		t.Fatalf("ranks = %d, want 5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("entriesPerRank 0 accepted")
+		}
+	}()
+	RanksFor(1, 0, 1, 2)
+}
+
+func TestDefaultAndLargeRanksBounds(t *testing.T) {
+	for _, s := range Table1() {
+		_ = s
+	}
+	if DefaultRanks(1) < 2 || DefaultRanks(1<<40) > 12 {
+		t.Fatal("DefaultRanks out of bounds")
+	}
+	if LargeRanks(1) < 8 || LargeRanks(1<<40) > 32 {
+		t.Fatal("LargeRanks out of bounds")
+	}
+}
+
+func TestQuickSet(t *testing.T) {
+	qs := QuickSet()
+	if len(qs) < 5 {
+		t.Fatalf("quick set too small: %d", len(qs))
+	}
+	classes := map[string]bool{}
+	for _, s := range qs {
+		classes[s.Class] = true
+	}
+	if len(classes) < 5 {
+		t.Fatalf("quick set covers only %d classes", len(classes))
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("ecology2-sim")
+	if err != nil || s.ID != 20 {
+		t.Fatalf("ByName failed: %v %v", s, err)
+	}
+	if _, err := ByName("Queen_4147-sim"); err != nil {
+		t.Fatalf("Table 2 lookup failed: %v", err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}

@@ -1,0 +1,116 @@
+// Package vecops implements the dense vector kernels of the Conjugate
+// Gradient method — dot products, AXPY-style linear combinations, scaling
+// and norms — with optional floating-point-operation accounting used by the
+// GFLOP/s reproductions (Figures 3b, 5b, 7).
+package vecops
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// FlopCounter accumulates floating-point operation counts. The zero value is
+// ready to use; a nil *FlopCounter disables accounting. Counters are safe
+// for concurrent use (the distributed solver runs one goroutine per rank
+// against per-rank counters, but collectives may fold counts together).
+type FlopCounter struct {
+	flops atomic.Int64
+}
+
+// Add records n floating-point operations. Safe on a nil receiver.
+func (c *FlopCounter) Add(n int64) {
+	if c != nil {
+		c.flops.Add(n)
+	}
+}
+
+// Count returns the accumulated operation count. A nil counter reports 0.
+func (c *FlopCounter) Count() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.flops.Load()
+}
+
+// Reset zeroes the counter. Safe on a nil receiver.
+func (c *FlopCounter) Reset() {
+	if c != nil {
+		c.flops.Store(0)
+	}
+}
+
+// Dot returns xᵀy, counting 2·len(x) flops.
+func Dot(x, y []float64, fc *FlopCounter) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vecops: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	fc.Add(2 * int64(len(x)))
+	return s
+}
+
+// Axpy computes y ← a·x + y, counting 2·len(x) flops.
+func Axpy(a float64, x, y []float64, fc *FlopCounter) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vecops: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+	fc.Add(2 * int64(len(x)))
+}
+
+// Xpay computes y ← x + a·y (the update used for CG search directions),
+// counting 2·len(x) flops.
+func Xpay(x []float64, a float64, y []float64, fc *FlopCounter) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vecops: Xpay length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i := range y {
+		y[i] = x[i] + a*y[i]
+	}
+	fc.Add(2 * int64(len(x)))
+}
+
+// Scale computes x ← a·x, counting len(x) flops.
+func Scale(a float64, x []float64, fc *FlopCounter) {
+	for i := range x {
+		x[i] *= a
+	}
+	fc.Add(int64(len(x)))
+}
+
+// Copy copies src into dst (no flops).
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("vecops: Copy length mismatch %d vs %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64, fc *FlopCounter) float64 {
+	return math.Sqrt(Dot(x, x, fc))
+}
+
+// NormInf returns the maximum absolute component of x (no flops counted).
+func NormInf(x []float64) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Fill sets every component of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}

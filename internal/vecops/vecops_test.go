@@ -1,0 +1,129 @@
+package vecops
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDotAndFlops(t *testing.T) {
+	var fc FlopCounter
+	x := []float64{1, 2, 3}
+	y := []float64{4, -5, 6}
+	if got := Dot(x, y, &fc); got != 12 {
+		t.Fatalf("Dot = %v, want 12", got)
+	}
+	if fc.Count() != 6 {
+		t.Fatalf("flops = %d, want 6", fc.Count())
+	}
+	fc.Reset()
+	if fc.Count() != 0 {
+		t.Fatalf("Reset did not zero")
+	}
+}
+
+func TestNilCounterSafe(t *testing.T) {
+	var fc *FlopCounter
+	fc.Add(10)
+	if fc.Count() != 0 {
+		t.Fatalf("nil counter count = %d", fc.Count())
+	}
+	fc.Reset()
+	_ = Dot([]float64{1}, []float64{1}, nil)
+}
+
+func TestAxpyXpayScale(t *testing.T) {
+	y := []float64{1, 1}
+	Axpy(2, []float64{3, -1}, y, nil)
+	if y[0] != 7 || y[1] != -1 {
+		t.Fatalf("Axpy = %v", y)
+	}
+	d := []float64{1, 2}
+	Xpay([]float64{10, 10}, 0.5, d, nil)
+	if d[0] != 10.5 || d[1] != 11 {
+		t.Fatalf("Xpay = %v", d)
+	}
+	Scale(-1, d, nil)
+	if d[0] != -10.5 {
+		t.Fatalf("Scale = %v", d)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	x := []float64{3, -4}
+	if got := Norm2(x, nil); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := NormInf(x); got != 4 {
+		t.Fatalf("NormInf = %v, want 4", got)
+	}
+	Fill(x, 2)
+	if x[0] != 2 || x[1] != 2 {
+		t.Fatalf("Fill = %v", x)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"dot":  func() { Dot([]float64{1}, []float64{1, 2}, nil) },
+		"axpy": func() { Axpy(1, []float64{1}, []float64{1, 2}, nil) },
+		"xpay": func() { Xpay([]float64{1}, 1, []float64{1, 2}, nil) },
+		"copy": func() { Copy([]float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFlopCounterConcurrent(t *testing.T) {
+	var fc FlopCounter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				fc.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if fc.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", fc.Count())
+	}
+}
+
+// Property: Dot is symmetric and linear in the first argument.
+func TestQuickDotLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		z := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i], y[i], z[i] = rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		}
+		a := rng.NormFloat64()
+		// (a·x + z)ᵀ y == a·(xᵀy) + zᵀy
+		xz := make([]float64, n)
+		for i := range xz {
+			xz[i] = a*x[i] + z[i]
+		}
+		lhs := Dot(xz, y, nil)
+		rhs := a*Dot(x, y, nil) + Dot(z, y, nil)
+		scale := math.Abs(lhs) + math.Abs(rhs) + 1
+		return math.Abs(lhs-rhs) < 1e-10*scale && math.Abs(Dot(x, y, nil)-Dot(y, x, nil)) < 1e-12*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

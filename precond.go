@@ -1,0 +1,109 @@
+package fsaicomm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fsaicomm/internal/core"
+	"fsaicomm/internal/krylov"
+	"fsaicomm/internal/sparse"
+)
+
+// Preconditioner is a built factorized approximate inverse GᵀG ≈ A⁻¹ that
+// can be applied to many right-hand sides (serial). Build once with
+// BuildPreconditioner, then call SolveWith per system, or Apply to use it
+// inside a custom solver.
+type Preconditioner struct {
+	a      *Matrix
+	split  *krylov.Split
+	method Method
+	pct    float64
+	setup  time.Duration
+}
+
+// BuildPreconditioner constructs the selected FSAI variant for matrix a
+// once. The returned Preconditioner is safe for sequential reuse across
+// solves (not for concurrent Apply calls; it owns scratch buffers).
+func BuildPreconditioner(a *Matrix, opt Options) (*Preconditioner, error) {
+	if err := checkInputMatrix(a); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults(a.Rows)
+	t0 := time.Now()
+	g, pct, err := core.BuildSerialLevel(a, opt.Method, opt.Filter, opt.LineBytes, opt.PatternLevel, opt.Threshold)
+	if err != nil {
+		return nil, err
+	}
+	return &Preconditioner{
+		a:      a,
+		split:  krylov.NewSplit(g, g.Transpose()),
+		method: opt.Method,
+		pct:    pct,
+		setup:  time.Since(t0),
+	}, nil
+}
+
+func checkInputMatrix(a *Matrix) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("fsaicomm: matrix is %dx%d, want square", a.Rows, a.Cols)
+	}
+	if err := a.Validate(); err != nil {
+		return fmt.Errorf("fsaicomm: invalid matrix: %w", err)
+	}
+	if !a.IsSymmetric(1e-10) {
+		return fmt.Errorf("%w: pattern or values asymmetric", ErrNotSPD)
+	}
+	return nil
+}
+
+// Method returns the preconditioner variant that was built.
+func (p *Preconditioner) Method() Method { return p.method }
+
+// PctNNZIncrease returns the pattern growth versus the FSAI baseline.
+func (p *Preconditioner) PctNNZIncrease() float64 { return p.pct }
+
+// SetupTime returns the wall-clock construction time.
+func (p *Preconditioner) SetupTime() time.Duration { return p.setup }
+
+// Factor returns the lower-triangular factor G (GᵀG ≈ A⁻¹). The returned
+// matrix is shared; do not mutate it.
+func (p *Preconditioner) Factor() *Matrix { return p.split.G }
+
+// Apply computes z = Gᵀ(G·r), the preconditioning operation.
+func (p *Preconditioner) Apply(r, z []float64) {
+	if len(r) != p.a.Rows || len(z) != p.a.Rows {
+		panic(fmt.Sprintf("fsaicomm: Apply length %d/%d, want %d", len(r), len(z), p.a.Rows))
+	}
+	p.split.Apply(r, z, nil)
+}
+
+// SolveWith runs preconditioned CG on A·x = b reusing the built factor.
+// opt's method/filter fields are ignored (the factor is fixed); Tol,
+// MaxIter apply.
+func (p *Preconditioner) SolveWith(b []float64, opt Options) (*Result, error) {
+	if len(b) != p.a.Rows {
+		return nil, fmt.Errorf("fsaicomm: rhs length %d, want %d", len(b), p.a.Rows)
+	}
+	opt = opt.withDefaults(p.a.Rows)
+	x := make([]float64, p.a.Rows)
+	t0 := time.Now()
+	st, err := krylov.CG(p.a, b, x, p.split, krylov.Options{Tol: opt.Tol, MaxIter: opt.MaxIter}, nil)
+	if err != nil && !errors.Is(err, krylov.ErrNoConvergence) {
+		return nil, err
+	}
+	return &Result{
+		X:              x,
+		Iterations:     st.Iterations,
+		Converged:      st.Converged,
+		RelResidual:    st.RelResidual,
+		PctNNZIncrease: p.pct,
+		Ranks:          1,
+		ImbalanceIndex: 1,
+		SetupTime:      p.setup,
+		SolveTime:      time.Since(t0),
+	}, nil
+}
+
+// Pattern returns the sparsity pattern of the factor for inspection.
+func (p *Preconditioner) Pattern() *sparse.Pattern { return sparse.PatternOf(p.split.G) }

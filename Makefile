@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all tier1 tier2 bench fuzz
+
+all: tier1
+
+# tier1: the fast correctness gate — full build + full test suite.
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# tier2: race-detector pass over the concurrency-bearing packages (the
+# simulated MPI runtime, the worker pool, and the row-parallel FSAI builds).
+tier2:
+	$(GO) build ./...
+	$(GO) test -race ./internal/simmpi/... ./internal/fsai/... ./internal/parallel/...
+
+# bench: the serial-vs-parallel kernel pairs on the ~50k-row case.
+bench:
+	$(GO) test -run xxx -bench '50k' -benchmem .
+
+# fuzz: short exploration of each sparse-format fuzz target (seeds already
+# run under plain `go test`).
+fuzz:
+	$(GO) test -fuzz FuzzCSRValidate -fuzztime 30s ./internal/sparse/
+	$(GO) test -fuzz FuzzCOOToCSR -fuzztime 30s ./internal/sparse/
+	$(GO) test -fuzz FuzzReadMatrixMarket -fuzztime 30s ./internal/sparse/

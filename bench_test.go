@@ -374,6 +374,56 @@ func BenchmarkIC0Setup(b *testing.B) {
 	}
 }
 
+// ---- Serial vs. parallel kernel benchmarks ----
+//
+// The pairs below pin the worker-pool speedup on a ~50k-row problem
+// (Poisson3D 37³ = 50653 rows): run with -cpu to sweep GOMAXPROCS. The
+// Workers1 variants are the serial baselines; the Parallel variants use
+// Workers = GOMAXPROCS. Outputs are bit-identical by construction, so the
+// only difference the pool may make is the ns/op column.
+
+func benchBuildWorkers(b *testing.B, workers int) {
+	a := matgen.Poisson3D(37, 37, 37)
+	s := fsai.LowerPattern(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fsai.BuildWorkers(a, s, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFSAIBuild50kWorkers1(b *testing.B) { benchBuildWorkers(b, 1) }
+func BenchmarkFSAIBuild50kParallel(b *testing.B) { benchBuildWorkers(b, 0) }
+
+func benchSpMV50k(b *testing.B, workers int) {
+	a := matgen.Poisson3D(37, 37, 37)
+	x := make([]float64, a.Rows)
+	y := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	b.SetBytes(int64(12 * a.NNZ()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVecParallel(x, y, workers)
+	}
+}
+
+func BenchmarkSpMV50kWorkers1(b *testing.B) { benchSpMV50k(b, 1) }
+func BenchmarkSpMV50kParallel(b *testing.B) { benchSpMV50k(b, 0) }
+
+func benchPatternPower(b *testing.B, workers int) {
+	a := matgen.Poisson3D(37, 37, 37)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sparse.PatternPowerWorkers(a, 2, workers)
+	}
+}
+
+func BenchmarkPatternPower50kWorkers1(b *testing.B) { benchPatternPower(b, 1) }
+func BenchmarkPatternPower50kParallel(b *testing.B) { benchPatternPower(b, 0) }
+
 // BenchmarkSpMVSymmetric measures the half-storage symmetric kernel against
 // BenchmarkSpMVPoisson3D's full-CSR baseline (same matrix).
 func BenchmarkSpMVSymmetric(b *testing.B) {

@@ -30,15 +30,16 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (table1..table7, fig2..fig8, imbalance, ablation, scaling, convergence, csv, all)")
 	set := flag.String("set", "quick", "matrix set: quick (7 matrices) or full (39)")
 	arch := flag.String("arch", "", "override architecture (skylake, a64fx, zen2); default per experiment")
+	workers := flag.Int("workers", 0, "setup worker threads per simulated rank (0 = 1 per rank)")
 	flag.Parse()
 
-	if err := run(*exp, *set, *arch, os.Stdout); err != nil {
+	if err := run(*exp, *set, *arch, *workers, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "fsaibench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, set, archOverride string, out io.Writer) error {
+func run(exp, set, archOverride string, workers int, out io.Writer) error {
 	t1set := testsets.QuickSet()
 	if set == "full" {
 		t1set = testsets.Table1()
@@ -65,6 +66,7 @@ func run(exp, set, archOverride string, out io.Writer) error {
 			return r
 		}
 		r := experiments.NewRunner(arch)
+		r.Workers = workers
 		cache[arch.Name] = r
 		return r
 	}
@@ -80,6 +82,7 @@ func run(exp, set, archOverride string, out io.Writer) error {
 		}
 		r := experiments.NewRunner(arch)
 		r.RanksOf = testsets.LargeRanks
+		r.Workers = workers
 		cache[key] = r
 		return r
 	}
@@ -105,6 +108,7 @@ func run(exp, set, archOverride string, out io.Writer) error {
 				r.RanksOf = func(nnz int) int {
 					return testsets.RanksFor(nnz, 2048*cores, 1, 16)
 				}
+				r.Workers = workers
 				return r
 			}
 			return experiments.WriteHybrid(out, mk, t1set, []int{1, 2, 4, 8, 48})
@@ -175,7 +179,11 @@ func run(exp, set, archOverride string, out io.Writer) error {
 				return err
 			}
 			// Fresh runners: the sweep overrides the rank rule per point.
-			mk := func() *experiments.Runner { return experiments.NewRunner(archmodel.Zen2) }
+			mk := func() *experiments.Runner {
+				r := experiments.NewRunner(archmodel.Zen2)
+				r.Workers = workers
+				return r
+			}
 			return experiments.WriteScaling(out, mk, spec, []int{2, 4, 8, 16, 32})
 		},
 		"ablation": func() error {

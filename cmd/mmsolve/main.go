@@ -5,8 +5,8 @@
 // Usage:
 //
 //	mmsolve -matrix A.mtx [-rhs b.txt] [-method fsai|fsaie|fsaie-comm]
-//	        [-filter 0.01] [-dynamic] [-line 64] [-ranks 4] [-tol 1e-8]
-//	        [-out x.txt]
+//	        [-filter 0.01] [-dynamic] [-line 64] [-ranks 4] [-workers 0]
+//	        [-tol 1e-8] [-out x.txt]
 //
 // Without -rhs a deterministic random right-hand side normalized to the
 // matrix max norm is used (the paper's setup). With -ranks 1 the solve is
@@ -34,18 +34,19 @@ func main() {
 		dynamic    = flag.Bool("dynamic", false, "use the dynamic (load-balancing) filter strategy")
 		line       = flag.Int("line", 64, "cache line size in bytes steering the extension")
 		ranks      = flag.Int("ranks", 0, "simulated process count (0 = auto, 1 = serial)")
+		workers    = flag.Int("workers", 0, "setup worker threads (0 = all cores serial solve, 1 per rank distributed)")
 		tol        = flag.Float64("tol", 1e-8, "relative residual tolerance")
 		maxIter    = flag.Int("maxiter", 0, "iteration cap (0 = 10n)")
 		outPath    = flag.String("out", "", "write the solution vector to this file (one value per line)")
 	)
 	flag.Parse()
-	if err := run(*matrixPath, *rhsPath, *method, *filter, *dynamic, *line, *ranks, *tol, *maxIter, *outPath); err != nil {
+	if err := run(*matrixPath, *rhsPath, *method, *filter, *dynamic, *line, *ranks, *workers, *tol, *maxIter, *outPath); err != nil {
 		fmt.Fprintln(os.Stderr, "mmsolve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line, ranks int, tol float64, maxIter int, outPath string) error {
+func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line, ranks, workers int, tol float64, maxIter int, outPath string) error {
 	if matrixPath == "" {
 		return fmt.Errorf("-matrix is required")
 	}
@@ -79,6 +80,7 @@ func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line,
 		Tol:       tol,
 		MaxIter:   maxIter,
 		Ranks:     ranks,
+		Workers:   workers,
 	}
 	switch strings.ToLower(method) {
 	case "fsai":

@@ -26,7 +26,7 @@ func writeTestMatrix(t *testing.T) string {
 func TestRunSolvesAndWritesSolution(t *testing.T) {
 	mtx := writeTestMatrix(t)
 	out := filepath.Join(t.TempDir(), "x.txt")
-	if err := run(mtx, "", "fsaie-comm", 0.01, true, 64, 2, 1e-8, 0, out); err != nil {
+	if err := run(mtx, "", "fsaie-comm", 0.01, true, 64, 2, 2, 1e-8, 0, out); err != nil {
 		t.Fatal(err)
 	}
 	x, err := readVector(out)
@@ -46,22 +46,22 @@ func TestRunSerialWithRHS(t *testing.T) {
 		f.WriteString("1.0\n")
 	}
 	f.Close()
-	if err := run(mtx, rhs, "fsai", 0, false, 64, 1, 1e-8, 0, ""); err != nil {
+	if err := run(mtx, rhs, "fsai", 0, false, 64, 1, 0, 1e-8, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	mtx := writeTestMatrix(t)
-	if err := run("", "", "fsai", 0, false, 64, 1, 0, 0, ""); err == nil {
+	if err := run("", "", "fsai", 0, false, 64, 1, 0, 0, 0, ""); err == nil {
 		t.Fatal("missing matrix accepted")
 	}
-	if err := run(mtx, "", "bogus", 0, false, 64, 1, 0, 0, ""); err == nil {
+	if err := run(mtx, "", "bogus", 0, false, 64, 1, 0, 0, 0, ""); err == nil {
 		t.Fatal("unknown method accepted")
 	}
 	short := filepath.Join(t.TempDir(), "short.txt")
 	os.WriteFile(short, []byte("1.0\n"), 0o644)
-	if err := run(mtx, short, "fsai", 0, false, 64, 1, 0, 0, ""); err == nil {
+	if err := run(mtx, short, "fsai", 0, false, 64, 1, 0, 0, 0, ""); err == nil {
 		t.Fatal("short rhs accepted")
 	}
 }

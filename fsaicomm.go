@@ -111,6 +111,12 @@ type Options struct {
 	// (contiguous equal row counts) or "strip" (round-robin; worst-case
 	// halo, useful to stress-test communication).
 	Partitioner string
+	// Workers bounds the shared-memory worker pool for the row-parallel
+	// preconditioner setup. For Solve, ≤ 0 means GOMAXPROCS. For
+	// SolveDistributed, ≤ 0 means 1 worker per simulated rank (the ranks
+	// themselves already run concurrently); set it explicitly to model the
+	// paper's MPI×OpenMP hybrid.
+	Workers int
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -182,7 +188,7 @@ func Solve(a *Matrix, b []float64, opt Options) (*Result, error) {
 	}
 	opt = opt.withDefaults(a.Rows)
 	t0 := time.Now()
-	g, pct, err := core.BuildSerialLevel(a, opt.Method, opt.Filter, opt.LineBytes, opt.PatternLevel, opt.Threshold)
+	g, pct, err := core.BuildSerialLevelWorkers(a, opt.Method, opt.Filter, opt.LineBytes, opt.PatternLevel, opt.Threshold, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -255,6 +261,7 @@ func SolveDistributed(a *Matrix, b []float64, opt Options) (*Result, error) {
 		LineBytes:    opt.LineBytes,
 		PatternLevel: opt.PatternLevel,
 		Threshold:    opt.Threshold,
+		Workers:      opt.Workers,
 	}
 	res := &Result{Ranks: ranks}
 	px := make([]float64, a.Rows)

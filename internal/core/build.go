@@ -22,6 +22,22 @@ type Config struct {
 	// tau used to build Ã by dropping small entries; 0 keeps all.
 	PatternLevel int
 	Threshold    float64
+	// Workers bounds the shared-memory worker pool used for the per-row
+	// solves inside each rank (n > 0 → exactly n; ≤ 0 → 1 worker per rank,
+	// since ranks already run concurrently). This is orthogonal to the rank
+	// count: ranks simulate distributed processes, workers are threads
+	// inside one process.
+	Workers int
+}
+
+// rankWorkers resolves Config.Workers for per-rank pools: the zero value
+// means one worker per rank rather than GOMAXPROCS, because R ranks already
+// occupy the machine and R×GOMAXPROCS goroutines would oversubscribe it.
+func (c Config) rankWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return 1
 }
 
 // Build is the result of constructing a preconditioner on one rank. All
@@ -93,7 +109,7 @@ func BuildPrecond(c *simmpi.Comm, l *distmat.Layout, aRows *sparse.CSR, cfg Conf
 			return nil, err
 		}
 		st = est
-		gExt, err := fsai.BuildDist(c, l, aRows, ext)
+		gExt, err := fsai.BuildDistWorkers(c, l, aRows, ext, cfg.rankWorkers())
 		if err != nil {
 			return nil, fmt.Errorf("core: precompute on extended pattern: %w", err)
 		}
@@ -107,7 +123,7 @@ func BuildPrecond(c *simmpi.Comm, l *distmat.Layout, aRows *sparse.CSR, cfg Conf
 		return nil, fmt.Errorf("core: unknown method %v", cfg.Method)
 	}
 
-	g, err := fsai.BuildDist(c, l, aRows, final)
+	g, err := fsai.BuildDistWorkers(c, l, aRows, final, cfg.rankWorkers())
 	if err != nil {
 		return nil, fmt.Errorf("core: final build: %w", err)
 	}
@@ -140,12 +156,20 @@ func BuildSerial(a *sparse.CSR, method Method, filter float64, lineBytes int) (*
 }
 
 // BuildSerialLevel is BuildSerial with an explicit base-pattern sparse level
-// and thresholding tau (level ≤ 1 and tau 0 reproduce BuildSerial).
+// and thresholding tau (level ≤ 1 and tau 0 reproduce BuildSerial). The
+// row solves use all available cores; BuildSerialLevelWorkers exposes the
+// worker count.
 func BuildSerialLevel(a *sparse.CSR, method Method, filter float64, lineBytes, level int, tau float64) (*sparse.CSR, float64, error) {
+	return BuildSerialLevelWorkers(a, method, filter, lineBytes, level, tau, 0)
+}
+
+// BuildSerialLevelWorkers is BuildSerialLevel with an explicit worker count
+// for the per-row solves and pattern powering (<= 0 selects GOMAXPROCS).
+func BuildSerialLevelWorkers(a *sparse.CSR, method Method, filter float64, lineBytes, level int, tau float64, workers int) (*sparse.CSR, float64, error) {
 	if level < 1 {
 		level = 1
 	}
-	s := fsai.PowerPattern(a, level, tau)
+	s := fsai.PowerPatternWorkers(a, level, tau, workers)
 	base := s.NNZ()
 	var pattern *sparse.Pattern
 	switch method {
@@ -156,7 +180,7 @@ func BuildSerialLevel(a *sparse.CSR, method Method, filter float64, lineBytes, l
 		if err != nil {
 			return nil, 0, err
 		}
-		gExt, err := fsai.Build(a, ext)
+		gExt, err := fsai.BuildWorkers(a, ext, workers)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -165,7 +189,7 @@ func BuildSerialLevel(a *sparse.CSR, method Method, filter float64, lineBytes, l
 	default:
 		return nil, 0, fmt.Errorf("core: unknown method %v", method)
 	}
-	g, err := fsai.Build(a, pattern)
+	g, err := fsai.BuildWorkers(a, pattern, workers)
 	if err != nil {
 		return nil, 0, err
 	}

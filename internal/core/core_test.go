@@ -14,6 +14,7 @@ import (
 	"fsaicomm/internal/partition"
 	"fsaicomm/internal/simmpi"
 	"fsaicomm/internal/sparse"
+	"fsaicomm/internal/testsets"
 )
 
 const testTimeout = 30 * time.Second
@@ -656,20 +657,12 @@ func TestQuickCommInvarianceRandom(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 40 + rng.Intn(120)
-		c := sparse.NewCOO(n, n)
-		for i := 0; i < n; i++ {
-			c.Add(i, i, 6)
-			if i > 0 {
-				c.AddSym(i, i-1, -1)
-			}
-		}
-		for k := 0; k < 3*n; k++ {
-			i, j := rng.Intn(n), rng.Intn(n)
-			if i != j {
-				c.AddSym(i, j, -0.4*rng.Float64())
-			}
-		}
-		a := c.ToCSR()
+		a := testsets.RandomSPD(rng, n, testsets.SPDOptions{
+			Diag:      6,
+			Chain:     -1,
+			Couplings: 3 * n,
+			Off:       func(r *rand.Rand) float64 { return -0.4 * r.Float64() },
+		})
 		nranks := 2 + rng.Intn(4)
 		lineBytes := []int{64, 128, 256}[rng.Intn(3)]
 		l := distmat.NewUniformLayout(n, nranks)

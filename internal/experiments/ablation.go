@@ -75,7 +75,7 @@ func RunAblation(r *Runner, spec testsets.Spec) (AblationRow, error) {
 				}
 				pat = ext
 			}
-			g, err := fsai.BuildDist(c, me.layout, aRows, pat)
+			g, err := fsai.BuildDistWorkers(c, me.layout, aRows, pat, r.Workers)
 			if err != nil {
 				return err
 			}

@@ -94,7 +94,7 @@ func WriteConvergence(w io.Writer, r *Runner, spec testsets.Spec, filter float64
 				base := core.LowerPatternDist(aRows, lo).Pattern
 				final := fsai.FilterDist(g, lo, hi, filter, base)
 				var err error
-				g, err = fsai.BuildDist(c, me.layout, aRows, final)
+				g, err = fsai.BuildDistWorkers(c, me.layout, aRows, final, r.Workers)
 				if err != nil {
 					return err
 				}

@@ -66,6 +66,9 @@ type Runner struct {
 	// 1e8).
 	Tol     float64
 	MaxIter int
+	// Workers bounds the shared-memory pool for per-rank row solves
+	// (<= 0 → 1 worker per rank; ranks already run concurrently).
+	Workers int
 
 	mats    map[matKey]*matEntry
 	exts    map[extKey]*extEntry
@@ -179,7 +182,7 @@ func (r *Runner) extended(spec testsets.Spec, me *matEntry, method core.Method, 
 			}
 			pat = ext
 		}
-		g, err := fsai.BuildDist(c, me.layout, aRows, pat)
+		g, err := fsai.BuildDistWorkers(c, me.layout, aRows, pat, r.Workers)
 		if err != nil {
 			return err
 		}
@@ -246,7 +249,7 @@ func (r *Runner) Run(spec testsets.Spec, method core.Method, filter float64, str
 			}
 			final := fsai.FilterDist(gExt, lo, hi, f, base)
 			var err error
-			g, err = fsai.BuildDist(c, me.layout, aRows, final)
+			g, err = fsai.BuildDistWorkers(c, me.layout, aRows, final, r.Workers)
 			if err != nil {
 				return err
 			}

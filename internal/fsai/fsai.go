@@ -21,6 +21,7 @@ import (
 
 	"fsaicomm/internal/dense"
 	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/parallel"
 	"fsaicomm/internal/simmpi"
 	"fsaicomm/internal/sparse"
 )
@@ -35,16 +36,30 @@ func LowerPattern(a *sparse.CSR) *sparse.Pattern {
 // where Ã drops entries below tau (scale-independent). Level 1 with tau 0
 // reduces to LowerPattern.
 func PowerPattern(a *sparse.CSR, level int, tau float64) *sparse.Pattern {
+	return PowerPatternWorkers(a, level, tau, 0)
+}
+
+// PowerPatternWorkers is PowerPattern with an explicit worker count for the
+// symbolic powering (<= 0 selects GOMAXPROCS).
+func PowerPatternWorkers(a *sparse.CSR, level int, tau float64, workers int) *sparse.Pattern {
 	at := a
 	if tau > 0 {
 		at = sparse.Threshold(a, tau)
 	}
-	return sparse.PatternPower(at, level).LowerTriangle().WithDiagonal()
+	return sparse.PatternPowerWorkers(at, level, workers).LowerTriangle().WithDiagonal()
 }
 
-// Build computes the FSAI factor G of A on the lower-triangular pattern s
-// (serial). The returned matrix has exactly the pattern s.
+// Build computes the FSAI factor G of A on the lower-triangular pattern s,
+// using all available cores. The returned matrix has exactly the pattern s.
 func Build(a *sparse.CSR, s *sparse.Pattern) (*sparse.CSR, error) {
+	return BuildWorkers(a, s, 0)
+}
+
+// BuildWorkers is Build with an explicit worker count (<= 0 selects
+// GOMAXPROCS). Every row of G is an independent small dense SPD solve
+// writing a disjoint slice of g.Val, so the result is bit-identical for
+// every worker count — parallelism only changes wall-clock time.
+func BuildWorkers(a *sparse.CSR, s *sparse.Pattern, workers int) (*sparse.CSR, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("fsai: matrix %dx%d not square", a.Rows, a.Cols)
 	}
@@ -58,24 +73,30 @@ func Build(a *sparse.CSR, s *sparse.Pattern) (*sparse.CSR, error) {
 		ColIdx: append([]int(nil), s.ColIdx...),
 		Val:    make([]float64, s.NNZ()),
 	}
-	var buf []float64
-	var rhs []float64
-	for i := 0; i < s.Rows; i++ {
-		cols := s.Row(i)
-		if err := checkRowPattern(i, cols); err != nil {
-			return nil, err
+	err := parallel.For(workers, s.Rows, func(lo, hi int) error {
+		// Scratch is per chunk: workers never share mutable state.
+		var buf, rhs []float64
+		for i := lo; i < hi; i++ {
+			cols := s.Row(i)
+			if err := checkRowPattern(i, cols); err != nil {
+				return err
+			}
+			m := len(cols)
+			if cap(buf) < m*m {
+				buf = make([]float64, m*m)
+				rhs = make([]float64, m)
+			}
+			sub := buf[:m*m]
+			a.SubMatrix(cols, cols, sub)
+			if err := solveRow(i, sub, m, rhs[:m]); err != nil {
+				return err
+			}
+			copy(g.Val[g.RowPtr[i]:g.RowPtr[i+1]], rhs[:m])
 		}
-		m := len(cols)
-		if cap(buf) < m*m {
-			buf = make([]float64, m*m)
-			rhs = make([]float64, m)
-		}
-		sub := buf[:m*m]
-		a.SubMatrix(cols, cols, sub)
-		if err := solveRow(i, sub, m, rhs[:m]); err != nil {
-			return nil, err
-		}
-		copy(g.Val[g.RowPtr[i]:g.RowPtr[i+1]], rhs[:m])
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return g, nil
 }
@@ -159,18 +180,24 @@ func CountFiltered(g *sparse.CSR, filter float64) int64 {
 	return n
 }
 
-// BuildFiltered runs the two-pass serial pipeline: compute G on s, filter
-// its small entries, and recompute G on the surviving pattern (Algorithm 2
+// BuildFiltered runs the two-pass pipeline: compute G on s, filter its
+// small entries, and recompute G on the surviving pattern (Algorithm 2
 // steps 4–5 of the paper, also the "drop and rescale" of Algorithm 1).
 func BuildFiltered(a *sparse.CSR, s *sparse.Pattern, filter float64) (*sparse.CSR, error) {
-	g1, err := Build(a, s)
+	return BuildFilteredWorkers(a, s, filter, 0)
+}
+
+// BuildFilteredWorkers is BuildFiltered with an explicit worker count for
+// both build passes (<= 0 selects GOMAXPROCS).
+func BuildFilteredWorkers(a *sparse.CSR, s *sparse.Pattern, filter float64, workers int) (*sparse.CSR, error) {
+	g1, err := BuildWorkers(a, s, workers)
 	if err != nil {
 		return nil, err
 	}
 	if filter <= 0 {
 		return g1, nil
 	}
-	return Build(a, FilterPattern(g1, filter))
+	return BuildWorkers(a, FilterPattern(g1, filter), workers)
 }
 
 // DistRows is a rank's block of a distributed lower-triangular pattern:
@@ -196,10 +223,21 @@ func (d *DistRows) Validate() error {
 }
 
 // BuildDist computes this rank's rows of the FSAI factor G on the
-// distributed pattern s. aRows holds the rank's rows of A (global columns).
-// Rows of A required for halo columns of s are gathered from their owners
+// distributed pattern s with one row-solve worker (the historical serial
+// per-rank behavior; the simulated ranks themselves already run
+// concurrently). aRows holds the rank's rows of A (global columns). Rows of
+// A required for halo columns of s are gathered from their owners
 // (setup-phase communication). Collective.
 func BuildDist(c *simmpi.Comm, l *distmat.Layout, aRows *sparse.CSR, s *DistRows) (*sparse.CSR, error) {
+	return BuildDistWorkers(c, l, aRows, s, 1)
+}
+
+// BuildDistWorkers is BuildDist with an explicit per-rank worker count for
+// the local row solves (<= 0 selects GOMAXPROCS). This is the hybrid
+// MPI+threads layer of the paper's setup: communication (the halo row
+// gather) stays on the rank goroutine; only the embarrassingly parallel row
+// loop fans out. Results are bit-identical for every worker count.
+func BuildDistWorkers(c *simmpi.Comm, l *distmat.Layout, aRows *sparse.CSR, s *DistRows, workers int) (*sparse.CSR, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -223,20 +261,26 @@ func BuildDist(c *simmpi.Comm, l *distmat.Layout, aRows *sparse.CSR, s *DistRows
 		ColIdx: append([]int(nil), s.Pattern.ColIdx...),
 		Val:    make([]float64, s.Pattern.NNZ()),
 	}
-	var buf, rhs []float64
-	for li := 0; li < s.Pattern.Rows; li++ {
-		cols := s.Pattern.Row(li)
-		m := len(cols)
-		if cap(buf) < m*m {
-			buf = make([]float64, m*m)
-			rhs = make([]float64, m)
+	err := parallel.For(workers, s.Pattern.Rows, func(clo, chi int) error {
+		var buf, rhs []float64
+		for li := clo; li < chi; li++ {
+			cols := s.Pattern.Row(li)
+			m := len(cols)
+			if cap(buf) < m*m {
+				buf = make([]float64, m*m)
+				rhs = make([]float64, m)
+			}
+			sub := buf[:m*m]
+			gatherSub(rows, cols, sub)
+			if err := solveRow(lo+li, sub, m, rhs[:m]); err != nil {
+				return err
+			}
+			copy(g.Val[g.RowPtr[li]:g.RowPtr[li+1]], rhs[:m])
 		}
-		sub := buf[:m*m]
-		gatherSub(rows, cols, sub)
-		if err := solveRow(lo+li, sub, m, rhs[:m]); err != nil {
-			return nil, err
-		}
-		copy(g.Val[g.RowPtr[li]:g.RowPtr[li+1]], rhs[:m])
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return g, nil
 }

@@ -12,6 +12,7 @@ import (
 	"fsaicomm/internal/matgen"
 	"fsaicomm/internal/simmpi"
 	"fsaicomm/internal/sparse"
+	"fsaicomm/internal/testsets"
 )
 
 const testTimeout = 20 * time.Second
@@ -355,17 +356,11 @@ func TestQuickFSAINormalized(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 3 + rng.Intn(20)
-		c := sparse.NewCOO(n, n)
-		for i := 0; i < n; i++ {
-			c.Add(i, i, 4)
-		}
-		for k := 0; k < 2*n; k++ {
-			i, j := rng.Intn(n), rng.Intn(n)
-			if i != j {
-				c.AddSym(i, j, 0.3*rng.NormFloat64())
-			}
-		}
-		a := c.ToCSR()
+		a := testsets.RandomSPD(rng, n, testsets.SPDOptions{
+			Diag:      4,
+			Couplings: 2 * n,
+			Off:       func(r *rand.Rand) float64 { return 0.3 * r.NormFloat64() },
+		})
 		g, err := Build(a, LowerPattern(a))
 		if err != nil {
 			return false

@@ -176,6 +176,45 @@ func TestAcousticsSPDWellConditioned(t *testing.T) {
 	}
 }
 
+// TestAllGeneratorsSameSeedIdenticalCSR asserts full CSR equality (RowPtr,
+// ColIdx and bit-identical Val) for two draws of every generator with the
+// same arguments. The parallel-equality property tests lean on this: their
+// reference and parallel builds regenerate the input independently.
+func TestAllGeneratorsSameSeedIdenticalCSR(t *testing.T) {
+	gens := map[string]func() *sparse.CSR{
+		"Poisson2D":        func() *sparse.CSR { return Poisson2D(13, 9) },
+		"Poisson3D":        func() *sparse.CSR { return Poisson3D(6, 5, 4) },
+		"ThermalAniso":     func() *sparse.CSR { return ThermalAniso(10, 8, 1, 25) },
+		"Elasticity2D":     func() *sparse.CSR { return Elasticity2D(7, 6, 11) },
+		"Shell2D":          func() *sparse.CSR { return Shell2D(9, 7) },
+		"CircuitLaplacian": func() *sparse.CSR { return CircuitLaplacian(150, 5, 7) },
+		"CFDDiffusion":     func() *sparse.CSR { return CFDDiffusion(11, 9, 1e4, 3) },
+		"Electromagnetics": func() *sparse.CSR { return Electromagnetics(120, 6, 5) },
+		"ModelReduction":   func() *sparse.CSR { return ModelReduction(140, 4, 9, 13) },
+		"Acoustics":        func() *sparse.CSR { return Acoustics(8, 8, 0.02) },
+		"ImbalancedMesh":   func() *sparse.CSR { return ImbalancedMesh(10, 10, 0.3, 4, 21) },
+	}
+	for name, gen := range gens {
+		a, b := gen(), gen()
+		if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+			t.Fatalf("%s: shape/nnz differ between same-seed draws", name)
+		}
+		for k := range a.RowPtr {
+			if a.RowPtr[k] != b.RowPtr[k] {
+				t.Fatalf("%s: RowPtr[%d] differs", name, k)
+			}
+		}
+		for k := range a.ColIdx {
+			if a.ColIdx[k] != b.ColIdx[k] {
+				t.Fatalf("%s: ColIdx[%d] differs", name, k)
+			}
+			if a.Val[k] != b.Val[k] {
+				t.Fatalf("%s: Val[%d] = %v vs %v, not bit-identical", name, k, a.Val[k], b.Val[k])
+			}
+		}
+	}
+}
+
 func TestGeneratorsDeterministic(t *testing.T) {
 	a := Elasticity2D(6, 6, 11)
 	b := Elasticity2D(6, 6, 11)

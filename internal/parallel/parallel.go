@@ -1,0 +1,186 @@
+// Package parallel provides the bounded worker pool used to parallelize the
+// row-independent loops of the FSAI pipeline (per-row factor solves, symbolic
+// pattern powering, row-partitioned SpMV).
+//
+// The design constraint, inherited from the paper's embarrassingly parallel
+// setup phase, is bit-identical results: callers split work into index ranges
+// whose outputs land in disjoint slices, so the only thing parallelism may
+// change is wall-clock time — never a single bit of the result. No atomics
+// touch values; scheduling only decides which goroutine computes which chunk.
+//
+// This layer is orthogonal to internal/simmpi: simmpi ranks simulate the
+// paper's MPI processes (distributed memory, metered messages), while this
+// pool is the shared-memory threading *inside* one process (the paper's
+// OpenMP level). A distributed build may therefore use both at once.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: n > 0 means exactly n workers,
+// anything else (the zero value of a config field) means GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// minChunk is the smallest index range handed to a worker. Tiny chunks would
+// spend more time on the scheduling counter than on row work.
+const minChunk = 64
+
+// chunkSize picks the dynamic-scheduling grain for n items over w workers:
+// several chunks per worker for load balance (FSAI row costs vary with row
+// degree), but never below minChunk.
+func chunkSize(n, w int) int {
+	c := n / (8 * w)
+	if c < minChunk {
+		c = minChunk
+	}
+	return c
+}
+
+// For runs body over the index range [0, n) split into contiguous chunks,
+// using the given number of workers (<= 0 selects GOMAXPROCS). body receives
+// half-open sub-ranges [lo, hi) and is called from multiple goroutines;
+// distinct calls never overlap, and every index is visited exactly once
+// unless an error aborts the loop early.
+//
+// Error handling is deterministic: if any body call returns a non-nil error,
+// For stops handing out further chunks, waits for in-flight chunks, and
+// returns the error from the lowest-indexed failing chunk — the same error a
+// serial left-to-right loop would have hit first among those observed.
+func For(workers, n int, body func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w == 1 || n <= minChunk {
+		return body(0, n)
+	}
+	chunk := chunkSize(n, w)
+	nchunks := (n + chunk - 1) / chunk
+	if w > nchunks {
+		w = nchunks
+	}
+
+	var (
+		next     atomic.Int64 // next chunk index to claim
+		failed   atomic.Bool  // set once any chunk errors; stops new claims
+		mu       sync.Mutex
+		errLo    int // chunk start of the lowest-indexed error
+		first    error
+		panicked any
+		wg       sync.WaitGroup
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				c := int(next.Add(1)) - 1
+				if c >= nchunks {
+					return
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				err, pv := runChunk(body, lo, hi)
+				if err != nil || pv != nil {
+					mu.Lock()
+					if (first == nil && panicked == nil) || lo < errLo {
+						first, panicked, errLo = err, pv, lo
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		// Re-panic in the caller's goroutine so enclosing recovers (e.g.
+		// simmpi's per-rank recovery) see the panic exactly as in the serial
+		// loop.
+		panic(panicked)
+	}
+	return first
+}
+
+// runChunk invokes body on one chunk, converting a panic into a value the
+// pool can rethrow from the calling goroutine.
+func runChunk(body func(lo, hi int) error, lo, hi int) (err error, panicked any) {
+	defer func() {
+		if p := recover(); p != nil {
+			panicked = p
+		}
+	}()
+	return body(lo, hi), nil
+}
+
+// Run executes the given tasks concurrently on at most workers goroutines
+// (<= 0 selects GOMAXPROCS) and returns the error of the lowest-indexed
+// failing task. Unlike For it does not abort early: every task runs, so
+// callers can treat Run as a structured fork-join.
+func Run(workers int, tasks ...func() error) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w == 1 {
+		for _, t := range tasks {
+			if err := t(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if w > len(tasks) {
+		w = len(tasks)
+	}
+	errs := make([]error, len(tasks))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				errs[i] = guard(tasks[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// guard converts a task panic into an error so one bad task cannot kill the
+// whole process from a pool goroutine (mirroring simmpi.Run's rank recovery).
+func guard(task func() error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("parallel: task panicked: %v", p)
+		}
+	}()
+	return task()
+}

@@ -1,0 +1,202 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 4096, 100001} {
+		for _, w := range []int{1, 2, 7, 16} {
+			hits := make([]int32, n)
+			err := For(w, n, func(lo, hi int) error {
+				if lo < 0 || hi > n || lo >= hi {
+					return fmt.Errorf("bad range [%d,%d)", lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d w=%d: %v", n, w, err)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForDisjointWritesAreDeterministic(t *testing.T) {
+	// The pool's contract: writes to disjoint output ranges give the same
+	// result for every worker count.
+	n := 50000
+	ref := make([]float64, n)
+	for i := range ref {
+		ref[i] = float64(i*i%97) / 3
+	}
+	for _, w := range []int{1, 2, 3, 8, 33} {
+		out := make([]float64, n)
+		if err := For(w, n, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				out[i] = float64(i*i%97) / 3
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("w=%d: out[%d] = %v, want %v", w, i, out[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestForReturnsLowestIndexedError(t *testing.T) {
+	// Every chunk but the first fails: the error of the lowest failing
+	// range must win, matching what a serial scan would report first.
+	n := 10000
+	for _, w := range []int{2, 4, 8} {
+		var mu sync.Mutex
+		var failedLos []int
+		err := For(w, n, func(lo, hi int) error {
+			if lo == 0 {
+				return nil
+			}
+			mu.Lock()
+			failedLos = append(failedLos, lo)
+			mu.Unlock()
+			return fmt.Errorf("chunk@%d", lo)
+		})
+		if err == nil {
+			t.Fatalf("w=%d: expected error", w)
+		}
+		min := failedLos[0]
+		for _, lo := range failedLos[1:] {
+			if lo < min {
+				min = lo
+			}
+		}
+		if got, want := err.Error(), fmt.Sprintf("chunk@%d", min); got != want {
+			t.Fatalf("w=%d: got %q, want %q (lowest failing chunk)", w, got, want)
+		}
+	}
+}
+
+func TestForStopsEarlyAfterError(t *testing.T) {
+	n := 1 << 20
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	err := For(4, n, func(lo, hi int) error {
+		calls.Add(1)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// All chunks would be n/minChunk >> workers; early abort must have
+	// skipped nearly all of them (at most one in-flight chunk per worker).
+	if c := calls.Load(); c > 16 {
+		t.Fatalf("%d chunks ran after first error", c)
+	}
+}
+
+func TestForPropagatesPanicToCaller(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("panic swallowed by pool")
+		}
+		if s, ok := p.(string); !ok || s != "row exploded" {
+			t.Fatalf("panic value %v", p)
+		}
+	}()
+	_ = For(4, 100000, func(lo, hi int) error {
+		if lo >= 4096 {
+			panic("row exploded")
+		}
+		return nil
+	})
+}
+
+func TestForSerialFallbackSmallN(t *testing.T) {
+	// Tiny loops run inline in the caller's goroutine: one body call.
+	var calls int
+	if err := For(8, 10, func(lo, hi int) error {
+		calls++
+		if lo != 0 || hi != 10 {
+			return fmt.Errorf("range [%d,%d)", lo, hi)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestRunAllTasksExecute(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		var ran [20]atomic.Bool
+		tasks := make([]func() error, len(ran))
+		for i := range tasks {
+			i := i
+			tasks[i] = func() error { ran[i].Store(true); return nil }
+		}
+		if err := Run(w, tasks...); err != nil {
+			t.Fatal(err)
+		}
+		for i := range ran {
+			if !ran[i].Load() {
+				t.Fatalf("w=%d: task %d never ran", w, i)
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := Run(4,
+		func() error { return nil },
+		func() error { return errA },
+		func() error { return errB },
+	)
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want first failing task's error", err)
+	}
+}
+
+func TestRunRecoversTaskPanic(t *testing.T) {
+	err := Run(2, func() error { panic("kaboom") })
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := Run(4); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"fsaicomm/internal/parallel"
 )
 
 // CSR is a sparse matrix in compressed sparse row format.
@@ -95,10 +97,15 @@ func (m *CSR) Validate() error {
 	if m.RowPtr[m.Rows] != len(m.ColIdx) {
 		return fmt.Errorf("sparse: RowPtr[last] = %d, want nnz %d", m.RowPtr[m.Rows], len(m.ColIdx))
 	}
+	// Check all of RowPtr before slicing ColIdx with it: non-decreasing with
+	// RowPtr[0] = 0 and RowPtr[Rows] = nnz bounds every offset into [0, nnz],
+	// so the Row calls below cannot go out of range even on corrupt input.
 	for i := 0; i < m.Rows; i++ {
 		if m.RowPtr[i] > m.RowPtr[i+1] {
 			return fmt.Errorf("sparse: RowPtr decreases at row %d", i)
 		}
+	}
+	for i := 0; i < m.Rows; i++ {
 		cols, _ := m.Row(i)
 		for k, c := range cols {
 			if c < 0 || c >= m.Cols {
@@ -125,6 +132,27 @@ func (m *CSR) MulVec(x, y []float64) {
 		}
 		y[i] = sum
 	}
+}
+
+// MulVecParallel computes y = A x with rows partitioned across workers
+// (<= 0 selects GOMAXPROCS). Each worker writes a disjoint slice of y and
+// every row dot product is the same left-to-right sum as MulVec, so the
+// result is bit-identical to the serial product for any worker count.
+func (m *CSR) MulVecParallel(x, y []float64, workers int) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("sparse: MulVecParallel shape mismatch: A is %dx%d, len(x)=%d, len(y)=%d",
+			m.Rows, m.Cols, len(x), len(y)))
+	}
+	_ = parallel.For(workers, m.Rows, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			sum := 0.0
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				sum += m.Val[k] * x[m.ColIdx[k]]
+			}
+			y[i] = sum
+		}
+		return nil
+	})
 }
 
 // MulVecTrans computes y = Aᵀ x without forming the transpose.

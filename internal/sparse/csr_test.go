@@ -1,10 +1,13 @@
-package sparse
+package sparse_test
 
 import (
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"fsaicomm/internal/sparse"
+	"fsaicomm/internal/testsets"
 )
 
 // small deterministic test matrix:
@@ -13,25 +16,13 @@ import (
 //	[-1  4 -1  0 ]
 //	[ 0 -1  4 -1 ]
 //	[ 0  0 -1  4 ]
-func tri4() *CSR {
-	c := NewCOO(4, 4)
+func tri4() *sparse.CSR {
+	c := sparse.NewCOO(4, 4)
 	for i := 0; i < 4; i++ {
 		c.Add(i, i, 4)
 		if i > 0 {
 			c.Add(i, i-1, -1)
 			c.Add(i-1, i, -1)
-		}
-	}
-	return c.ToCSR()
-}
-
-func randomCSR(rng *rand.Rand, rows, cols int, density float64) *CSR {
-	c := NewCOO(rows, cols)
-	for i := 0; i < rows; i++ {
-		for j := 0; j < cols; j++ {
-			if rng.Float64() < density {
-				c.Add(i, j, rng.NormFloat64())
-			}
 		}
 	}
 	return c.ToCSR()
@@ -48,13 +39,13 @@ func TestCSRValidate(t *testing.T) {
 }
 
 func TestCSRValidateDetectsCorruption(t *testing.T) {
-	cases := map[string]func(*CSR){
-		"rowptr-start":    func(m *CSR) { m.RowPtr[0] = 1 },
-		"rowptr-decrease": func(m *CSR) { m.RowPtr[2] = 0 },
-		"rowptr-end":      func(m *CSR) { m.RowPtr[len(m.RowPtr)-1]-- },
-		"col-range":       func(m *CSR) { m.ColIdx[0] = 99 },
-		"col-order":       func(m *CSR) { m.ColIdx[1], m.ColIdx[2] = m.ColIdx[2], m.ColIdx[1] },
-		"val-length":      func(m *CSR) { m.Val = m.Val[:len(m.Val)-1] },
+	cases := map[string]func(*sparse.CSR){
+		"rowptr-start":    func(m *sparse.CSR) { m.RowPtr[0] = 1 },
+		"rowptr-decrease": func(m *sparse.CSR) { m.RowPtr[2] = 0 },
+		"rowptr-end":      func(m *sparse.CSR) { m.RowPtr[len(m.RowPtr)-1]-- },
+		"col-range":       func(m *sparse.CSR) { m.ColIdx[0] = 99 },
+		"col-order":       func(m *sparse.CSR) { m.ColIdx[1], m.ColIdx[2] = m.ColIdx[2], m.ColIdx[1] },
+		"val-length":      func(m *sparse.CSR) { m.Val = m.Val[:len(m.Val)-1] },
 	}
 	for name, corrupt := range cases {
 		m := tri4()
@@ -82,7 +73,7 @@ func TestMulVecAgainstDense(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 30; trial++ {
 		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
-		m := randomCSR(rng, rows, cols, 0.3)
+		m := testsets.RandomCSR(rng, rows, cols, 0.3)
 		x := make([]float64, cols)
 		for i := range x {
 			x[i] = rng.NormFloat64()
@@ -106,7 +97,7 @@ func TestMulVecTransMatchesExplicitTranspose(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	for trial := 0; trial < 30; trial++ {
 		rows, cols := 1+rng.Intn(15), 1+rng.Intn(15)
-		m := randomCSR(rng, rows, cols, 0.4)
+		m := testsets.RandomCSR(rng, rows, cols, 0.4)
 		x := make([]float64, rows)
 		for i := range x {
 			x[i] = rng.NormFloat64()
@@ -121,6 +112,40 @@ func TestMulVecTransMatchesExplicitTranspose(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestMulVecParallelMatchesSerial(t *testing.T) {
+	// Bit-identity, not approximate equality: the row partition must not
+	// change a single rounding.
+	rng := rand.New(rand.NewSource(9))
+	for _, rows := range []int{1, 17, 400, 3000} {
+		m := testsets.RandomCSR(rng, rows, rows, 0.05)
+		x := make([]float64, rows)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, rows)
+		m.MulVec(x, want)
+		for _, w := range []int{1, 2, 8} {
+			got := make([]float64, rows)
+			m.MulVecParallel(x, got, w)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("rows=%d workers=%d: y[%d] = %v, serial %v", rows, w, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMulVecParallelShapePanics(t *testing.T) {
+	m := tri4()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for short x")
+		}
+	}()
+	m.MulVecParallel(make([]float64, 3), make([]float64, 4), 2)
 }
 
 func TestMulVecShapePanics(t *testing.T) {
@@ -142,7 +167,7 @@ func TestMulVecShapePanics(t *testing.T) {
 
 func TestTransposeInvolution(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	m := randomCSR(rng, 17, 11, 0.3)
+	m := testsets.RandomCSR(rng, 17, 11, 0.3)
 	tt := m.Transpose().Transpose()
 	if tt.Rows != m.Rows || tt.Cols != m.Cols || tt.NNZ() != m.NNZ() {
 		t.Fatalf("shape changed under double transpose")
@@ -197,7 +222,7 @@ func TestIsSymmetric(t *testing.T) {
 	if !tri4().IsSymmetric(1e-14) {
 		t.Errorf("tridiagonal SPD matrix reported asymmetric")
 	}
-	c := NewCOO(3, 3)
+	c := sparse.NewCOO(3, 3)
 	c.Add(0, 0, 1)
 	c.Add(0, 1, 2)
 	c.Add(1, 0, 3)
@@ -207,7 +232,7 @@ func TestIsSymmetric(t *testing.T) {
 		t.Errorf("asymmetric matrix reported symmetric")
 	}
 	// Structurally asymmetric.
-	c2 := NewCOO(3, 3)
+	c2 := sparse.NewCOO(3, 3)
 	c2.Add(0, 1, 2)
 	c2.Add(0, 0, 1)
 	c2.Add(1, 1, 1)
@@ -232,7 +257,7 @@ func TestSubMatrix(t *testing.T) {
 }
 
 func TestCOOSumsDuplicates(t *testing.T) {
-	c := NewCOO(2, 2)
+	c := sparse.NewCOO(2, 2)
 	c.Add(0, 0, 1)
 	c.Add(0, 0, 2.5)
 	c.Add(1, 1, -1)
@@ -246,7 +271,7 @@ func TestCOOSumsDuplicates(t *testing.T) {
 }
 
 func TestCOOEmptyRows(t *testing.T) {
-	c := NewCOO(5, 5)
+	c := sparse.NewCOO(5, 5)
 	c.Add(0, 0, 1)
 	c.Add(4, 4, 1)
 	m := c.ToCSR()
@@ -264,7 +289,7 @@ func TestCOOOutOfRangePanics(t *testing.T) {
 			t.Fatal("no panic for out-of-range Add")
 		}
 	}()
-	NewCOO(2, 2).Add(2, 0, 1)
+	sparse.NewCOO(2, 2).Add(2, 0, 1)
 }
 
 func TestScaleAndNorms(t *testing.T) {
@@ -288,7 +313,7 @@ func TestQuickTransposeProduct(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		rows, cols := 1+rng.Intn(12), 1+rng.Intn(12)
-		m := randomCSR(rng, rows, cols, 0.35)
+		m := testsets.RandomCSR(rng, rows, cols, 0.35)
 		x := make([]float64, rows)
 		for i := range x {
 			x[i] = rng.NormFloat64()
@@ -316,7 +341,7 @@ func TestQuickTransposeProduct(t *testing.T) {
 func TestQuickCloneIsDeep(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		m := randomCSR(rng, 1+rng.Intn(10), 1+rng.Intn(10), 0.5)
+		m := testsets.RandomCSR(rng, 1+rng.Intn(10), 1+rng.Intn(10), 0.5)
 		if m.NNZ() == 0 {
 			return true
 		}
@@ -334,7 +359,7 @@ func TestSymCSRMatchesCSR(t *testing.T) {
 	rng := rand.New(rand.NewSource(44))
 	for trial := 0; trial < 20; trial++ {
 		n := 2 + rng.Intn(30)
-		c := NewCOO(n, n)
+		c := sparse.NewCOO(n, n)
 		for i := 0; i < n; i++ {
 			c.Add(i, i, 4+rng.Float64())
 		}
@@ -345,7 +370,7 @@ func TestSymCSRMatchesCSR(t *testing.T) {
 			}
 		}
 		a := c.ToCSR()
-		s, err := NewSymCSR(a)
+		s, err := sparse.NewSymCSR(a)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -374,14 +399,14 @@ func TestSymCSRMatchesCSR(t *testing.T) {
 }
 
 func TestSymCSRRejectsAsymmetric(t *testing.T) {
-	c := NewCOO(2, 2)
+	c := sparse.NewCOO(2, 2)
 	c.Add(0, 0, 1)
 	c.Add(1, 1, 1)
 	c.Add(0, 1, 2)
-	if _, err := NewSymCSR(c.ToCSR()); err == nil {
+	if _, err := sparse.NewSymCSR(c.ToCSR()); err == nil {
 		t.Fatal("asymmetric accepted")
 	}
-	if _, err := NewSymCSR(NewCSR(2, 3, 0)); err == nil {
+	if _, err := sparse.NewSymCSR(sparse.NewCSR(2, 3, 0)); err == nil {
 		t.Fatal("rectangular accepted")
 	}
 }

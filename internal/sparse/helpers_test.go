@@ -1,0 +1,19 @@
+package sparse
+
+// small deterministic test matrix shared by the in-package tests:
+//
+//	[ 4 -1  0  0 ]
+//	[-1  4 -1  0 ]
+//	[ 0 -1  4 -1 ]
+//	[ 0  0 -1  4 ]
+func tri4() *CSR {
+	c := NewCOO(4, 4)
+	for i := 0; i < 4; i++ {
+		c.Add(i, i, 4)
+		if i > 0 {
+			c.Add(i, i-1, -1)
+			c.Add(i-1, i, -1)
+		}
+	}
+	return c.ToCSR()
+}

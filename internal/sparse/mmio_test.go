@@ -1,4 +1,4 @@
-package sparse
+package sparse_test
 
 import (
 	"bytes"
@@ -6,16 +6,19 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+
+	"fsaicomm/internal/sparse"
+	"fsaicomm/internal/testsets"
 )
 
 func TestMatrixMarketRoundTripGeneral(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	m := randomCSR(rng, 13, 9, 0.3)
+	m := testsets.RandomCSR(rng, 13, 9, 0.3)
 	var buf bytes.Buffer
-	if err := WriteMatrixMarket(&buf, m); err != nil {
+	if err := sparse.WriteMatrixMarket(&buf, m); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ReadMatrixMarket(&buf)
+	got, err := sparse.ReadMatrixMarket(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,13 +40,13 @@ func TestMatrixMarketRoundTripGeneral(t *testing.T) {
 func TestMatrixMarketRoundTripSymmetric(t *testing.T) {
 	m := tri4()
 	var buf bytes.Buffer
-	if err := WriteMatrixMarketSymmetric(&buf, m); err != nil {
+	if err := sparse.WriteMatrixMarketSymmetric(&buf, m); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "symmetric") {
 		t.Fatalf("missing symmetric header: %q", buf.String())
 	}
-	got, err := ReadMatrixMarket(&buf)
+	got, err := sparse.ReadMatrixMarket(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +70,7 @@ func TestMatrixMarketComments(t *testing.T) {
 1 1 3.5
 2 2 -1
 `
-	m, err := ReadMatrixMarket(strings.NewReader(in))
+	m, err := sparse.ReadMatrixMarket(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +92,7 @@ func TestMatrixMarketErrors(t *testing.T) {
 		"no-size":     "%%MatrixMarket matrix coordinate real general\n% only comments\n",
 	}
 	for name, in := range cases {
-		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+		if _, err := sparse.ReadMatrixMarket(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: error not detected", name)
 		}
 	}

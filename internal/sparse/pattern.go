@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"fsaicomm/internal/parallel"
 )
 
 // Pattern is a structure-only sparse matrix: the set of (row, column)
@@ -194,23 +196,48 @@ func Threshold(a *CSR, tau float64) *CSR {
 	return out
 }
 
-// PatternPower computes the sparsity pattern of Ãᴺ symbolically. level must
-// be ≥ 1; level 1 is the pattern of Ã itself. The result always includes the
-// diagonal. Symbolic row-by-row expansion with a visited scratch keeps the
-// cost proportional to the output size times the average row degree.
+// PatternPower computes the sparsity pattern of Ãᴺ symbolically, using all
+// available cores. level must be ≥ 1; level 1 is the pattern of Ã itself.
+// The result always includes the diagonal. Symbolic row-by-row expansion
+// with a visited scratch keeps the cost proportional to the output size
+// times the average row degree.
 func PatternPower(a *CSR, level int) *Pattern {
+	return PatternPowerWorkers(a, level, 0)
+}
+
+// PatternPowerWorkers is PatternPower with an explicit worker count (<= 0
+// selects GOMAXPROCS). Each output row depends only on input rows, so row
+// blocks expand independently with private scratch and are concatenated in
+// order: the result is bit-identical for every worker count.
+func PatternPowerWorkers(a *CSR, level, workers int) *Pattern {
 	if level < 1 {
 		panic(fmt.Sprintf("sparse: PatternPower level %d < 1", level))
 	}
 	base := PatternOf(a).WithDiagonal()
 	cur := base
 	for l := 1; l < level; l++ {
-		cur = symbolicProduct(cur, base)
+		cur = symbolicProductWorkers(cur, base, workers)
 	}
 	return cur
 }
 
-// symbolicProduct returns the pattern of P*Q for square patterns.
+// expandRow appends the sorted column set of row i of P*Q to scratch[:0],
+// using mark (len q.Cols, stamped with i) to deduplicate.
+func expandRow(p, q *Pattern, i int, mark []int, scratch []int) []int {
+	scratch = scratch[:0]
+	for _, k := range p.Row(i) {
+		for _, j := range q.Row(k) {
+			if mark[j] != i {
+				mark[j] = i
+				scratch = append(scratch, j)
+			}
+		}
+	}
+	sort.Ints(scratch)
+	return scratch
+}
+
+// symbolicProduct returns the pattern of P*Q for square patterns (serial).
 func symbolicProduct(p, q *Pattern) *Pattern {
 	out := &Pattern{Rows: p.Rows, Cols: q.Cols, RowPtr: make([]int, p.Rows+1)}
 	mark := make([]int, q.Cols)
@@ -219,18 +246,72 @@ func symbolicProduct(p, q *Pattern) *Pattern {
 	}
 	var scratch []int
 	for i := 0; i < p.Rows; i++ {
-		scratch = scratch[:0]
-		for _, k := range p.Row(i) {
-			for _, j := range q.Row(k) {
-				if mark[j] != i {
-					mark[j] = i
-					scratch = append(scratch, j)
-				}
-			}
-		}
-		sort.Ints(scratch)
+		scratch = expandRow(p, q, i, mark, scratch)
 		out.ColIdx = append(out.ColIdx, scratch...)
 		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out
+}
+
+// symbolicProductWorkers computes the pattern of P*Q over contiguous row
+// blocks in parallel. Each block gets private mark/scratch buffers and
+// produces an independent fragment; fragments are stitched in block order,
+// so the output is identical to the serial product.
+func symbolicProductWorkers(p, q *Pattern, workers int) *Pattern {
+	w := parallel.Workers(workers)
+	if w == 1 || p.Rows < 256 {
+		return symbolicProduct(p, q)
+	}
+	nblocks := 4 * w
+	if nblocks > p.Rows {
+		nblocks = p.Rows
+	}
+	type fragment struct {
+		colIdx []int
+		rowLen []int
+	}
+	frags := make([]fragment, nblocks)
+	bounds := func(b int) (int, int) {
+		lo := b * p.Rows / nblocks
+		hi := (b + 1) * p.Rows / nblocks
+		return lo, hi
+	}
+	tasks := make([]func() error, nblocks)
+	for b := 0; b < nblocks; b++ {
+		b := b
+		tasks[b] = func() error {
+			lo, hi := bounds(b)
+			mark := make([]int, q.Cols)
+			for i := range mark {
+				mark[i] = -1
+			}
+			f := &frags[b]
+			f.rowLen = make([]int, 0, hi-lo)
+			var scratch []int
+			for i := lo; i < hi; i++ {
+				scratch = expandRow(p, q, i, mark, scratch)
+				f.colIdx = append(f.colIdx, scratch...)
+				f.rowLen = append(f.rowLen, len(scratch))
+			}
+			return nil
+		}
+	}
+	// Tasks only write their own fragment and cannot fail.
+	_ = parallel.Run(w, tasks...)
+
+	out := &Pattern{Rows: p.Rows, Cols: q.Cols, RowPtr: make([]int, p.Rows+1)}
+	total := 0
+	for b := range frags {
+		total += len(frags[b].colIdx)
+	}
+	out.ColIdx = make([]int, 0, total)
+	row := 0
+	for b := range frags {
+		out.ColIdx = append(out.ColIdx, frags[b].colIdx...)
+		for _, l := range frags[b].rowLen {
+			out.RowPtr[row+1] = out.RowPtr[row] + l
+			row++
+		}
 	}
 	return out
 }

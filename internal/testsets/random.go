@@ -1,0 +1,57 @@
+package testsets
+
+import (
+	"math/rand"
+
+	"fsaicomm/internal/sparse"
+)
+
+// RandomCSR draws a rows×cols matrix with each entry present independently
+// with probability density and standard-normal values. Deterministic per
+// rng state; shared by the sparse codec and algebra tests.
+func RandomCSR(rng *rand.Rand, rows, cols int, density float64) *sparse.CSR {
+	c := sparse.NewCOO(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				c.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+// SPDOptions shapes RandomSPD draws.
+type SPDOptions struct {
+	// Diag is the diagonal value (must dominate the off-diagonal mass for
+	// the result to be SPD).
+	Diag float64
+	// Chain, when nonzero, couples i to i-1 with this value so the matrix
+	// graph is connected.
+	Chain float64
+	// Couplings is the number of random symmetric off-diagonal draws.
+	Couplings int
+	// Off draws one off-diagonal value.
+	Off func(*rand.Rand) float64
+}
+
+// RandomSPD draws an n×n symmetric diagonally dominant matrix: constant
+// diagonal, optional chain sub-diagonal, plus Couplings random symmetric
+// entries at positions and values drawn from rng. The FSAI property tests
+// use these as their universe of SPD inputs; deterministic per rng state.
+func RandomSPD(rng *rand.Rand, n int, o SPDOptions) *sparse.CSR {
+	c := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, o.Diag)
+		if o.Chain != 0 && i > 0 {
+			c.AddSym(i, i-1, o.Chain)
+		}
+	}
+	for k := 0; k < o.Couplings; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			c.AddSym(i, j, o.Off(rng))
+		}
+	}
+	return c.ToCSR()
+}

@@ -31,7 +31,7 @@ func BuildPreconditioner(a *Matrix, opt Options) (*Preconditioner, error) {
 	}
 	opt = opt.withDefaults(a.Rows)
 	t0 := time.Now()
-	g, pct, err := core.BuildSerialLevel(a, opt.Method, opt.Filter, opt.LineBytes, opt.PatternLevel, opt.Threshold)
+	g, pct, err := core.BuildSerialLevelWorkers(a, opt.Method, opt.Filter, opt.LineBytes, opt.PatternLevel, opt.Threshold, opt.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -10,12 +10,15 @@ tier1:
 	$(GO) test ./...
 
 # tier2: race-detector pass over the concurrency-bearing packages (the
-# simulated MPI runtime, the worker pool, and the row-parallel FSAI builds).
+# simulated MPI runtime, the worker pool, the row-parallel FSAI builds, and
+# the distributed solver/operator layers).
 tier2:
 	$(GO) build ./...
-	$(GO) test -race ./internal/simmpi/... ./internal/fsai/... ./internal/parallel/...
+	$(GO) test -race ./internal/simmpi/... ./internal/fsai/... ./internal/parallel/... ./internal/krylov/... ./internal/distmat/...
 
-# bench: the serial-vs-parallel kernel pairs on the ~50k-row case.
+# bench: the serial-vs-parallel kernel pairs plus the classic-vs-fused
+# distributed CG and blocking-vs-overlap SpMV comparisons on the ~50k-row
+# case.
 bench:
 	$(GO) test -run xxx -bench '50k' -benchmem .
 

@@ -10,6 +10,7 @@ package fsaicomm
 import (
 	"io"
 	"testing"
+	"time"
 
 	"fsaicomm/internal/archmodel"
 	"fsaicomm/internal/cache"
@@ -20,6 +21,7 @@ import (
 	"fsaicomm/internal/krylov"
 	"fsaicomm/internal/matgen"
 	"fsaicomm/internal/partition"
+	"fsaicomm/internal/simmpi"
 	"fsaicomm/internal/sparse"
 	"fsaicomm/internal/testsets"
 )
@@ -423,6 +425,71 @@ func benchPatternPower(b *testing.B, workers int) {
 
 func BenchmarkPatternPower50kWorkers1(b *testing.B) { benchPatternPower(b, 1) }
 func BenchmarkPatternPower50kParallel(b *testing.B) { benchPatternPower(b, 0) }
+
+// ---- Communication-variant benchmarks ----
+//
+// Classic vs fused distributed CG and blocking vs overlapped SpMV on the
+// same ~50k-row Poisson3D case, 4 ranks. The fused loop trades three
+// per-iteration reductions for one and merges the vector updates into
+// single-pass kernels; the overlap SpMV posts halo sends before computing
+// interior rows. Names contain "50k" so `make bench` picks them up.
+
+func benchDistCG50k(b *testing.B, variant CGVariant) {
+	a := matgen.Poisson3D(37, 37, 37)
+	rhs := matgen.RandomRHS(a.Rows, 3, a.MaxNorm())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := SolveDistributed(a, rhs, Options{
+			Method: FSAI, Ranks: 4, Tol: 1e-6, CGVariant: variant, Partitioner: "block",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("not converged")
+		}
+	}
+}
+
+func BenchmarkDistCG50kClassic(b *testing.B) { benchDistCG50k(b, CGClassic) }
+func BenchmarkDistCG50kOverlap(b *testing.B) { benchDistCG50k(b, CGClassicOverlap) }
+func BenchmarkDistCG50kFused(b *testing.B)   { benchDistCG50k(b, CGFused) }
+
+func benchDistSpMV50k(b *testing.B, overlap bool) {
+	a := matgen.Poisson3D(37, 37, 37)
+	n := a.Rows
+	const nranks = 4
+	l := distmat.NewUniformLayout(n, nranks)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	b.SetBytes(int64(12 * a.NNZ()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := simmpi.Run(nranks, time.Hour, func(c *simmpi.Comm) error {
+			lo, hi := l.Range(c.Rank())
+			op := distmat.NewOp(c, l, lo, hi, distmat.ExtractLocalRows(a, lo, hi), distmat.WithOverlap())
+			scratch := distmat.NewDistVec(op.LZ)
+			y := make([]float64, hi-lo)
+			// Amortize plan construction over many products, like a solve.
+			for k := 0; k < 32; k++ {
+				if overlap {
+					op.Overlap().MulVecOverlap(c, x[lo:hi], y, scratch, nil)
+				} else {
+					op.MulVec(c, x[lo:hi], y, scratch, nil)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistSpMV50kBlocking(b *testing.B) { benchDistSpMV50k(b, false) }
+func BenchmarkDistSpMV50kOverlap(b *testing.B)  { benchDistSpMV50k(b, true) }
 
 // BenchmarkSpMVSymmetric measures the half-storage symmetric kernel against
 // BenchmarkSpMVPoisson3D's full-CSR baseline (same matrix).

@@ -23,6 +23,7 @@ import (
 	"fsaicomm/internal/archmodel"
 	"fsaicomm/internal/core"
 	"fsaicomm/internal/experiments"
+	"fsaicomm/internal/krylov"
 	"fsaicomm/internal/testsets"
 )
 
@@ -31,15 +32,20 @@ func main() {
 	set := flag.String("set", "quick", "matrix set: quick (7 matrices) or full (39)")
 	arch := flag.String("arch", "", "override architecture (skylake, a64fx, zen2); default per experiment")
 	workers := flag.Int("workers", 0, "setup worker threads per simulated rank (0 = 1 per rank)")
+	cg := flag.String("cg", "classic", "distributed CG loop: classic, classic-overlap or fused")
 	flag.Parse()
 
-	if err := run(*exp, *set, *arch, *workers, os.Stdout); err != nil {
+	if err := run(*exp, *set, *arch, *workers, *cg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "fsaibench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, set, archOverride string, workers int, out io.Writer) error {
+func run(exp, set, archOverride string, workers int, cg string, out io.Writer) error {
+	variant, err := krylov.ParseCGVariant(cg)
+	if err != nil {
+		return err
+	}
 	t1set := testsets.QuickSet()
 	if set == "full" {
 		t1set = testsets.Table1()
@@ -67,6 +73,7 @@ func run(exp, set, archOverride string, workers int, out io.Writer) error {
 		}
 		r := experiments.NewRunner(arch)
 		r.Workers = workers
+		r.Variant = variant
 		cache[arch.Name] = r
 		return r
 	}
@@ -83,6 +90,7 @@ func run(exp, set, archOverride string, workers int, out io.Writer) error {
 		r := experiments.NewRunner(arch)
 		r.RanksOf = testsets.LargeRanks
 		r.Workers = workers
+		r.Variant = variant
 		cache[key] = r
 		return r
 	}
@@ -109,6 +117,7 @@ func run(exp, set, archOverride string, workers int, out io.Writer) error {
 					return testsets.RanksFor(nnz, 2048*cores, 1, 16)
 				}
 				r.Workers = workers
+				r.Variant = variant
 				return r
 			}
 			return experiments.WriteHybrid(out, mk, t1set, []int{1, 2, 4, 8, 48})

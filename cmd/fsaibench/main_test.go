@@ -9,7 +9,7 @@ import (
 func TestRunSingleExperiments(t *testing.T) {
 	for _, exp := range []string{"imbalance", "fig3a"} {
 		var buf bytes.Buffer
-		if err := run(exp, "quick", "", 0, &buf); err != nil {
+		if err := run(exp, "quick", "", 0, "classic", &buf); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 		if !strings.Contains(buf.String(), "completed") {
@@ -20,7 +20,7 @@ func TestRunSingleExperiments(t *testing.T) {
 
 func TestRunArchOverride(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run("fig3a", "quick", "a64fx", 2, &buf); err != nil {
+	if err := run("fig3a", "quick", "a64fx", 2, "classic", &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "a64fx") {
@@ -28,12 +28,25 @@ func TestRunArchOverride(t *testing.T) {
 	}
 }
 
+func TestRunFusedVariant(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("imbalance", "quick", "", 0, "fused", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "completed") {
+		t.Fatal("output incomplete")
+	}
+}
+
 func TestRunRejectsBadArgs(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run("nope", "quick", "", 0, &buf); err == nil {
+	if err := run("nope", "quick", "", 0, "classic", &buf); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if err := run("table1", "huge", "", 0, &buf); err == nil {
+	if err := run("table1", "huge", "", 0, "classic", &buf); err == nil {
 		t.Fatal("unknown set accepted")
+	}
+	if err := run("table1", "quick", "", 0, "bogus", &buf); err == nil {
+		t.Fatal("unknown CG variant accepted")
 	}
 }

@@ -6,7 +6,7 @@
 //
 //	mmsolve -matrix A.mtx [-rhs b.txt] [-method fsai|fsaie|fsaie-comm]
 //	        [-filter 0.01] [-dynamic] [-line 64] [-ranks 4] [-workers 0]
-//	        [-tol 1e-8] [-out x.txt]
+//	        [-cg classic|classic-overlap|fused] [-tol 1e-8] [-out x.txt]
 //
 // Without -rhs a deterministic random right-hand side normalized to the
 // matrix max norm is used (the paper's setup). With -ranks 1 the solve is
@@ -35,18 +35,19 @@ func main() {
 		line       = flag.Int("line", 64, "cache line size in bytes steering the extension")
 		ranks      = flag.Int("ranks", 0, "simulated process count (0 = auto, 1 = serial)")
 		workers    = flag.Int("workers", 0, "setup worker threads (0 = all cores serial solve, 1 per rank distributed)")
+		cg         = flag.String("cg", "classic", "distributed CG loop: classic, classic-overlap or fused (one Allreduce per iteration)")
 		tol        = flag.Float64("tol", 1e-8, "relative residual tolerance")
 		maxIter    = flag.Int("maxiter", 0, "iteration cap (0 = 10n)")
 		outPath    = flag.String("out", "", "write the solution vector to this file (one value per line)")
 	)
 	flag.Parse()
-	if err := run(*matrixPath, *rhsPath, *method, *filter, *dynamic, *line, *ranks, *workers, *tol, *maxIter, *outPath); err != nil {
+	if err := run(*matrixPath, *rhsPath, *method, *filter, *dynamic, *line, *ranks, *workers, *cg, *tol, *maxIter, *outPath); err != nil {
 		fmt.Fprintln(os.Stderr, "mmsolve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line, ranks, workers int, tol float64, maxIter int, outPath string) error {
+func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line, ranks, workers int, cg string, tol float64, maxIter int, outPath string) error {
 	if matrixPath == "" {
 		return fmt.Errorf("-matrix is required")
 	}
@@ -95,6 +96,11 @@ func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line,
 	if dynamic {
 		opt.Strategy = fsaicomm.DynamicFilter
 	}
+	variant, err := fsaicomm.ParseCGVariant(cg)
+	if err != nil {
+		return err
+	}
+	opt.CGVariant = variant
 
 	var res *fsaicomm.Result
 	if ranks == 1 {
@@ -105,7 +111,7 @@ func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line,
 	if err != nil {
 		return err
 	}
-	fmt.Printf("method: %v (filter %g, %v strategy, %dB lines)\n", opt.Method, filter, opt.Strategy, line)
+	fmt.Printf("method: %v (filter %g, %v strategy, %dB lines, %v CG)\n", opt.Method, filter, opt.Strategy, line, opt.CGVariant)
 	fmt.Printf("ranks: %d  pattern growth: %+.2f%%  imbalance index: %.3f\n",
 		res.Ranks, res.PctNNZIncrease, res.ImbalanceIndex)
 	fmt.Printf("converged: %v in %d iterations (rel residual %.3e)\n",

@@ -26,7 +26,7 @@ func writeTestMatrix(t *testing.T) string {
 func TestRunSolvesAndWritesSolution(t *testing.T) {
 	mtx := writeTestMatrix(t)
 	out := filepath.Join(t.TempDir(), "x.txt")
-	if err := run(mtx, "", "fsaie-comm", 0.01, true, 64, 2, 2, 1e-8, 0, out); err != nil {
+	if err := run(mtx, "", "fsaie-comm", 0.01, true, 64, 2, 2, "classic", 1e-8, 0, out); err != nil {
 		t.Fatal(err)
 	}
 	x, err := readVector(out)
@@ -38,6 +38,32 @@ func TestRunSolvesAndWritesSolution(t *testing.T) {
 	}
 }
 
+func TestRunFusedCGMatchesClassic(t *testing.T) {
+	mtx := writeTestMatrix(t)
+	dir := t.TempDir()
+	outs := map[string]string{}
+	for _, cg := range []string{"classic", "fused"} {
+		out := filepath.Join(dir, "x-"+cg+".txt")
+		if err := run(mtx, "", "fsaie-comm", 0.01, false, 64, 4, 0, cg, 1e-8, 0, out); err != nil {
+			t.Fatalf("-cg %s: %v", cg, err)
+		}
+		outs[cg] = out
+	}
+	xc, err := readVector(outs["classic"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	xf, err := readVector(outs["fused"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xc {
+		if d := xc[i] - xf[i]; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("x[%d]: classic %v vs fused %v", i, xc[i], xf[i])
+		}
+	}
+}
+
 func TestRunSerialWithRHS(t *testing.T) {
 	mtx := writeTestMatrix(t)
 	rhs := filepath.Join(t.TempDir(), "b.txt")
@@ -46,22 +72,25 @@ func TestRunSerialWithRHS(t *testing.T) {
 		f.WriteString("1.0\n")
 	}
 	f.Close()
-	if err := run(mtx, rhs, "fsai", 0, false, 64, 1, 0, 1e-8, 0, ""); err != nil {
+	if err := run(mtx, rhs, "fsai", 0, false, 64, 1, 0, "classic", 1e-8, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	mtx := writeTestMatrix(t)
-	if err := run("", "", "fsai", 0, false, 64, 1, 0, 0, 0, ""); err == nil {
+	if err := run("", "", "fsai", 0, false, 64, 1, 0, "classic", 0, 0, ""); err == nil {
 		t.Fatal("missing matrix accepted")
 	}
-	if err := run(mtx, "", "bogus", 0, false, 64, 1, 0, 0, 0, ""); err == nil {
+	if err := run(mtx, "", "bogus", 0, false, 64, 1, 0, "classic", 0, 0, ""); err == nil {
 		t.Fatal("unknown method accepted")
+	}
+	if err := run(mtx, "", "fsai", 0, false, 64, 1, 0, "bogus", 0, 0, ""); err == nil {
+		t.Fatal("unknown CG variant accepted")
 	}
 	short := filepath.Join(t.TempDir(), "short.txt")
 	os.WriteFile(short, []byte("1.0\n"), 0o644)
-	if err := run(mtx, short, "fsai", 0, false, 64, 1, 0, 0, 0, ""); err == nil {
+	if err := run(mtx, short, "fsai", 0, false, 64, 1, 0, "classic", 0, 0, ""); err == nil {
 		t.Fatal("short rhs accepted")
 	}
 }

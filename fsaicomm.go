@@ -77,6 +77,25 @@ const (
 	DynamicFilter = core.DynamicFilter
 )
 
+// CGVariant selects the communication structure of the distributed CG loop.
+type CGVariant = krylov.CGVariant
+
+// Distributed CG variants.
+const (
+	// CGClassic is the textbook loop: three reductions per iteration.
+	CGClassic = krylov.CGClassic
+	// CGClassicOverlap is the classic recurrence with the overlapped halo
+	// SpMV schedule (bit-identical results).
+	CGClassicOverlap = krylov.CGClassicOverlap
+	// CGFused is the fused-reduction (Chronopoulos–Gear) loop: one batched
+	// Allreduce per iteration.
+	CGFused = krylov.CGFused
+)
+
+// ParseCGVariant parses "classic", "classic-overlap" or "fused" (the -cg
+// flag spellings of the command-line tools).
+func ParseCGVariant(s string) (CGVariant, error) { return krylov.ParseCGVariant(s) }
+
 // Options configures a solve.
 type Options struct {
 	// Method selects FSAI, FSAIE or FSAIEComm. Default FSAIEComm.
@@ -117,6 +136,12 @@ type Options struct {
 	// themselves already run concurrently); set it explicitly to model the
 	// paper's MPI×OpenMP hybrid.
 	Workers int
+	// CGVariant selects the distributed CG loop: CGClassic (default; three
+	// reductions per iteration, blocking SpMV), CGClassicOverlap (classic
+	// recurrence, overlapped halo SpMV) or CGFused (one batched Allreduce
+	// per iteration, overlapped SpMV, fused kernels). Serial Solve ignores
+	// it. See ParseCGVariant for the flag spellings.
+	CGVariant CGVariant
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -262,6 +287,11 @@ func SolveDistributed(a *Matrix, b []float64, opt Options) (*Result, error) {
 		PatternLevel: opt.PatternLevel,
 		Threshold:    opt.Threshold,
 		Workers:      opt.Workers,
+		CGVariant:    opt.CGVariant,
+	}
+	var aOpts []distmat.OpOption
+	if opt.CGVariant != CGClassic {
+		aOpts = append(aOpts, distmat.WithOverlap())
 	}
 	res := &Result{Ranks: ranks}
 	px := make([]float64, a.Rows)
@@ -274,7 +304,7 @@ func SolveDistributed(a *Matrix, b []float64, opt Options) (*Result, error) {
 		if err != nil {
 			return err
 		}
-		aOp := distmat.NewOp(c, layout, lo, hi, aRows)
+		aOp := distmat.NewOp(c, layout, lo, hi, aRows, aOpts...)
 		c.Barrier()
 		if c.Rank() == 0 {
 			res.SetupTime = time.Since(t0)
@@ -283,9 +313,12 @@ func SolveDistributed(a *Matrix, b []float64, opt Options) (*Result, error) {
 		}
 		c.Barrier()
 		xl := make([]float64, hi-lo)
+		// Each rank gets its own Workspace (built inside the rank closure;
+		// workspaces must never be shared between concurrent solves).
 		st, err := krylov.DistCG(c, aOp, pb[lo:hi], xl,
 			krylov.NewDistSplit(bd.GOp, bd.GTOp),
-			krylov.Options{Tol: opt.Tol, MaxIter: opt.MaxIter}, nil)
+			krylov.Options{Tol: opt.Tol, MaxIter: opt.MaxIter,
+				Variant: opt.CGVariant, Work: &krylov.Workspace{}}, nil)
 		if err != nil && !errors.Is(err, krylov.ErrNoConvergence) {
 			return err
 		}

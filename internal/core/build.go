@@ -5,6 +5,7 @@ import (
 
 	"fsaicomm/internal/distmat"
 	"fsaicomm/internal/fsai"
+	"fsaicomm/internal/krylov"
 	"fsaicomm/internal/simmpi"
 	"fsaicomm/internal/sparse"
 )
@@ -28,6 +29,11 @@ type Config struct {
 	// count: ranks simulate distributed processes, workers are threads
 	// inside one process.
 	Workers int
+	// CGVariant selects the distributed solver loop the build is destined
+	// for. Non-classic variants make BuildPrecond construct the G/Gᵀ
+	// operators with the interior/boundary overlap view so the
+	// preconditioner SpMVs also run in the send-then-compute schedule.
+	CGVariant krylov.CGVariant
 }
 
 // rankWorkers resolves Config.Workers for per-rank pools: the zero value
@@ -130,12 +136,16 @@ func BuildPrecond(c *simmpi.Comm, l *distmat.Layout, aRows *sparse.CSR, cfg Conf
 	gt := distmat.TransposeDist(c, l, lo, hi, g)
 
 	finalNNZ := c.AllreduceSumInt64(int64(g.NNZ()))[0]
+	var opOpts []distmat.OpOption
+	if cfg.CGVariant != krylov.CGClassic {
+		opOpts = append(opOpts, distmat.WithOverlap())
+	}
 	b := &Build{
 		Method:         cfg.Method,
 		GRows:          g,
 		GTRows:         gt,
-		GOp:            distmat.NewOp(c, l, lo, hi, g),
-		GTOp:           distmat.NewOp(c, l, lo, hi, gt),
+		GOp:            distmat.NewOp(c, l, lo, hi, g, opOpts...),
+		GTOp:           distmat.NewOp(c, l, lo, hi, gt, opOpts...),
 		FilterUsed:     filterUsed,
 		BaseNNZGlobal:  baseNNZ,
 		FinalNNZGlobal: finalNNZ,

@@ -533,7 +533,7 @@ func TestOverlapMatchesBlocking(t *testing.T) {
 	nranks := 4
 	l := NewUniformLayout(n, nranks)
 	got := make([]float64, n)
-	interiorTotal := 0
+	interiorNNZ := make([]int, nranks) // per-rank slot: ranks run concurrently
 	_, err := simmpi.Run(nranks, testTimeout, func(c *simmpi.Comm) error {
 		lo, hi := l.Range(c.Rank())
 		op := NewOp(c, l, lo, hi, ExtractLocalRows(a, lo, hi))
@@ -546,7 +546,7 @@ func TestOverlapMatchesBlocking(t *testing.T) {
 		y := make([]float64, hi-lo)
 		ov.MulVecOverlap(c, x[lo:hi], y, NewDistVec(op.LZ), nil)
 		copy(got[lo:hi], y)
-		interiorTotal += ov.InteriorNNZ()
+		interiorNNZ[c.Rank()] = ov.InteriorNNZ()
 		return nil
 	})
 	if err != nil {
@@ -556,6 +556,10 @@ func TestOverlapMatchesBlocking(t *testing.T) {
 		if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
 			t.Fatalf("y[%d] = %v, want %v", i, got[i], want[i])
 		}
+	}
+	interiorTotal := 0
+	for _, nnz := range interiorNNZ {
+		interiorTotal += nnz
 	}
 	if interiorTotal == 0 {
 		t.Fatal("no interior work found on a grid partition")
@@ -580,5 +584,68 @@ func TestOverlapFlopCount(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestNewOpWithOverlap(t *testing.T) {
+	a := grid2d(6, 6)
+	l := NewUniformLayout(a.Rows, 2)
+	_, err := simmpi.Run(2, testTimeout, func(c *simmpi.Comm) error {
+		lo, hi := l.Range(c.Rank())
+		plain := NewOp(c, l, lo, hi, ExtractLocalRows(a, lo, hi))
+		if plain.Overlap() != nil {
+			return fmt.Errorf("plain NewOp built an overlap view")
+		}
+		// EnsureOverlap is lazy, idempotent, and purely local.
+		ov := plain.EnsureOverlap()
+		if ov == nil || plain.Overlap() != ov || plain.EnsureOverlap() != ov {
+			return fmt.Errorf("EnsureOverlap not idempotent")
+		}
+		with := NewOp(c, l, lo, hi, ExtractLocalRows(a, lo, hi), WithOverlap())
+		if with.Overlap() == nil {
+			return fmt.Errorf("WithOverlap did not build the overlap view")
+		}
+		if len(with.Overlap().Interior)+len(with.Overlap().Boundary) != hi-lo {
+			return fmt.Errorf("overlap split incomplete")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PostSends reuses its gather buffers: repeated halo updates through the
+// split schedule allocate nothing on the send side and keep producing the
+// same values.
+func TestPostSendsBufferReuse(t *testing.T) {
+	a := grid2d(8, 8)
+	n := a.Rows
+	l := NewUniformLayout(n, 2)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	want := make([]float64, n)
+	a.MulVec(x, want)
+	got := make([]float64, n)
+	_, err := simmpi.Run(2, testTimeout, func(c *simmpi.Comm) error {
+		lo, hi := l.Range(c.Rank())
+		op := NewOp(c, l, lo, hi, ExtractLocalRows(a, lo, hi), WithOverlap())
+		scratch := NewDistVec(op.LZ)
+		y := make([]float64, hi-lo)
+		for round := 0; round < 3; round++ {
+			op.Overlap().MulVecOverlap(c, x[lo:hi], y, scratch, nil)
+		}
+		copy(got[lo:hi], y)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+			t.Fatalf("y[%d] = %v, want %v", i, got[i], want[i])
+		}
 	}
 }

@@ -100,6 +100,11 @@ type HaloPlan struct {
 	SendPeers                [][]int // [peer] -> local row indices (0-based within rank) to send
 	RecvPeers                [][]int // [peer] -> halo slot indices to fill
 	sendPeerIDs, recvPeerIDs []int
+	// sendBuf holds per-peer gather buffers, lazily sized and reused across
+	// updates so the per-iteration halo exchange allocates nothing on the
+	// send side (simmpi copies payloads on Send). A plan is confined to its
+	// rank's goroutine, like the Comm it is used with.
+	sendBuf [][]float64
 }
 
 // SendPeerIDs returns the sorted ranks this plan sends to.
@@ -193,14 +198,34 @@ func BuildHaloPlan(c *simmpi.Comm, l *Layout, lz *Localized) *HaloPlan {
 func (p *HaloPlan) Exchange(c *simmpi.Comm, xExt []float64, nLocal int) {
 	// Post all sends, then drain receives; per-pair FIFO channels make this
 	// deadlock-free with buffered channels.
+	p.PostSends(c, xExt)
+	p.CompleteRecvs(c, xExt, nLocal)
+}
+
+// PostSends posts this rank's halo sends from xExt (local values already
+// filled by the caller). The overlap schedule calls it before computing
+// interior rows so the values travel while local work proceeds.
+func (p *HaloPlan) PostSends(c *simmpi.Comm, xExt []float64) {
+	if p.sendBuf == nil {
+		p.sendBuf = make([][]float64, len(p.SendPeers))
+	}
 	for _, peer := range p.sendPeerIDs {
 		list := p.SendPeers[peer]
-		buf := make([]float64, len(list))
+		buf := p.sendBuf[peer]
+		if buf == nil {
+			buf = make([]float64, len(list))
+			p.sendBuf[peer] = buf
+		}
 		for k, li := range list {
 			buf[k] = xExt[li]
 		}
 		c.SendFloats(peer, tagHaloData, buf)
 	}
+}
+
+// CompleteRecvs drains this rank's halo receives into the halo slots of
+// xExt, completing an update started with PostSends.
+func (p *HaloPlan) CompleteRecvs(c *simmpi.Comm, xExt []float64, nLocal int) {
 	for _, peer := range p.recvPeerIDs {
 		slots := p.RecvPeers[peer]
 		vals := c.RecvFloats(peer, tagHaloData)

@@ -31,13 +31,43 @@ func (v *DistVec) Local() []float64 { return v.Ext[:v.NLocal] }
 type Op struct {
 	LZ   *Localized
 	Plan *HaloPlan
+	// overlap is the interior/boundary row split, built on request (WithOverlap
+	// or EnsureOverlap); nil means the blocking schedule only.
+	overlap *OverlapOp
+}
+
+// OpOption configures NewOp.
+type OpOption func(*Op)
+
+// WithOverlap makes NewOp also build the interior/boundary overlap view, so
+// the operator supports the send-then-compute SpMV schedule
+// (OverlapOp.MulVecOverlap) the communication-hiding solver variants use.
+func WithOverlap() OpOption {
+	return func(op *Op) { op.EnsureOverlap() }
 }
 
 // NewOp localizes the local rows (global columns) of a distributed matrix
 // and builds its halo plan. Collective: all ranks must call it together.
-func NewOp(c *simmpi.Comm, l *Layout, lo, hi int, rows *sparse.CSR) *Op {
+func NewOp(c *simmpi.Comm, l *Layout, lo, hi int, rows *sparse.CSR, opts ...OpOption) *Op {
 	lz := Localize(lo, hi, rows)
-	return &Op{LZ: lz, Plan: BuildHaloPlan(c, l, lz)}
+	op := &Op{LZ: lz, Plan: BuildHaloPlan(c, l, lz)}
+	for _, o := range opts {
+		o(op)
+	}
+	return op
+}
+
+// Overlap returns the overlap view if it has been built, nil otherwise.
+func (op *Op) Overlap() *OverlapOp { return op.overlap }
+
+// EnsureOverlap returns the overlap view, building it on first use. The
+// split is purely local (no communication), so lazy construction is safe in
+// collective contexts.
+func (op *Op) EnsureOverlap() *OverlapOp {
+	if op.overlap == nil {
+		op.overlap = NewOverlapOp(op)
+	}
+	return op.overlap
 }
 
 // MulVec computes the local part of y = A x, performing one halo update.

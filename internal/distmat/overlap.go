@@ -50,15 +50,7 @@ func (o *OverlapOp) MulVecOverlap(c *simmpi.Comm, x, y []float64, scratch *DistV
 	nl := o.LZ.NLocal()
 	copy(scratch.Ext[:nl], x)
 	// Post sends (the halo values leave now).
-	plan := o.Plan
-	for _, peer := range plan.sendPeerIDs {
-		list := plan.SendPeers[peer]
-		buf := make([]float64, len(list))
-		for k, li := range list {
-			buf[k] = scratch.Ext[li]
-		}
-		c.SendFloats(peer, tagHaloData, buf)
-	}
+	o.Plan.PostSends(c, scratch.Ext)
 	// Interior rows: no halo dependence.
 	m := o.LZ.M
 	for _, li := range o.Interior {
@@ -69,13 +61,7 @@ func (o *OverlapOp) MulVecOverlap(c *simmpi.Comm, x, y []float64, scratch *DistV
 		y[li] = sum
 	}
 	// Complete receives.
-	for _, peer := range plan.recvPeerIDs {
-		slots := plan.RecvPeers[peer]
-		vals := c.RecvFloats(peer, tagHaloData)
-		for k, s := range slots {
-			scratch.Ext[nl+s] = vals[k]
-		}
-	}
+	o.Plan.CompleteRecvs(c, scratch.Ext, nl)
 	// Boundary rows.
 	for _, li := range o.Boundary {
 		sum := 0.0

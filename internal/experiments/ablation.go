@@ -46,6 +46,7 @@ func RunAblation(r *Runner, spec testsets.Spec) (AblationRow, error) {
 		return row, err
 	}
 
+	works := r.workspaces(ranks)
 	for vi := 0; vi < 3; vi++ {
 		perRank := make([]archmodel.RankCost, ranks)
 		var iters int
@@ -80,9 +81,9 @@ func RunAblation(r *Runner, spec testsets.Spec) (AblationRow, error) {
 				return err
 			}
 			gt := distmat.TransposeDist(c, me.layout, lo, hi, g)
-			aOp := distmat.NewOp(c, me.layout, lo, hi, aRows)
-			gOp := distmat.NewOp(c, me.layout, lo, hi, g)
-			gtOp := distmat.NewOp(c, me.layout, lo, hi, gt)
+			aOp := distmat.NewOp(c, me.layout, lo, hi, aRows, r.opOptions()...)
+			gOp := distmat.NewOp(c, me.layout, lo, hi, g, r.opOptions()...)
+			gtOp := distmat.NewOp(c, me.layout, lo, hi, gt, r.opOptions()...)
 
 			recv := c.AllreduceSumInt64(int64(gOp.Plan.RecvCount()))[0]
 			nb := c.AllreduceSumInt64(int64(len(gOp.Plan.RecvPeerIDs())))[0]
@@ -97,7 +98,7 @@ func RunAblation(r *Runner, spec testsets.Spec) (AblationRow, error) {
 				CacheMisses: missA + missPre,
 				CommBytes:   int64(8 * (aOp.Plan.SendCount() + gOp.Plan.SendCount() + gtOp.Plan.SendCount())),
 				CommMsgs: int64(len(aOp.Plan.SendPeerIDs())+len(gOp.Plan.SendPeerIDs())+
-					len(gtOp.Plan.SendPeerIDs())) + 3*logP,
+					len(gtOp.Plan.SendPeerIDs())) + r.reductionsPerIter()*logP,
 			}
 
 			c.Barrier()
@@ -107,7 +108,7 @@ func RunAblation(r *Runner, spec testsets.Spec) (AblationRow, error) {
 			c.Barrier()
 			x := make([]float64, nl)
 			st, err := krylov.DistCG(c, aOp, me.b[lo:hi], x,
-				krylov.NewDistSplit(gOp, gtOp), krylov.Options{Tol: r.Tol, MaxIter: r.MaxIter}, nil)
+				krylov.NewDistSplit(gOp, gtOp), r.cgOptions(works, c.Rank(), false), nil)
 			if err != nil {
 				return err
 			}

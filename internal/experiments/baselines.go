@@ -36,13 +36,14 @@ func RunBaselines(r *Runner, spec testsets.Spec) (BaselineRow, error) {
 	if err != nil {
 		return row, err
 	}
+	works := r.workspaces(ranks)
 	for _, v := range baselineVariants {
 		variant := v
 		var iters int
 		_, err := simmpi.Run(ranks, runTimeout, func(c *simmpi.Comm) error {
 			lo, hi := me.layout.Range(c.Rank())
 			aRows := distmat.ExtractLocalRows(me.a, lo, hi)
-			aOp := distmat.NewOp(c, me.layout, lo, hi, aRows)
+			aOp := distmat.NewOp(c, me.layout, lo, hi, aRows, r.opOptions()...)
 
 			var pre krylov.DistPreconditioner
 			switch variant {
@@ -69,7 +70,7 @@ func RunBaselines(r *Runner, spec testsets.Spec) (BaselineRow, error) {
 				}
 				bd, err := core.BuildPrecond(c, me.layout, aRows, core.Config{
 					Method: method, Filter: filter, Strategy: core.DynamicFilter,
-					LineBytes: r.Arch.LineBytes,
+					LineBytes: r.Arch.LineBytes, CGVariant: r.Variant,
 				})
 				if err != nil {
 					return err
@@ -78,7 +79,7 @@ func RunBaselines(r *Runner, spec testsets.Spec) (BaselineRow, error) {
 			}
 			x := make([]float64, hi-lo)
 			st, err := krylov.DistCG(c, aOp, me.b[lo:hi], x, pre,
-				krylov.Options{Tol: r.Tol, MaxIter: r.MaxIter}, nil)
+				r.cgOptions(works, c.Rank(), false), nil)
 			if err != nil {
 				return err
 			}

@@ -80,6 +80,7 @@ func WriteConvergence(w io.Writer, r *Runner, spec testsets.Spec, filter float64
 		return err
 	}
 	histories := map[core.Method][]float64{}
+	works := r.workspaces(ranks)
 	for _, method := range []core.Method{core.FSAI, core.FSAIEComm} {
 		ee, err := r.extended(spec, me, method, ranks)
 		if err != nil {
@@ -100,13 +101,13 @@ func WriteConvergence(w io.Writer, r *Runner, spec testsets.Spec, filter float64
 				}
 			}
 			gt := distmat.TransposeDist(c, me.layout, lo, hi, g)
-			aOp := distmat.NewOp(c, me.layout, lo, hi, aRows)
-			gOp := distmat.NewOp(c, me.layout, lo, hi, g)
-			gtOp := distmat.NewOp(c, me.layout, lo, hi, gt)
+			aOp := distmat.NewOp(c, me.layout, lo, hi, aRows, r.opOptions()...)
+			gOp := distmat.NewOp(c, me.layout, lo, hi, g, r.opOptions()...)
+			gtOp := distmat.NewOp(c, me.layout, lo, hi, gt, r.opOptions()...)
 			x := make([]float64, hi-lo)
 			st, err := krylov.DistCG(c, aOp, me.b[lo:hi], x,
 				krylov.NewDistSplit(gOp, gtOp),
-				krylov.Options{Tol: r.Tol, MaxIter: r.MaxIter, RecordResiduals: true}, nil)
+				r.cgOptions(works, c.Rank(), true), nil)
 			if err != nil {
 				return err
 			}

@@ -69,11 +69,19 @@ type Runner struct {
 	// Workers bounds the shared-memory pool for per-rank row solves
 	// (<= 0 → 1 worker per rank; ranks already run concurrently).
 	Workers int
+	// Variant selects the distributed CG loop for every solve: classic,
+	// classic-overlap or fused (see krylov.CGVariant).
+	Variant krylov.CGVariant
 
 	mats    map[matKey]*matEntry
 	exts    map[extKey]*extEntry
 	sizes   map[string][2]int // spec name -> rows, nnz
 	results map[resKey]Result
+	// works holds per-rank solver workspaces keyed by rank count, so the
+	// many solves of a sweep reuse iteration vectors instead of
+	// reallocating. Populated from the driver goroutine before each
+	// simulated run; rank closures only index their own slot.
+	works map[int][]*krylov.Workspace
 }
 
 type resKey struct {
@@ -83,6 +91,7 @@ type resKey struct {
 	strategy core.FilterStrategy
 	line     int
 	cores    int
+	variant  krylov.CGVariant
 }
 
 // NewRunner returns a Runner for the given architecture profile.
@@ -96,6 +105,49 @@ func NewRunner(arch archmodel.Profile) *Runner {
 		exts:    map[extKey]*extEntry{},
 		sizes:   map[string][2]int{},
 		results: map[resKey]Result{},
+		works:   map[int][]*krylov.Workspace{},
+	}
+}
+
+// workspaces returns the per-rank workspace pool for a rank count, creating
+// it on first use. Must be called from the driver goroutine (not inside a
+// rank closure); each rank then reuses only its own entry.
+func (r *Runner) workspaces(ranks int) []*krylov.Workspace {
+	ws, ok := r.works[ranks]
+	if !ok {
+		ws = make([]*krylov.Workspace, ranks)
+		for i := range ws {
+			ws[i] = &krylov.Workspace{}
+		}
+		r.works[ranks] = ws
+	}
+	return ws
+}
+
+// opOptions returns the distmat operator options matching the configured
+// solver variant (the overlap view for the communication-hiding loops).
+func (r *Runner) opOptions() []distmat.OpOption {
+	if r.Variant != krylov.CGClassic {
+		return []distmat.OpOption{distmat.WithOverlap()}
+	}
+	return nil
+}
+
+// reductionsPerIter is the global-collective count per CG iteration of the
+// configured variant, an input to the message cost model.
+func (r *Runner) reductionsPerIter() int64 {
+	if r.Variant == krylov.CGFused {
+		return 1
+	}
+	return 3
+}
+
+// cgOptions builds one rank's solver options: the Runner's tolerance and
+// variant plus that rank's reusable workspace.
+func (r *Runner) cgOptions(ws []*krylov.Workspace, rank int, record bool) krylov.Options {
+	return krylov.Options{
+		Tol: r.Tol, MaxIter: r.MaxIter, RecordResiduals: record,
+		Variant: r.Variant, Work: ws[rank],
 	}
 }
 
@@ -203,7 +255,7 @@ func (r *Runner) extended(spec testsets.Spec, me *matEntry, method core.Method, 
 // memoized, so drivers sharing configurations (e.g. the per-matrix figures
 // reusing the filter-grid runs) pay for each solve once.
 func (r *Runner) Run(spec testsets.Spec, method core.Method, filter float64, strategy core.FilterStrategy) (Result, error) {
-	rk := resKey{spec.Name, method, filter, strategy, r.Arch.LineBytes, r.Arch.CoresPerProcess}
+	rk := resKey{spec.Name, method, filter, strategy, r.Arch.LineBytes, r.Arch.CoresPerProcess, r.Variant}
 	if method == core.FSAI {
 		rk.filter, rk.strategy, rk.line = 0, core.StaticFilter, 0
 	}
@@ -231,6 +283,7 @@ func (r *Runner) Run(spec testsets.Spec, method core.Method, filter float64, str
 	precondRank := make([]archmodel.RankCost, ranks)
 	nnzPrecond := make([]int64, ranks)
 	var finalNNZ int64
+	works := r.workspaces(ranks)
 	world, err := simmpi.Run(ranks, runTimeout, func(c *simmpi.Comm) error {
 		lo, hi := me.layout.Range(c.Rank())
 		nl := hi - lo
@@ -256,9 +309,9 @@ func (r *Runner) Run(spec testsets.Spec, method core.Method, filter float64, str
 		}
 		gt := distmat.TransposeDist(c, me.layout, lo, hi, g)
 
-		aOp := distmat.NewOp(c, me.layout, lo, hi, aRows)
-		gOp := distmat.NewOp(c, me.layout, lo, hi, g)
-		gtOp := distmat.NewOp(c, me.layout, lo, hi, gt)
+		aOp := distmat.NewOp(c, me.layout, lo, hi, aRows, r.opOptions()...)
+		gOp := distmat.NewOp(c, me.layout, lo, hi, g, r.opOptions()...)
+		gtOp := distmat.NewOp(c, me.layout, lo, hi, gt, r.opOptions()...)
 
 		imb := distmat.NNZImbalanceIndex(c, int64(g.NNZ()))
 		gNNZ := c.AllreduceSumInt64(int64(g.NNZ()))[0]
@@ -279,7 +332,7 @@ func (r *Runner) Run(spec testsets.Spec, method core.Method, filter float64, str
 			StreamBytes: streamIter,
 			CacheMisses: missA + missPre,
 			CommBytes:   commBytes,
-			CommMsgs:    commMsgs + 3*logP,
+			CommMsgs:    commMsgs + r.reductionsPerIter()*logP,
 		}
 		precondRank[c.Rank()] = archmodel.RankCost{
 			Flops:       2 * int64(gOp.LZ.M.NNZ()+gtOp.LZ.M.NNZ()),
@@ -299,7 +352,7 @@ func (r *Runner) Run(spec testsets.Spec, method core.Method, filter float64, str
 		x := make([]float64, nl)
 		st, err := krylov.DistCG(c, aOp, me.b[lo:hi], x,
 			krylov.NewDistSplit(gOp, gtOp),
-			krylov.Options{Tol: r.Tol, MaxIter: r.MaxIter}, nil)
+			r.cgOptions(works, c.Rank(), false), nil)
 		if err != nil {
 			return err
 		}

@@ -31,6 +31,14 @@ type Options struct {
 	// RecordResiduals makes Stats.Residuals hold the relative residual
 	// after every iteration (costs one float per iteration).
 	RecordResiduals bool
+	// Variant selects the communication structure of the distributed loop
+	// (classic, classic-overlap or fused). The zero value is CGClassic.
+	// Ignored by the serial solver.
+	Variant CGVariant
+	// Work, when non-nil, supplies the iteration vectors so repeated solves
+	// allocate nothing in steady state. In distributed runs each rank must
+	// pass its own Workspace.
+	Work *Workspace
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -122,10 +130,12 @@ func CG(a *sparse.CSR, b, x []float64, m Preconditioner, opt Options, fc *vecops
 	if m == nil {
 		m = Identity{}
 	}
-	r := append([]float64(nil), b...) // r = b - A·0 = b
-	z := make([]float64, n)
-	d := make([]float64, n)
-	q := make([]float64, n)
+	ws := opt.Work
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	r, z, d, q := ws.take4(n)
+	copy(r, b) // r = b - A·0 = b
 
 	norm0 := vecops.Norm2(r, fc)
 	if norm0 == 0 {
@@ -202,16 +212,34 @@ func NewDistSplit(g, gt *distmat.Op) *DistSplit {
 	}
 }
 
-// Apply computes the local slice of z = Gᵀ(G·r).
+// Apply computes the local slice of z = Gᵀ(G·r). When the operators were
+// built with the overlap view (distmat.WithOverlap), the two SpMVs run in
+// the send-then-compute schedule; the result is bit-identical either way.
 func (s *DistSplit) Apply(c *simmpi.Comm, r, z []float64, fc *vecops.FlopCounter) {
-	s.G.MulVec(c, r, s.interm, s.wG, fc)
-	s.GT.MulVec(c, s.interm, z, s.wGT, fc)
+	mulDist(c, s.G, r, s.interm, s.wG, fc)
+	mulDist(c, s.GT, s.interm, z, s.wGT, fc)
+}
+
+// mulDist runs one distributed SpMV, using the overlap schedule when the
+// operator carries it.
+func mulDist(c *simmpi.Comm, op *distmat.Op, x, y []float64, scratch *distmat.DistVec, fc *vecops.FlopCounter) {
+	if ov := op.Overlap(); ov != nil {
+		ov.MulVecOverlap(c, x, y, scratch, fc)
+		return
+	}
+	op.MulVec(c, x, y, scratch, fc)
 }
 
 // DistCG solves A x = b in the distributed setting. Every rank passes its
 // local slices of b and x (x zeroed); all ranks receive identical Stats.
 // The operator op must be built over the same layout as b/x.
+// Options.Variant selects the loop: CGClassic and CGClassicOverlap run the
+// textbook recurrence (three reductions per iteration) with the blocking or
+// overlapped SpMV schedule respectively; CGFused dispatches to DistCGFused.
 func DistCG(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreconditioner, opt Options, fc *vecops.FlopCounter) (Stats, error) {
+	if opt.Variant == CGFused {
+		return DistCGFused(c, op, b, x, m, opt, fc)
+	}
 	nl := op.LZ.NLocal()
 	nGlobal := int(c.AllreduceSumInt64(int64(nl))[0])
 	opt = opt.withDefaults(nGlobal)
@@ -221,11 +249,17 @@ func DistCG(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreconditioner
 	if len(b) != nl || len(x) != nl {
 		panic(fmt.Sprintf("krylov: DistCG local length %d/%d, want %d", len(b), len(x), nl))
 	}
-	r := append([]float64(nil), b...)
-	z := make([]float64, nl)
-	d := make([]float64, nl)
-	q := make([]float64, nl)
-	scratch := distmat.NewDistVec(op.LZ)
+	ws := opt.Work
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	r, z, d, q := ws.take4(nl)
+	copy(r, b)
+	scratch := ws.distScratch(op.LZ)
+	var ov *distmat.OverlapOp
+	if opt.Variant == CGClassicOverlap {
+		ov = op.EnsureOverlap()
+	}
 
 	norm0 := distmat.Norm2(c, r, fc)
 	if norm0 == 0 {
@@ -238,7 +272,11 @@ func DistCG(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreconditioner
 
 	st := Stats{}
 	for iter := 1; iter <= opt.MaxIter; iter++ {
-		op.MulVec(c, d, q, scratch, fc)
+		if ov != nil {
+			ov.MulVecOverlap(c, d, q, scratch, fc)
+		} else {
+			op.MulVec(c, d, q, scratch, fc)
+		}
 		dq := distmat.Dot(c, d, q, fc)
 		if dq <= 0 || math.IsNaN(dq) {
 			return st, fmt.Errorf("krylov: DistCG breakdown at iteration %d (dᵀAd = %g)", iter, dq)

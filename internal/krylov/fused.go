@@ -1,0 +1,194 @@
+package krylov
+
+// The fused-reduction (Chronopoulos–Gear) Conjugate Gradient variant. The
+// classic PCG loop performs three global reductions per iteration — dᵀq,
+// ‖r‖² and rᵀz — each a separate latency-bound Allreduce. Rearranging the
+// recurrence lets all three scalars of an iteration be computed back to
+// back and reduced in a single variadic AllreduceSum, cutting the
+// collective count per iteration from 3 to 1 while leaving the Krylov
+// space — and therefore the iteration count, up to floating-point rounding
+// — unchanged. The SpMV is driven through the interior/boundary overlap
+// schedule so halo sends are in flight while interior rows are computed,
+// and the vector updates run as fused one-pass kernels (vecops.Dot2,
+// vecops.FusedCGUpdate) so each iteration streams every vector once.
+
+import (
+	"fmt"
+	"math"
+
+	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/simmpi"
+	"fsaicomm/internal/vecops"
+)
+
+// CGVariant selects the communication structure of the distributed CG loop.
+type CGVariant int
+
+const (
+	// CGClassic is the textbook PCG loop: blocking SpMV and three global
+	// reductions per iteration. The default, and the reference the other
+	// variants are cross-checked against.
+	CGClassic CGVariant = iota
+	// CGClassicOverlap keeps the classic recurrence but drives the SpMV
+	// through the interior/boundary overlap schedule (halo sends posted
+	// before interior rows are computed). Bit-identical results to
+	// CGClassic; only the communication schedule differs.
+	CGClassicOverlap
+	// CGFused is the Chronopoulos–Gear fused-reduction recurrence: one
+	// Allreduce of three scalars per iteration, overlapped SpMV and fused
+	// one-pass vector kernels. Same Krylov space as CGClassic; iteration
+	// counts may differ by ±1 from rounding (see DESIGN.md).
+	CGFused
+)
+
+// String returns the flag spelling of the variant.
+func (v CGVariant) String() string {
+	switch v {
+	case CGClassic:
+		return "classic"
+	case CGClassicOverlap:
+		return "classic-overlap"
+	case CGFused:
+		return "fused"
+	default:
+		return fmt.Sprintf("CGVariant(%d)", int(v))
+	}
+}
+
+// ParseCGVariant parses the -cg flag spellings: "classic",
+// "classic-overlap", "fused". The empty string is CGClassic.
+func ParseCGVariant(s string) (CGVariant, error) {
+	switch s {
+	case "", "classic":
+		return CGClassic, nil
+	case "classic-overlap", "overlap":
+		return CGClassicOverlap, nil
+	case "fused":
+		return CGFused, nil
+	default:
+		return CGClassic, fmt.Errorf("krylov: unknown CG variant %q (want classic, classic-overlap or fused)", s)
+	}
+}
+
+// Workspace holds a solver's iteration vectors so repeated solves reuse
+// them instead of reallocating: the experiment sweeps call the solver once
+// per matrix × pattern × ablation cell, and with a shared Workspace the
+// steady state allocates nothing per solve. The zero value is ready to
+// use; buffers grow on demand and are reused when sizes match. A Workspace
+// serves one solve at a time — in distributed runs each rank needs its own
+// (pass it via Options.Work when constructing per-rank Options).
+type Workspace struct {
+	r, z, d, q, s []float64
+	scratch       *distmat.DistVec
+}
+
+func grow(v *[]float64, n int) []float64 {
+	if cap(*v) < n {
+		*v = make([]float64, n)
+	}
+	*v = (*v)[:n]
+	return *v
+}
+
+// take4 returns the four classic-CG vectors (r, z, d, q) of length n.
+func (ws *Workspace) take4(n int) (r, z, d, q []float64) {
+	return grow(&ws.r, n), grow(&ws.z, n), grow(&ws.d, n), grow(&ws.q, n)
+}
+
+// take5 returns the five fused-CG vectors (r, u, w, p, s) of length n; u,
+// w, p alias the classic z, q, d slots so the two variants share storage.
+func (ws *Workspace) take5(n int) (r, u, w, p, s []float64) {
+	return grow(&ws.r, n), grow(&ws.z, n), grow(&ws.q, n), grow(&ws.d, n), grow(&ws.s, n)
+}
+
+// distScratch returns a halo-extended vector compatible with lz, reusing
+// the previous one when the layout matches.
+func (ws *Workspace) distScratch(lz *distmat.Localized) *distmat.DistVec {
+	need := lz.NLocal() + len(lz.HaloSet())
+	if ws.scratch == nil || ws.scratch.NLocal != lz.NLocal() || len(ws.scratch.Ext) != need {
+		ws.scratch = distmat.NewDistVec(lz)
+	}
+	return ws.scratch
+}
+
+// DistCGFused solves A x = b with the fused-reduction (Chronopoulos–Gear)
+// preconditioned CG recurrence. Per iteration it performs exactly one
+// collective — AllreduceSum(rᵀu, wᵀu, ‖r‖²) — against the classic loop's
+// three, with byte-identical halo traffic and unchanged neighbour sets
+// (asserted by the metered tests). The SpMV uses the overlap schedule. In
+// exact arithmetic the iterates equal classic PCG's; in floating point the
+// rearranged scalar recurrences
+//
+//	β_i = γ_i/γ_{i−1},  α_i = γ_i/(δ_i − β_i·γ_i/α_{i−1})
+//
+// round differently, so iteration counts may shift by ±1.
+func DistCGFused(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreconditioner, opt Options, fc *vecops.FlopCounter) (Stats, error) {
+	nl := op.LZ.NLocal()
+	nGlobal := int(c.AllreduceSumInt64(int64(nl))[0])
+	opt = opt.withDefaults(nGlobal)
+	if m == nil {
+		m = DistIdentity{}
+	}
+	if len(b) != nl || len(x) != nl {
+		panic(fmt.Sprintf("krylov: DistCGFused local length %d/%d, want %d", len(b), len(x), nl))
+	}
+	ws := opt.Work
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	r, u, w, p, s := ws.take5(nl)
+	scratch := ws.distScratch(op.LZ)
+	ov := op.EnsureOverlap()
+
+	copy(r, b)
+	vecops.Fill(p, 0)
+	vecops.Fill(s, 0)
+	m.Apply(c, r, u, fc)
+	ov.MulVecOverlap(c, u, w, scratch, fc)
+	ruL, wuL := vecops.Dot2(r, u, w, fc)
+	rrL := vecops.Dot(r, r, fc)
+	g := c.AllreduceSum(ruL, wuL, rrL)
+	gamma, delta, rr := g[0], g[1], g[2]
+	if rr == 0 {
+		vecops.Fill(x, 0)
+		return Stats{Converged: true}, nil
+	}
+	norm0 := math.Sqrt(rr)
+	if gamma <= 0 || delta <= 0 || math.IsNaN(gamma) || math.IsNaN(delta) {
+		return Stats{}, fmt.Errorf("krylov: DistCGFused breakdown at setup (rᵀMr = %g, uᵀAu = %g); matrix or preconditioner not SPD?", gamma, delta)
+	}
+	alpha := gamma / delta
+	beta := 0.0
+
+	st := Stats{}
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		// p ← u + βp, s ← w + βs, x ← x + αp, r ← r − αs, and the local
+		// ‖r‖² contribution, all in one sweep.
+		rrL := vecops.FusedCGUpdate(alpha, beta, u, w, p, s, x, r, fc)
+		m.Apply(c, r, u, fc)
+		ov.MulVecOverlap(c, u, w, scratch, fc)
+		ruL, wuL := vecops.Dot2(r, u, w, fc)
+		// The single collective of the iteration.
+		g := c.AllreduceSum(ruL, wuL, rrL)
+		gammaNew, delta, rr := g[0], g[1], g[2]
+		st.Iterations = iter
+		st.RelResidual = math.Sqrt(rr) / norm0
+		if opt.RecordResiduals {
+			st.Residuals = append(st.Residuals, st.RelResidual)
+		}
+		if st.RelResidual <= opt.Tol {
+			st.Converged = true
+			st.Flops = fc.Count()
+			return st, nil
+		}
+		beta = gammaNew / gamma
+		denom := delta - beta*gammaNew/alpha
+		if denom <= 0 || math.IsNaN(denom) {
+			return st, fmt.Errorf("krylov: DistCGFused breakdown at iteration %d (recurrence denominator %g); matrix not SPD?", iter, denom)
+		}
+		alpha = gammaNew / denom
+		gamma = gammaNew
+	}
+	st.Flops = fc.Count()
+	return st, fmt.Errorf("%w: %d iterations, rel residual %.3e", ErrNoConvergence, st.Iterations, st.RelResidual)
+}

@@ -304,8 +304,10 @@ func reduceColl(op string, parts []collMsg) collMsg {
 	return out
 }
 
-// Barrier blocks until every rank has entered it.
+// Barrier blocks until every rank has entered it. It is metered as a
+// zero-byte collective call.
 func (c *Comm) Barrier() {
+	c.meterCollective(0)
 	c.collective("barrier", collMsg{})
 }
 
@@ -365,9 +367,13 @@ func (c *Comm) BcastFloats(root int, vals []float64) []float64 {
 		// The rendezvous always reduces at rank 0; rotate via a send.
 		panic("simmpi: BcastFloats currently supports root 0 only")
 	}
+	bytes := 0
 	if c.rank == root {
-		c.meterCollective(8 * len(vals))
+		// Only the root contributes payload; every rank still enters the
+		// collective, so every rank is charged a call.
+		bytes = 8 * len(vals)
 	}
+	c.meterCollective(bytes)
 	return c.collective("bcast", collMsg{f64: vals}).f64
 }
 
@@ -470,6 +476,73 @@ func (m *Meter) CollectiveBytes(rank int) int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.collBytes[rank]
+}
+
+// CollectiveCalls returns the number of collective operations rank has
+// entered (each Allreduce/Allgather/Barrier/Bcast counts once per
+// participating rank). The fused-reduction CG claim — one Allreduce per
+// iteration instead of three — is asserted against this counter.
+func (m *Meter) CollectiveCalls(rank int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.collOps[rank]
+}
+
+// TotalCollectiveCalls returns collective-call counts summed over ranks
+// (each logical collective contributes once per participating rank).
+func (m *Meter) TotalCollectiveCalls() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var s int64
+	for _, n := range m.collOps {
+		s += n
+	}
+	return s
+}
+
+// TotalCollectiveBytes returns collective payload bytes summed over ranks.
+func (m *Meter) TotalCollectiveBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var s int64
+	for _, b := range m.collBytes {
+		s += b
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of the meter's aggregate counters.
+// Diffing two snapshots (Sub) isolates the traffic of a program phase —
+// e.g. collectives per CG iteration — without resetting the meter.
+type Snapshot struct {
+	P2PBytes, P2PMessages            int64
+	CollectiveCalls, CollectiveBytes int64
+}
+
+// Snapshot returns the current aggregate counters.
+func (m *Meter) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var s Snapshot
+	for i := 0; i < m.size; i++ {
+		for j := 0; j < m.size; j++ {
+			s.P2PBytes += m.pairBytes[i][j]
+			s.P2PMessages += m.pairMsgs[i][j]
+		}
+		s.CollectiveCalls += m.collOps[i]
+		s.CollectiveBytes += m.collBytes[i]
+	}
+	return s
+}
+
+// Sub returns the counter-wise difference s − o.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		P2PBytes:        s.P2PBytes - o.P2PBytes,
+		P2PMessages:     s.P2PMessages - o.P2PMessages,
+		CollectiveCalls: s.CollectiveCalls - o.CollectiveCalls,
+		CollectiveBytes: s.CollectiveBytes - o.CollectiveBytes,
+	}
 }
 
 // NeighborSets returns, for every rank, the sorted set of peers it sent at

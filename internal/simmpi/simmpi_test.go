@@ -346,3 +346,83 @@ func TestAllgatherFloats(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMeterCollectiveCallsAndBytes(t *testing.T) {
+	const ranks = 3
+	w, err := Run(ranks, testTimeout, func(c *Comm) error {
+		c.AllreduceSum(1, 2, 3) // 24 bytes, 1 call per rank
+		c.AllreduceSum(1)       // 8 bytes, 1 call per rank
+		c.Barrier()             // 0 bytes, 1 call per rank
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := w.Meter()
+	for r := 0; r < ranks; r++ {
+		if got := m.CollectiveCalls(r); got != 3 {
+			t.Fatalf("rank %d collective calls = %d, want 3", r, got)
+		}
+		if got := m.CollectiveBytes(r); got != 32 {
+			t.Fatalf("rank %d collective bytes = %d, want 32", r, got)
+		}
+	}
+	if got := m.TotalCollectiveCalls(); got != 3*ranks {
+		t.Fatalf("total collective calls = %d, want %d", got, 3*ranks)
+	}
+	if got := m.TotalCollectiveBytes(); got != 32*ranks {
+		t.Fatalf("total collective bytes = %d, want %d", got, 32*ranks)
+	}
+}
+
+func TestMeterBcastChargesEveryRankOneCall(t *testing.T) {
+	const ranks = 4
+	w, err := Run(ranks, testTimeout, func(c *Comm) error {
+		c.BcastFloats(0, []float64{1, 2})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := w.Meter()
+	for r := 0; r < ranks; r++ {
+		if got := m.CollectiveCalls(r); got != 1 {
+			t.Fatalf("rank %d bcast calls = %d, want 1", r, got)
+		}
+	}
+	// Payload is charged to the root only.
+	if m.CollectiveBytes(0) != 16 || m.CollectiveBytes(1) != 0 {
+		t.Fatalf("bcast bytes = %d/%d, want 16/0", m.CollectiveBytes(0), m.CollectiveBytes(1))
+	}
+}
+
+func TestMeterSnapshotSub(t *testing.T) {
+	w, err := Run(2, testTimeout, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.SendFloats(1, 7, []float64{1, 2, 3})
+		} else {
+			c.RecvFloats(0, 7)
+		}
+		c.AllreduceSum(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := w.Meter().Snapshot()
+	if s1.P2PBytes != 24 || s1.P2PMessages != 1 || s1.CollectiveCalls != 2 || s1.CollectiveBytes != 16 {
+		t.Fatalf("snapshot = %+v", s1)
+	}
+	// A second phase on the same world; Sub isolates it.
+	w2 := w // reuse the world's meter: record directly
+	w2.Meter().record(0, 1, 8)
+	s2 := w.Meter().Snapshot()
+	d := s2.Sub(s1)
+	if d.P2PBytes != 8 || d.P2PMessages != 1 || d.CollectiveCalls != 0 || d.CollectiveBytes != 0 {
+		t.Fatalf("snapshot diff = %+v", d)
+	}
+	w.Meter().Reset()
+	if s := w.Meter().Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("post-reset snapshot = %+v", s)
+	}
+}

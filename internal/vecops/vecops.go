@@ -92,6 +92,54 @@ func Copy(dst, src []float64) {
 	copy(dst, src)
 }
 
+// Dot2 returns (xᵀy, zᵀy) in one pass over the three vectors, counting 4·n
+// flops. The fused CG recurrence needs both rᵀu and wᵀu after every
+// preconditioner+SpMV application; merging them halves the sweeps over u.
+func Dot2(x, y, z []float64, fc *FlopCounter) (xy, zy float64) {
+	if len(x) != len(y) || len(z) != len(y) {
+		panic(fmt.Sprintf("vecops: Dot2 length mismatch %d/%d/%d", len(x), len(y), len(z)))
+	}
+	for i := range y {
+		xy += x[i] * y[i]
+		zy += z[i] * y[i]
+	}
+	fc.Add(4 * int64(len(y)))
+	return xy, zy
+}
+
+// FusedCGUpdate performs the four vector updates of one fused-CG iteration
+// in a single sweep and folds the residual-norm reduction into the same
+// loop (the AxpyDot/XpayNorm2 merged update+reduce style):
+//
+//	p ← u + β·p
+//	s ← w + β·s
+//	x ← x + α·p
+//	r ← r − α·s
+//
+// and returns Σ rᵢ² of the updated residual. The classic loop needs four
+// separate sweeps plus a fifth for the norm; this kernel streams each
+// vector exactly once. Counts 10·n flops (8 update + 2 reduce).
+func FusedCGUpdate(alpha, beta float64, u, w, p, s, x, r []float64, fc *FlopCounter) float64 {
+	n := len(u)
+	if len(w) != n || len(p) != n || len(s) != n || len(x) != n || len(r) != n {
+		panic(fmt.Sprintf("vecops: FusedCGUpdate length mismatch %d/%d/%d/%d/%d/%d",
+			len(u), len(w), len(p), len(s), len(x), len(r)))
+	}
+	rr := 0.0
+	for i := 0; i < n; i++ {
+		pi := u[i] + beta*p[i]
+		si := w[i] + beta*s[i]
+		p[i] = pi
+		s[i] = si
+		x[i] += alpha * pi
+		ri := r[i] - alpha*si
+		r[i] = ri
+		rr += ri * ri
+	}
+	fc.Add(10 * int64(n))
+	return rr
+}
+
 // Norm2 returns the Euclidean norm of x.
 func Norm2(x []float64, fc *FlopCounter) float64 {
 	return math.Sqrt(Dot(x, x, fc))

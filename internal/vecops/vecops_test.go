@@ -127,3 +127,72 @@ func TestQuickDotLinear(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDot2MatchesTwoDots(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := make([]float64, 57)
+	y := make([]float64, 57)
+	z := make([]float64, 57)
+	for i := range x {
+		x[i], y[i], z[i] = rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+	}
+	var fc FlopCounter
+	xy, zy := Dot2(x, y, z, &fc)
+	// Bit-identical to the unfused reference: same accumulation order.
+	if xy != Dot(x, y, nil) || zy != Dot(z, y, nil) {
+		t.Fatalf("Dot2 = (%v, %v), want (%v, %v)", xy, zy, Dot(x, y, nil), Dot(z, y, nil))
+	}
+	if fc.Count() != 4*57 {
+		t.Fatalf("flops = %d, want %d", fc.Count(), 4*57)
+	}
+}
+
+func TestFusedCGUpdateMatchesUnfused(t *testing.T) {
+	const n = 43
+	rng := rand.New(rand.NewSource(22))
+	mk := func() []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		return v
+	}
+	u, w, p, s, x, r := mk(), mk(), mk(), mk(), mk(), mk()
+	alpha, beta := 0.37, -0.81
+	// Unfused reference on copies.
+	cp := func(v []float64) []float64 { return append([]float64(nil), v...) }
+	p2, s2, x2, r2 := cp(p), cp(s), cp(x), cp(r)
+	Xpay(u, beta, p2, nil)
+	Xpay(w, beta, s2, nil)
+	Axpy(alpha, p2, x2, nil)
+	Axpy(-alpha, s2, r2, nil)
+
+	var fc FlopCounter
+	rr := FusedCGUpdate(alpha, beta, u, w, p, s, x, r, &fc)
+	for i := 0; i < n; i++ {
+		if p[i] != p2[i] || s[i] != s2[i] || x[i] != x2[i] || r[i] != r2[i] {
+			t.Fatalf("fused update diverges at %d: p %v/%v s %v/%v x %v/%v r %v/%v",
+				i, p[i], p2[i], s[i], s2[i], x[i], x2[i], r[i], r2[i])
+		}
+	}
+	if want := Dot(r2, r2, nil); rr != want {
+		t.Fatalf("rr = %v, want %v", rr, want)
+	}
+	if fc.Count() != 10*n {
+		t.Fatalf("flops = %d, want %d", fc.Count(), 10*n)
+	}
+}
+
+func TestFusedKernelLengthMismatchPanics(t *testing.T) {
+	check := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic on length mismatch", name)
+			}
+		}()
+		f()
+	}
+	a, b := make([]float64, 3), make([]float64, 2)
+	check("Dot2", func() { Dot2(a, b, a, nil) })
+	check("FusedCGUpdate", func() { FusedCGUpdate(1, 1, a, a, a, b, a, a, nil) })
+}

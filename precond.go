@@ -20,6 +20,11 @@ type Preconditioner struct {
 	method Method
 	pct    float64
 	setup  time.Duration
+	// work holds the CG iteration vectors across SolveWith calls, so
+	// repeated solves with the same factor allocate no per-solve buffers
+	// (beyond the returned solution). Part of why the Preconditioner is
+	// documented as sequential-reuse only.
+	work krylov.Workspace
 }
 
 // BuildPreconditioner constructs the selected FSAI variant for matrix a
@@ -88,7 +93,7 @@ func (p *Preconditioner) SolveWith(b []float64, opt Options) (*Result, error) {
 	opt = opt.withDefaults(p.a.Rows)
 	x := make([]float64, p.a.Rows)
 	t0 := time.Now()
-	st, err := krylov.CG(p.a, b, x, p.split, krylov.Options{Tol: opt.Tol, MaxIter: opt.MaxIter}, nil)
+	st, err := krylov.CG(p.a, b, x, p.split, krylov.Options{Tol: opt.Tol, MaxIter: opt.MaxIter, Work: &p.work}, nil)
 	if err != nil && !errors.Is(err, krylov.ErrNoConvergence) {
 		return nil, err
 	}

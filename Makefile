@@ -4,9 +4,10 @@ GO ?= go
 
 all: tier1
 
-# tier1: the fast correctness gate — full build + full test suite.
+# tier1: the fast correctness gate — full build + vet + full test suite.
 tier1:
 	$(GO) build ./...
+	$(GO) vet ./...
 	$(GO) test ./...
 
 # tier2: race-detector pass over the concurrency-bearing packages (the
@@ -16,11 +17,13 @@ tier2:
 	$(GO) build ./...
 	$(GO) test -race ./internal/simmpi/... ./internal/fsai/... ./internal/parallel/... ./internal/krylov/... ./internal/distmat/...
 
-# bench: the serial-vs-parallel kernel pairs plus the classic-vs-fused
-# distributed CG and blocking-vs-overlap SpMV comparisons on the ~50k-row
-# case.
+# bench: the serial-vs-parallel kernel pairs plus the CG-variant
+# (classic/overlap/fused/pipelined) and blocking-vs-overlap SpMV comparisons
+# on the ~50k-row case, and the BENCH_pipelined.json artifact with per-variant
+# iterations, wall time, modeled time and meter totals.
 bench:
 	$(GO) test -run xxx -bench '50k' -benchmem .
+	$(GO) run ./cmd/fsaibench -exp benchjson -out BENCH_pipelined.json
 
 # fuzz: short exploration of each sparse-format fuzz target (seeds already
 # run under plain `go test`).

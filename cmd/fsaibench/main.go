@@ -7,7 +7,10 @@
 //	fsaibench -exp all -set quick
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7
-// fig2 fig3a fig3b fig4 fig5a fig5b fig6 fig7 fig8 imbalance all.
+// fig2 fig3a fig3b fig4 fig5a fig5b fig6 fig7 fig8 imbalance all,
+// plus interaction (filter × CG-variant × ranks study) and benchjson
+// (the BENCH_pipelined.json artifact of `make bench`; -out selects the
+// file, default stdout).
 // The quick set (default) is a 7-matrix class-representative subset of
 // Table 1; -set full runs the whole 39-matrix catalog (minutes, not
 // seconds).
@@ -32,16 +35,17 @@ func main() {
 	set := flag.String("set", "quick", "matrix set: quick (7 matrices) or full (39)")
 	arch := flag.String("arch", "", "override architecture (skylake, a64fx, zen2); default per experiment")
 	workers := flag.Int("workers", 0, "setup worker threads per simulated rank (0 = 1 per rank)")
-	cg := flag.String("cg", "classic", "distributed CG loop: classic, classic-overlap or fused")
+	cg := flag.String("cg", "classic", "distributed CG loop: classic, classic-overlap, fused or pipelined")
+	outPath := flag.String("out", "", "output file for -exp benchjson (default stdout)")
 	flag.Parse()
 
-	if err := run(*exp, *set, *arch, *workers, *cg, os.Stdout); err != nil {
+	if err := run(*exp, *set, *arch, *workers, *cg, *outPath, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "fsaibench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, set, archOverride string, workers int, cg string, out io.Writer) error {
+func run(exp, set, archOverride string, workers int, cg, outPath string, out io.Writer) error {
 	variant, err := krylov.ParseCGVariant(cg)
 	if err != nil {
 		return err
@@ -205,11 +209,57 @@ func run(exp, set, archOverride string, workers int, cg string, out io.Writer) e
 			}
 			return experiments.WriteImbalanceStudy(out, runner(archmodel.Skylake), spec, 0.01)
 		},
+		"interaction": func() error {
+			// thermal2-sim has the largest pattern-side saving of the quick
+			// set, so the composition question is sharpest there.
+			spec, err := testsets.ByName("thermal2-sim")
+			if err != nil {
+				return err
+			}
+			// Fresh runners: the study overrides the rank rule per point.
+			mk := func() *experiments.Runner {
+				r := experiments.NewRunner(archmodel.Zen2)
+				if archOverride != "" {
+					if p, err := archmodel.ByName(archOverride); err == nil {
+						r.Arch = p
+					}
+				}
+				r.Workers = workers
+				return r
+			}
+			return experiments.WriteInteraction(out, mk, spec, []int{2, 4, 8}, []float64{0.05, 0.1})
+		},
+		"benchjson": func() error {
+			arch := archmodel.Skylake
+			if archOverride != "" {
+				p, err := archmodel.ByName(archOverride)
+				if err != nil {
+					return err
+				}
+				arch = p
+			}
+			w := out
+			if outPath != "" {
+				f, err := os.Create(outPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := experiments.WriteBenchJSON(w, arch, 8); err != nil {
+				return err
+			}
+			if outPath != "" {
+				fmt.Fprintf(out, "wrote bench artifact to %s\n", outPath)
+			}
+			return nil
+		},
 	}
 
 	order := []string{"table1", "table2", "table3", "table4", "table5", "table6", "table7",
 		"fig2", "fig3a", "fig3b", "fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8",
-		"imbalance", "ablation", "scaling", "convergence", "setupcost", "baselines"}
+		"imbalance", "ablation", "scaling", "interaction", "convergence", "setupcost", "baselines"}
 	if exp == "all" {
 		for _, id := range order {
 			fmt.Fprintf(out, "================ %s ================\n", id)

@@ -38,11 +38,11 @@ func TestRunSolvesAndWritesSolution(t *testing.T) {
 	}
 }
 
-func TestRunFusedCGMatchesClassic(t *testing.T) {
+func TestRunCommHidingCGMatchesClassic(t *testing.T) {
 	mtx := writeTestMatrix(t)
 	dir := t.TempDir()
 	outs := map[string]string{}
-	for _, cg := range []string{"classic", "fused"} {
+	for _, cg := range []string{"classic", "fused", "pipelined"} {
 		out := filepath.Join(dir, "x-"+cg+".txt")
 		if err := run(mtx, "", "fsaie-comm", 0.01, false, 64, 4, 0, cg, 1e-8, 0, out); err != nil {
 			t.Fatalf("-cg %s: %v", cg, err)
@@ -53,13 +53,15 @@ func TestRunFusedCGMatchesClassic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	xf, err := readVector(outs["fused"])
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range xc {
-		if d := xc[i] - xf[i]; d > 1e-6 || d < -1e-6 {
-			t.Fatalf("x[%d]: classic %v vs fused %v", i, xc[i], xf[i])
+	for _, cg := range []string{"fused", "pipelined"} {
+		xf, err := readVector(outs[cg])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xc {
+			if d := xc[i] - xf[i]; d > 1e-6 || d < -1e-6 {
+				t.Fatalf("x[%d]: classic %v vs %s %v", i, xc[i], cg, xf[i])
+			}
 		}
 	}
 }

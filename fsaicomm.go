@@ -29,6 +29,7 @@ import (
 	"fsaicomm/internal/archmodel"
 	"fsaicomm/internal/core"
 	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/experiments"
 	"fsaicomm/internal/krylov"
 	"fsaicomm/internal/matgen"
 	"fsaicomm/internal/partition"
@@ -90,10 +91,14 @@ const (
 	// CGFused is the fused-reduction (Chronopoulos–Gear) loop: one batched
 	// Allreduce per iteration.
 	CGFused = krylov.CGFused
+	// CGPipelined is the pipelined (Ghysels–Vanroose) loop: one nonblocking
+	// Allreduce per iteration, overlapped with the next SpMV and
+	// preconditioner application.
+	CGPipelined = krylov.CGPipelined
 )
 
-// ParseCGVariant parses "classic", "classic-overlap" or "fused" (the -cg
-// flag spellings of the command-line tools).
+// ParseCGVariant parses "classic", "classic-overlap", "fused" or
+// "pipelined" (the -cg flag spellings of the command-line tools).
 func ParseCGVariant(s string) (CGVariant, error) { return krylov.ParseCGVariant(s) }
 
 // Options configures a solve.
@@ -138,10 +143,16 @@ type Options struct {
 	Workers int
 	// CGVariant selects the distributed CG loop: CGClassic (default; three
 	// reductions per iteration, blocking SpMV), CGClassicOverlap (classic
-	// recurrence, overlapped halo SpMV) or CGFused (one batched Allreduce
-	// per iteration, overlapped SpMV, fused kernels). Serial Solve ignores
-	// it. See ParseCGVariant for the flag spellings.
+	// recurrence, overlapped halo SpMV), CGFused (one batched Allreduce per
+	// iteration, overlapped SpMV, fused kernels) or CGPipelined (one
+	// nonblocking Allreduce per iteration, hidden behind the next SpMV and
+	// preconditioner application). Serial Solve ignores it. See
+	// ParseCGVariant for the flag spellings.
 	CGVariant CGVariant
+	// Arch names the architecture profile for Result.ModeledSolveTime:
+	// "skylake" (default), "a64fx" or "zen2". It only parameterizes the
+	// cost model; LineBytes independently steers the pattern extension.
+	Arch string
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -184,6 +195,13 @@ type Result struct {
 	// SetupTime and SolveTime are wall-clock durations of preconditioner
 	// construction and the CG loop.
 	SetupTime, SolveTime time.Duration
+	// ModeledSolveTime is the solve time in seconds under the α–β cost model
+	// of the selected architecture profile (Options.Arch), with overlap
+	// credit for the communication-hiding CG variants. The simulated runtime
+	// serializes ranks, so SolveTime cannot show an overlap win;
+	// ModeledSolveTime is the number to compare CG variants by (DESIGN.md
+	// §4d). Zero for serial solves.
+	ModeledSolveTime float64
 }
 
 // ErrNotSPD is returned when the input matrix is detectably not symmetric
@@ -259,6 +277,13 @@ func SolveDistributed(a *Matrix, b []float64, opt Options) (*Result, error) {
 	if ranks < 1 {
 		return nil, fmt.Errorf("fsaicomm: ranks %d < 1", ranks)
 	}
+	prof := archmodel.Skylake
+	if opt.Arch != "" {
+		var err error
+		if prof, err = archmodel.ByName(opt.Arch); err != nil {
+			return nil, fmt.Errorf("fsaicomm: %w", err)
+		}
+	}
 
 	var part []int
 	switch opt.Partitioner {
@@ -295,6 +320,7 @@ func SolveDistributed(a *Matrix, b []float64, opt Options) (*Result, error) {
 	}
 	res := &Result{Ranks: ranks}
 	px := make([]float64, a.Rows)
+	costs := make([]experiments.IterCostInputs, ranks)
 	t0 := time.Now()
 	var solveStart time.Time
 	world, err := simmpi.Run(ranks, time.Hour, func(c *simmpi.Comm) error {
@@ -305,6 +331,7 @@ func SolveDistributed(a *Matrix, b []float64, opt Options) (*Result, error) {
 			return err
 		}
 		aOp := distmat.NewOp(c, layout, lo, hi, aRows, aOpts...)
+		costs[c.Rank()] = experiments.AssembleIterCost(prof, aOp, bd.GOp, bd.GTOp, hi-lo, ranks, opt.CGVariant)
 		c.Barrier()
 		if c.Rank() == 0 {
 			res.SetupTime = time.Since(t0)
@@ -340,6 +367,7 @@ func SolveDistributed(a *Matrix, b []float64, opt Options) (*Result, error) {
 	if res.Iterations > 0 {
 		res.CommBytesPerIteration = float64(res.CommBytes) / float64(res.Iterations)
 	}
+	res.ModeledSolveTime = experiments.ModeledSolveTime(prof, opt.CGVariant, res.Iterations, costs)
 	// Un-permute the solution.
 	res.X = make([]float64, a.Rows)
 	for i := range res.X {

@@ -151,16 +151,80 @@ func (r *RankCost) Add(o RankCost) {
 	r.CommMsgs += o.CommMsgs
 }
 
-// Time converts a rank cost into modeled seconds. The process runs
-// CoresPerProcess cores, so the flop term is divided by the aggregate rate;
-// miss latency and communication are serialized per process.
-func (p Profile) Time(rc RankCost) float64 {
+// ComputeTime returns only the on-node terms of the model: flop rate,
+// memory streaming and cache-miss latency. The process runs CoresPerProcess
+// cores, so the flop and stream terms are divided by the aggregate rate;
+// miss latency is serialized per process.
+func (p Profile) ComputeTime(rc RankCost) float64 {
 	cores := float64(p.CoresPerProcess)
 	return float64(rc.Flops)/(p.FlopsPerSec*cores) +
 		float64(rc.StreamBytes)/(p.MemBWPerCore*cores) +
-		float64(rc.CacheMisses)*p.MissPenaltySec +
-		float64(rc.CommMsgs)*p.AlphaSec +
-		float64(rc.CommBytes)*p.BetaSecPerByte
+		float64(rc.CacheMisses)*p.MissPenaltySec
+}
+
+// CommTime returns only the interconnect terms of the model, the α–β cost
+// α·msgs + β·bytes.
+func (p Profile) CommTime(rc RankCost) float64 {
+	return float64(rc.CommMsgs)*p.AlphaSec + float64(rc.CommBytes)*p.BetaSecPerByte
+}
+
+// Time converts a rank cost into modeled seconds with communication fully
+// exposed (no overlap credit): ComputeTime + CommTime.
+func (p Profile) Time(rc RankCost) float64 {
+	return p.ComputeTime(rc) + p.CommTime(rc)
+}
+
+// CommWindow is one communication phase of an iteration paired with the
+// compute the schedule runs while that traffic is in flight. The α–β cost
+// of the phase is charged only to the extent it exceeds the hiding compute:
+//
+//	exposed(window) = max(0, CommTime(Comm) − ComputeTime(Hide))
+//
+// Hide must be a portion of the iteration's total compute, and the Hide
+// windows of one OverlapCost must be disjoint portions — each flop can hide
+// at most one phase. The builders in internal/experiments carve the
+// iteration's compute accordingly (interior SpMV rows hide the halo
+// exchange; the preconditioner application hides the pipelined reduction).
+type CommWindow struct {
+	// Name labels the phase in reports ("halo", "reduction").
+	Name string
+	// Comm carries the phase's interconnect traffic (CommMsgs/CommBytes);
+	// compute fields are ignored.
+	Comm RankCost
+	// Hide carries the compute available during the phase (Flops,
+	// StreamBytes, CacheMisses); comm fields are ignored.
+	Hide RankCost
+}
+
+// OverlapCost is one rank's per-iteration cost split the way an overlapping
+// schedule executes it: all compute, communication that no schedule can
+// hide, and the hideable communication phases with their hiding windows.
+type OverlapCost struct {
+	// Compute is the iteration's total on-node work (the Hide windows are
+	// portions of it, not additions).
+	Compute RankCost
+	// Exposed is communication serialized against everything (e.g. the
+	// blocking reductions of the classic and fused loops).
+	Exposed RankCost
+	// Windows are the overlappable communication phases.
+	Windows []CommWindow
+}
+
+// OverlapTime models one iteration of an overlapping schedule:
+//
+//	time = compute + exposed + Σ max(0, comm(w) − compute(w.Hide))
+//
+// The simulated runtime serializes goroutines and therefore cannot exhibit
+// overlap in wall-clock terms; this credit term is how the metered traffic
+// becomes the time a real network would see (DESIGN.md §4d).
+func (p Profile) OverlapTime(oc OverlapCost) float64 {
+	t := p.ComputeTime(oc.Compute) + p.CommTime(oc.Exposed)
+	for _, w := range oc.Windows {
+		if ex := p.CommTime(w.Comm) - p.ComputeTime(w.Hide); ex > 0 {
+			t += ex
+		}
+	}
+	return t
 }
 
 // SolveTime returns the modeled time of a solve: iterations times the
@@ -170,6 +234,20 @@ func (p Profile) SolveTime(iters int, perRank []RankCost) float64 {
 	worst := 0.0
 	for _, rc := range perRank {
 		if t := p.Time(rc); t > worst {
+			worst = t
+		}
+	}
+	return float64(iters) * worst
+}
+
+// SolveTimeOverlapped returns the modeled time of a solve under an
+// overlapping schedule: iterations times the slowest rank's OverlapTime
+// (the reduction still synchronizes ranks once per iteration, so the
+// maximum governs).
+func (p Profile) SolveTimeOverlapped(iters int, perRank []OverlapCost) float64 {
+	worst := 0.0
+	for _, oc := range perRank {
+		if t := p.OverlapTime(oc); t > worst {
 			worst = t
 		}
 	}

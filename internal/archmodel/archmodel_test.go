@@ -106,3 +106,85 @@ func TestGFlopsPerProcess(t *testing.T) {
 		t.Fatal("zero work should report 0")
 	}
 }
+
+func TestComputeCommSplitSumsToTime(t *testing.T) {
+	rc := RankCost{Flops: 1e6, StreamBytes: 1e7, CacheMisses: 1e3, CommBytes: 1e4, CommMsgs: 10}
+	for _, p := range []Profile{Skylake, A64FX, Zen2} {
+		if got, want := p.ComputeTime(rc)+p.CommTime(rc), p.Time(rc); got != want {
+			t.Fatalf("%s: ComputeTime+CommTime = %g, Time = %g", p.Name, got, want)
+		}
+	}
+	if Skylake.CommTime(RankCost{Flops: 1e9}) != 0 {
+		t.Fatal("CommTime charged for compute")
+	}
+	if Skylake.ComputeTime(RankCost{CommMsgs: 5, CommBytes: 1e6}) != 0 {
+		t.Fatal("ComputeTime charged for communication")
+	}
+}
+
+// With no windows, OverlapTime degenerates to the fully-exposed model.
+func TestOverlapTimeNoWindowsEqualsTime(t *testing.T) {
+	rc := RankCost{Flops: 1e6, StreamBytes: 1e7, CacheMisses: 1e3, CommBytes: 1e4, CommMsgs: 10}
+	oc := OverlapCost{
+		Compute: RankCost{Flops: rc.Flops, StreamBytes: rc.StreamBytes, CacheMisses: rc.CacheMisses},
+		Exposed: RankCost{CommBytes: rc.CommBytes, CommMsgs: rc.CommMsgs},
+	}
+	if got, want := Skylake.OverlapTime(oc), Skylake.Time(rc); got != want {
+		t.Fatalf("OverlapTime = %g, want Time = %g", got, want)
+	}
+}
+
+// A window whose hiding compute exceeds its communication contributes
+// nothing; one whose compute falls short contributes exactly the residue.
+func TestOverlapCreditClamps(t *testing.T) {
+	p := Skylake
+	comm := RankCost{CommMsgs: 4, CommBytes: 4096}
+	bigHide := RankCost{Flops: 1e9}   // compute ≫ comm
+	smallHide := RankCost{Flops: 1e3} // compute ≪ comm
+	compute := RankCost{Flops: 2e9}
+
+	full := p.OverlapTime(OverlapCost{Compute: compute, Windows: []CommWindow{{Name: "halo", Comm: comm, Hide: bigHide}}})
+	if full != p.ComputeTime(compute) {
+		t.Fatalf("fully hidden window still charged: %g vs %g", full, p.ComputeTime(compute))
+	}
+	part := p.OverlapTime(OverlapCost{Compute: compute, Windows: []CommWindow{{Name: "halo", Comm: comm, Hide: smallHide}}})
+	want := p.ComputeTime(compute) + p.CommTime(comm) - p.ComputeTime(smallHide)
+	if diff := part - want; diff > 1e-18 || diff < -1e-18 {
+		t.Fatalf("partial credit: got %g, want %g", part, want)
+	}
+}
+
+// Overlap can only help: for the same traffic, the overlapped schedule is
+// never modeled slower than the exposed one, and strictly faster as soon as
+// any window has both traffic and hiding compute.
+func TestOverlapNeverSlower(t *testing.T) {
+	p := A64FX
+	compute := RankCost{Flops: 5e7, StreamBytes: 1e8}
+	halo := RankCost{CommMsgs: 6, CommBytes: 48 * 1024}
+	red := RankCost{CommMsgs: 2, CommBytes: 48}
+	exposedAll := RankCost{Flops: compute.Flops, StreamBytes: compute.StreamBytes,
+		CommMsgs: halo.CommMsgs + red.CommMsgs, CommBytes: halo.CommBytes + red.CommBytes}
+	oc := OverlapCost{
+		Compute: compute,
+		Exposed: red,
+		Windows: []CommWindow{{Name: "halo", Comm: halo, Hide: RankCost{Flops: 4e7}}},
+	}
+	if p.OverlapTime(oc) >= p.Time(exposedAll) {
+		t.Fatalf("overlapped %g not faster than exposed %g", p.OverlapTime(oc), p.Time(exposedAll))
+	}
+}
+
+func TestSolveTimeOverlappedUsesWorstRank(t *testing.T) {
+	mk := func(flops float64) OverlapCost {
+		return OverlapCost{Compute: RankCost{Flops: int64(flops)}, Exposed: RankCost{CommMsgs: 1}}
+	}
+	costs := []OverlapCost{mk(1e6), mk(5e6), mk(2e6)}
+	got := Skylake.SolveTimeOverlapped(10, costs)
+	want := 10 * Skylake.OverlapTime(costs[1])
+	if got != want {
+		t.Fatalf("SolveTimeOverlapped = %g, want %g", got, want)
+	}
+	if Skylake.SolveTimeOverlapped(10, nil) != 0 {
+		t.Fatal("empty ranks should cost 0")
+	}
+}

@@ -649,3 +649,65 @@ func TestPostSendsBufferReuse(t *testing.T) {
 		}
 	}
 }
+
+// The nonblocking-primitive halo schedule must be bit-identical to the
+// blocking one and metered byte-for-byte the same.
+func TestOverlapAsyncMatchesBlockingAndMeter(t *testing.T) {
+	a := grid2d(9, 9)
+	n := a.Rows
+	rng := rand.New(rand.NewSource(41))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	const nranks = 4
+	l := NewUniformLayout(n, nranks)
+	run := func(async bool) ([]float64, *simmpi.Meter) {
+		t.Helper()
+		got := make([]float64, n)
+		w, err := simmpi.Run(nranks, testTimeout, func(c *simmpi.Comm) error {
+			lo, hi := l.Range(c.Rank())
+			op := NewOp(c, l, lo, hi, ExtractLocalRows(a, lo, hi), WithOverlap())
+			scratch := NewDistVec(op.LZ)
+			y := make([]float64, hi-lo)
+			for k := 0; k < 3; k++ { // repeat: handle/buffer reuse must hold
+				if async {
+					op.Overlap().MulVecOverlapAsync(c, x[lo:hi], y, scratch, nil)
+				} else {
+					op.Overlap().MulVecOverlap(c, x[lo:hi], y, scratch, nil)
+				}
+			}
+			copy(got[lo:hi], y)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, w.Meter()
+	}
+	blocking, mb := run(false)
+	asyncY, ma := run(true)
+	for i := range blocking {
+		if blocking[i] != asyncY[i] {
+			t.Fatalf("y[%d]: async %v != blocking %v (must be bit-identical)", i, asyncY[i], blocking[i])
+		}
+	}
+	for s := 0; s < nranks; s++ {
+		for d := 0; d < nranks; d++ {
+			if mb.PairBytes(s, d) != ma.PairBytes(s, d) {
+				t.Fatalf("pair %d->%d: async %d bytes != blocking %d", s, d, ma.PairBytes(s, d), mb.PairBytes(s, d))
+			}
+		}
+	}
+	nb, na := mb.NeighborSets(), ma.NeighborSets()
+	for r := range nb {
+		if len(nb[r]) != len(na[r]) {
+			t.Fatalf("rank %d neighbour sets differ: %v vs %v", r, na[r], nb[r])
+		}
+		for k := range nb[r] {
+			if nb[r][k] != na[r][k] {
+				t.Fatalf("rank %d neighbour sets differ: %v vs %v", r, na[r], nb[r])
+			}
+		}
+	}
+}

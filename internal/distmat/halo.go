@@ -105,6 +105,9 @@ type HaloPlan struct {
 	// send side (simmpi copies payloads on Send). A plan is confined to its
 	// rank's goroutine, like the Comm it is used with.
 	sendBuf [][]float64
+	// async is the reusable handle for StartExchange (one outstanding
+	// nonblocking exchange per plan at a time).
+	async ExchangeHandle
 }
 
 // SendPeerIDs returns the sorted ranks this plan sends to.
@@ -229,6 +232,69 @@ func (p *HaloPlan) CompleteRecvs(c *simmpi.Comm, xExt []float64, nLocal int) {
 	for _, peer := range p.recvPeerIDs {
 		slots := p.RecvPeers[peer]
 		vals := c.RecvFloats(peer, tagHaloData)
+		if len(vals) != len(slots) {
+			panic(fmt.Sprintf("distmat: rank %d halo update from %d: got %d values, want %d",
+				c.Rank(), peer, len(vals), len(slots)))
+		}
+		for k, s := range slots {
+			xExt[nLocal+s] = vals[k]
+		}
+	}
+}
+
+// StartExchange posts one halo update entirely through the nonblocking
+// primitives: receives first (so a matching send can never block on an
+// unposted receive), then sends, in the MPI_Irecv/MPI_Isend idiom. The
+// returned handle completes the update; metering is identical to
+// PostSends/CompleteRecvs byte for byte, so structural communication
+// claims are independent of which schedule a solver uses. The handle's
+// request slices are reused across calls (one outstanding exchange per
+// plan at a time, like the send buffers).
+func (p *HaloPlan) StartExchange(c *simmpi.Comm, xExt []float64) *ExchangeHandle {
+	if p.async.recvs == nil {
+		p.async.recvs = make([]*simmpi.Request, 0, len(p.recvPeerIDs))
+	}
+	p.async.plan = p
+	p.async.recvs = p.async.recvs[:0]
+	for _, peer := range p.recvPeerIDs {
+		p.async.recvs = append(p.async.recvs, c.IrecvFloats(peer, tagHaloData))
+	}
+	if p.sendBuf == nil {
+		p.sendBuf = make([][]float64, len(p.SendPeers))
+	}
+	for _, peer := range p.sendPeerIDs {
+		list := p.SendPeers[peer]
+		buf := p.sendBuf[peer]
+		if buf == nil {
+			buf = make([]float64, len(list))
+			p.sendBuf[peer] = buf
+		}
+		for k, li := range list {
+			buf[k] = xExt[li]
+		}
+		// Isend copies the payload at post time, so buf is immediately
+		// reusable; the send handle needs no explicit wait.
+		c.IsendFloats(peer, tagHaloData, buf)
+	}
+	return &p.async
+}
+
+// ExchangeHandle is an in-flight halo update started with StartExchange.
+type ExchangeHandle struct {
+	plan  *HaloPlan
+	recvs []*simmpi.Request
+}
+
+// Complete waits the posted receives and scatters their values into the
+// halo slots of xExt, finishing the update.
+func (h *ExchangeHandle) Complete(c *simmpi.Comm, xExt []float64, nLocal int) {
+	p := h.plan
+	for i, peer := range p.recvPeerIDs {
+		slots := p.RecvPeers[peer]
+		vals, err := h.recvs[i].Wait()
+		if err != nil {
+			panic(fmt.Sprintf("distmat: rank %d halo update from %d: %v", c.Rank(), peer, err))
+		}
 		if len(vals) != len(slots) {
 			panic(fmt.Sprintf("distmat: rank %d halo update from %d: got %d values, want %d",
 				c.Rank(), peer, len(vals), len(slots)))

@@ -3,10 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math"
 
 	"fsaicomm/internal/archmodel"
-	"fsaicomm/internal/cache"
 	"fsaicomm/internal/core"
 	"fsaicomm/internal/distmat"
 	"fsaicomm/internal/fsai"
@@ -88,18 +86,7 @@ func RunAblation(r *Runner, spec testsets.Spec) (AblationRow, error) {
 			recv := c.AllreduceSumInt64(int64(gOp.Plan.RecvCount()))[0]
 			nb := c.AllreduceSumInt64(int64(len(gOp.Plan.RecvPeerIDs())))[0]
 
-			sim := r.Arch.NewProcessCache()
-			missA := cache.TraceSpMVOnX(aOp.LZ.M, sim)
-			missPre := cache.TracePrecondProduct(gOp.LZ.M, gtOp.LZ.M, sim)
-			logP := int64(math.Ceil(math.Log2(float64(ranks + 1))))
-			perRank[c.Rank()] = archmodel.RankCost{
-				Flops:       2*int64(aOp.LZ.M.NNZ()+gOp.LZ.M.NNZ()+gtOp.LZ.M.NNZ()) + 12*int64(nl),
-				StreamBytes: 12*int64(aOp.LZ.M.NNZ()+gOp.LZ.M.NNZ()+gtOp.LZ.M.NNZ()) + 80*int64(nl),
-				CacheMisses: missA + missPre,
-				CommBytes:   int64(8 * (aOp.Plan.SendCount() + gOp.Plan.SendCount() + gtOp.Plan.SendCount())),
-				CommMsgs: int64(len(aOp.Plan.SendPeerIDs())+len(gOp.Plan.SendPeerIDs())+
-					len(gtOp.Plan.SendPeerIDs())) + r.reductionsPerIter()*logP,
-			}
+			perRank[c.Rank()] = AssembleIterCost(r.Arch, aOp, gOp, gtOp, nl, ranks, r.Variant).Rank
 
 			c.Barrier()
 			if c.Rank() == 0 {

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"fsaicomm/internal/archmodel"
+	"fsaicomm/internal/core"
+	"fsaicomm/internal/matgen"
+	"fsaicomm/internal/sparse"
+	"fsaicomm/internal/testsets"
+)
+
+// BenchRecord is one row of the BENCH_pipelined.json artifact emitted by
+// `make bench`: the four CG variants on the 50k-row bench instance, with
+// the measured wall time of the serialized simulated runtime next to the
+// modeled time the overlap-credit α–β model assigns (the number a real
+// network would see — DESIGN.md §4d explains why the two diverge).
+type BenchRecord struct {
+	Matrix  string `json:"matrix"`
+	Rows    int    `json:"rows"`
+	NNZ     int    `json:"nnz"`
+	Variant string `json:"variant"`
+	Ranks   int    `json:"ranks"`
+
+	Iterations int  `json:"iterations"`
+	Converged  bool `json:"converged"`
+
+	NsPerOp         int64   `json:"ns_per_op"`        // wall time of one timed solve run
+	ModeledSolveSec float64 `json:"modeled_solve_s"`  // variant-aware cost-model time
+	ModeledIterSec  float64 `json:"modeled_iter_s"`   // modeled_solve_s / iterations
+	CollectiveCalls int64   `json:"collective_calls"` // metered solve totals, all ranks
+	CollectiveBytes int64   `json:"collective_bytes"`
+	P2PBytes        int64   `json:"p2p_bytes"`
+	P2PMessages     int64   `json:"p2p_messages"`
+}
+
+// BenchSpec is the ~50k-row 3-D Poisson instance the `make bench` suite
+// keys on (the same scale as the 50k benchmarks in bench_test.go).
+func BenchSpec() testsets.Spec {
+	return testsets.Spec{
+		ID: 900, Name: "bench-poisson-50k", Class: "2D/3D Problem",
+		Gen: func() *sparse.CSR { return matgen.Poisson3D(37, 37, 37) },
+	}
+}
+
+// BenchRecords runs the FSAI-preconditioned bench solve once per CG variant
+// at the given rank count and collects the artifact rows. The matrix,
+// partition and factor precompute are warmed through the Runner's memo
+// caches first, so NsPerOp times the per-variant work (final build,
+// operator setup, cost assembly and the solve itself).
+func BenchRecords(arch archmodel.Profile, ranks int) ([]BenchRecord, error) {
+	return benchRecords(arch, BenchSpec(), ranks)
+}
+
+func benchRecords(arch archmodel.Profile, spec testsets.Spec, ranks int) ([]BenchRecord, error) {
+	r := NewRunner(arch)
+	r.RanksOf = func(int) int { return ranks }
+	me, err := r.matrix(spec, ranks)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.extended(spec, me, core.FSAI, ranks); err != nil {
+		return nil, err
+	}
+	var out []BenchRecord
+	for _, v := range InteractionVariants {
+		r.Variant = v
+		start := time.Now()
+		res, err := r.Run(spec, core.FSAI, 0, core.StaticFilter)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bench %s: %w", v, err)
+		}
+		elapsed := time.Since(start)
+		rec := BenchRecord{
+			Matrix: spec.Name, Rows: res.Rows, NNZ: res.NNZ,
+			Variant: v.String(), Ranks: ranks,
+			Iterations: res.Iterations, Converged: res.Converged,
+			NsPerOp:         elapsed.Nanoseconds(),
+			ModeledSolveSec: res.SolveTime,
+			CollectiveCalls: res.CollectiveCalls,
+			CollectiveBytes: res.CollectiveBytes,
+			P2PBytes:        res.P2PBytes,
+			P2PMessages:     res.P2PMessages,
+		}
+		if res.Iterations > 0 {
+			rec.ModeledIterSec = res.SolveTime / float64(res.Iterations)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// WriteBenchJSON emits the bench artifact as an indented JSON array.
+func WriteBenchJSON(w io.Writer, arch archmodel.Profile, ranks int) error {
+	recs, err := BenchRecords(arch, ranks)
+	if err != nil {
+		return err
+	}
+	return writeBenchRecords(w, recs)
+}
+
+func writeBenchRecords(w io.Writer, recs []BenchRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"math"
+
+	"fsaicomm/internal/archmodel"
+	"fsaicomm/internal/cache"
+	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/krylov"
+)
+
+// IterCostInputs holds one rank's per-iteration cost-model inputs for a
+// distributed CG solve with the split FSAI preconditioner: the flat
+// (fully-exposed) rank cost, the overlap-credit split matching the CG
+// variant's schedule, and the preconditioner-product miss count reused by
+// the GFLOP/s histograms.
+type IterCostInputs struct {
+	Rank          archmodel.RankCost
+	Overlap       archmodel.OverlapCost // zero value when variant is CGClassic
+	PrecondMisses int64
+}
+
+// reductionsFor is the global-collective count per CG iteration of a
+// variant, an input to the message cost model.
+func reductionsFor(variant krylov.CGVariant) int64 {
+	switch variant {
+	case krylov.CGFused, krylov.CGPipelined:
+		return 1
+	default:
+		return 3
+	}
+}
+
+// overlapCostFor splits one rank's per-iteration cost the way a variant's
+// schedule executes it, for archmodel's overlap-credit model. The halo
+// exchange hides behind the interior rows of the three operators; the
+// pipelined variant additionally hides its single reduction behind the
+// boundary rows — a disjoint compute window, so no flop is credited twice
+// (conservative: the real schedule overlaps the reduction with the whole
+// SpMV phase).
+func overlapCostFor(variant krylov.CGVariant, rc archmodel.RankCost, intNNZ, totNNZ, logP int64) archmodel.OverlapCost {
+	red := archmodel.RankCost{CommMsgs: reductionsFor(variant) * logP, CommBytes: 24 * logP}
+	halo := archmodel.RankCost{CommMsgs: rc.CommMsgs - red.CommMsgs, CommBytes: rc.CommBytes}
+	oc := archmodel.OverlapCost{
+		Compute: archmodel.RankCost{Flops: rc.Flops, StreamBytes: rc.StreamBytes, CacheMisses: rc.CacheMisses},
+		Windows: []archmodel.CommWindow{{
+			Name: "halo",
+			Comm: halo,
+			Hide: archmodel.RankCost{Flops: 2 * intNNZ, StreamBytes: 12 * intNNZ},
+		}},
+	}
+	if variant == krylov.CGPipelined {
+		bnd := totNNZ - intNNZ
+		oc.Windows = append(oc.Windows, archmodel.CommWindow{
+			Name: "reduction",
+			Comm: red,
+			Hide: archmodel.RankCost{Flops: 2 * bnd, StreamBytes: 12 * bnd},
+		})
+	} else {
+		oc.Exposed = red
+	}
+	return oc
+}
+
+// AssembleIterCost builds one rank's per-iteration cost-model inputs from
+// the three distributed operators of a solve (A, G, Gᵀ). nl is the rank's
+// local row count, ranks the world size. The same assembly backs
+// Runner.Run, the ablation and the facade's modeled solve time, so every
+// reported modeled number uses one set of constants: matrix entries stream
+// 12 B each (8 B value + 4 B index), the CG vector kernels stream roughly
+// 10 vector reads/writes, and reductions cost log₂-tree messages.
+func AssembleIterCost(arch archmodel.Profile, aOp, gOp, gtOp *distmat.Op, nl, ranks int, variant krylov.CGVariant) IterCostInputs {
+	sim := arch.NewProcessCache()
+	missA := cache.TraceSpMVOnX(aOp.LZ.M, sim)
+	missPre := cache.TracePrecondProduct(gOp.LZ.M, gtOp.LZ.M, sim)
+	logP := int64(math.Ceil(math.Log2(float64(ranks + 1))))
+	totNNZ := int64(aOp.LZ.M.NNZ() + gOp.LZ.M.NNZ() + gtOp.LZ.M.NNZ())
+	out := IterCostInputs{
+		Rank: archmodel.RankCost{
+			Flops:       2*totNNZ + 12*int64(nl),
+			StreamBytes: 12*totNNZ + 80*int64(nl),
+			CacheMisses: missA + missPre,
+			CommBytes:   int64(8 * (aOp.Plan.SendCount() + gOp.Plan.SendCount() + gtOp.Plan.SendCount())),
+			CommMsgs: int64(len(aOp.Plan.SendPeerIDs())+len(gOp.Plan.SendPeerIDs())+
+				len(gtOp.Plan.SendPeerIDs())) + reductionsFor(variant)*logP,
+		},
+		PrecondMisses: missPre,
+	}
+	if variant != krylov.CGClassic {
+		intNNZ := int64(aOp.EnsureOverlap().InteriorNNZ() +
+			gOp.EnsureOverlap().InteriorNNZ() + gtOp.EnsureOverlap().InteriorNNZ())
+		out.Overlap = overlapCostFor(variant, out.Rank, intNNZ, totNNZ, logP)
+	}
+	return out
+}
+
+// ModeledSolveTime converts per-rank cost inputs into the variant-aware
+// modeled solve time: the fully-exposed model for the classic loop, the
+// overlap-credit model for the communication-hiding loops.
+func ModeledSolveTime(arch archmodel.Profile, variant krylov.CGVariant, iters int, costs []IterCostInputs) float64 {
+	if variant == krylov.CGClassic {
+		perRank := make([]archmodel.RankCost, len(costs))
+		for i, ci := range costs {
+			perRank[i] = ci.Rank
+		}
+		return arch.SolveTime(iters, perRank)
+	}
+	perRank := make([]archmodel.OverlapCost, len(costs))
+	for i, ci := range costs {
+		perRank[i] = ci.Overlap
+	}
+	return arch.SolveTimeOverlapped(iters, perRank)
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fsaicomm/internal/core"
+	"fsaicomm/internal/krylov"
+	"fsaicomm/internal/testsets"
+)
+
+// InteractionVariants orders the CG-loop column of the interaction study.
+var InteractionVariants = []krylov.CGVariant{
+	krylov.CGClassic, krylov.CGClassicOverlap, krylov.CGFused, krylov.CGPipelined,
+}
+
+// InteractionCell is one (rank count, CG variant) cell of the interaction
+// study: the FSAI baseline and the best filtered FSAIE-Comm configuration,
+// both solved with that variant.
+type InteractionCell struct {
+	Ranks   int
+	Variant krylov.CGVariant
+
+	BaseIters int
+	BaseTime  float64 // modeled seconds, FSAI
+
+	BestFilter float64
+	CommIters  int
+	CommTime   float64 // modeled seconds, best FSAIE-Comm over the filter sweep
+}
+
+// RunInteraction crosses the paper's sparsity-side saving (FSAIE-Comm with
+// the dynamic filter sweep) with the solver-side saving (the CG loop
+// variant) over a set of rank counts. arch builds a fresh Runner per rank
+// count (the memo caches are per-ranks, and RanksOf is pinned per sweep);
+// within one rank count the variants share the matrix, partition and
+// extended-pattern caches and differ only in the solve.
+func RunInteraction(arch func() *Runner, spec testsets.Spec, rankCounts []int, filters []float64) ([]InteractionCell, error) {
+	var out []InteractionCell
+	for _, ranks := range rankCounts {
+		r := arch()
+		rk := ranks
+		r.RanksOf = func(int) int { return rk }
+		for _, v := range InteractionVariants {
+			r.Variant = v
+			base, err := r.Run(spec, core.FSAI, 0, core.StaticFilter)
+			if err != nil {
+				return nil, err
+			}
+			cell := InteractionCell{
+				Ranks: ranks, Variant: v,
+				BaseIters: base.Iterations, BaseTime: base.SolveTime,
+			}
+			best := Result{SolveTime: 1e300}
+			for _, f := range filters {
+				res, err := r.Run(spec, core.FSAIEComm, f, core.DynamicFilter)
+				if err != nil {
+					return nil, err
+				}
+				if res.SolveTime < best.SolveTime {
+					best = res
+					cell.BestFilter = f
+				}
+			}
+			cell.CommIters = best.Iterations
+			cell.CommTime = best.SolveTime
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// WriteInteraction renders the interaction study and, per rank count, the
+// composition check: does combining the pattern saving (FSAIE-Comm) with
+// the solver saving (pipelined CG) keep both, i.e. is the combined modeled
+// saving close to the product of the individual ones?
+func WriteInteraction(w io.Writer, arch func() *Runner, spec testsets.Spec, rankCounts []int, filters []float64) error {
+	cells, err := RunInteraction(arch, spec, rankCounts, filters)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Interaction study on %s: filtered pattern x CG variant (dynamic Filter sweep %v)\n",
+		spec.Name, filters)
+	var rows [][]string
+	byKey := map[[2]string]InteractionCell{}
+	for _, c := range cells {
+		byKey[[2]string{fmt.Sprint(c.Ranks), c.Variant.String()}] = c
+		classicBase := byKey[[2]string{fmt.Sprint(c.Ranks), krylov.CGClassic.String()}]
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", c.Ranks), c.Variant.String(),
+			fmt.Sprintf("%d", c.BaseIters), fmt.Sprintf("%.2e", c.BaseTime),
+			fmt.Sprintf("%.2f", c.BestFilter),
+			fmt.Sprintf("%d", c.CommIters), fmt.Sprintf("%.2e", c.CommTime),
+			fmt.Sprintf("%.2f", improvementPct(classicBase.BaseTime, c.CommTime)),
+		})
+	}
+	writeTable(w, []string{"Ranks", "CG loop", "FSAI iters", "FSAI time",
+		"Filter", "Comm iters", "Comm time", "imp % vs classic/FSAI"}, rows)
+	for _, ranks := range rankCounts {
+		k := fmt.Sprint(ranks)
+		t00 := byKey[[2]string{k, "classic"}].BaseTime   // neither saving
+		t01 := byKey[[2]string{k, "classic"}].CommTime   // pattern only
+		t10 := byKey[[2]string{k, "pipelined"}].BaseTime // solver only
+		t11 := byKey[[2]string{k, "pipelined"}].CommTime // both
+		if t00 == 0 {
+			continue
+		}
+		sPat := 1 - t01/t00
+		sPipe := 1 - t10/t00
+		sBoth := 1 - t11/t00
+		sPred := 1 - (1-sPat)*(1-sPipe)
+		fmt.Fprintf(w, "ranks=%d: pattern saves %.1f%%, pipelining saves %.1f%%, together %.1f%% (independent-savings prediction %.1f%%)\n",
+			ranks, 100*sPat, 100*sPipe, 100*sBoth, 100*sPred)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"fsaicomm/internal/archmodel"
+	"fsaicomm/internal/core"
+	"fsaicomm/internal/krylov"
+	"fsaicomm/internal/testsets"
+)
+
+func TestInteractionStudy(t *testing.T) {
+	spec := tinySet()[0]
+	mk := func() *Runner { return NewRunner(archmodel.Skylake) }
+	cells, err := RunInteraction(mk, spec, []int{2, 4}, []float64{0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2*len(InteractionVariants) {
+		t.Fatalf("got %d cells, want %d", len(cells), 2*len(InteractionVariants))
+	}
+	byKey := map[[2]interface{}]InteractionCell{}
+	for _, c := range cells {
+		if c.BaseIters <= 0 || c.BaseTime <= 0 || c.CommIters <= 0 || c.CommTime <= 0 {
+			t.Fatalf("incomplete cell: %+v", c)
+		}
+		// The pattern saving must survive every CG variant.
+		if c.CommIters > c.BaseIters {
+			t.Fatalf("ranks=%d %s: FSAIE-Comm iterations %d above FSAI %d",
+				c.Ranks, c.Variant, c.CommIters, c.BaseIters)
+		}
+		byKey[[2]interface{}{c.Ranks, c.Variant}] = c
+	}
+	for _, ranks := range []int{2, 4} {
+		classic := byKey[[2]interface{}{ranks, krylov.CGClassic}]
+		for _, v := range InteractionVariants[1:] {
+			c := byKey[[2]interface{}{ranks, v}]
+			// Overlap credit and fewer reductions never make the model slower.
+			if c.BaseTime > classic.BaseTime {
+				t.Fatalf("ranks=%d: %s modeled FSAI time %v above classic %v",
+					ranks, v, c.BaseTime, classic.BaseTime)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteInteraction(&buf, mk, spec, []int{2, 4}, []float64{0.05}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Interaction study", "pipelined", "independent-savings"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("interaction output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPipelinedModeledBeatsFused pins the acceptance criterion for the
+// overlap-credit model: on a ranks>=4 benchmark configuration
+// (Queen_4147-sim, the Table 2 3-D Poisson instance), the modeled solve
+// time of the pipelined loop is strictly below the fused loop's, because
+// the single reduction hides behind boundary-row compute instead of being
+// exposed, while iteration counts stay within the +-2 band.
+func TestPipelinedModeledBeatsFused(t *testing.T) {
+	spec, err := testsets.ByName("Queen_4147-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(archmodel.Skylake)
+	r.RanksOf = func(int) int { return 4 }
+	r.Variant = krylov.CGFused
+	fused, err := r.Run(spec, core.FSAI, 0, core.StaticFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Variant = krylov.CGPipelined
+	pipe, err := r.Run(spec, core.FSAI, 0, core.StaticFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pipe.Iterations - fused.Iterations; d < -2 || d > 2 {
+		t.Fatalf("pipelined iterations %d vs fused %d", pipe.Iterations, fused.Iterations)
+	}
+	if pipe.SolveTime >= fused.SolveTime {
+		t.Fatalf("pipelined modeled time %v not below fused %v", pipe.SolveTime, fused.SolveTime)
+	}
+	// Both hiding variants stay at one collective per iteration.
+	if pipe.CollectiveCalls > fused.CollectiveCalls+8 {
+		t.Fatalf("pipelined collectives %d far above fused %d", pipe.CollectiveCalls, fused.CollectiveCalls)
+	}
+}
+
+func TestBenchRecordsSmoke(t *testing.T) {
+	recs, err := benchRecords(archmodel.Skylake, tinySet()[0], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(InteractionVariants) {
+		t.Fatalf("got %d records, want %d", len(recs), len(InteractionVariants))
+	}
+	byVariant := map[string]BenchRecord{}
+	for i, rec := range recs {
+		if rec.Variant != InteractionVariants[i].String() {
+			t.Fatalf("record %d variant %q, want %q", i, rec.Variant, InteractionVariants[i])
+		}
+		if !rec.Converged || rec.Iterations <= 0 || rec.NsPerOp <= 0 ||
+			rec.ModeledSolveSec <= 0 || rec.ModeledIterSec <= 0 {
+			t.Fatalf("incomplete record: %+v", rec)
+		}
+		if rec.P2PBytes <= 0 || rec.CollectiveCalls <= 0 {
+			t.Fatalf("meter totals missing: %+v", rec)
+		}
+		byVariant[rec.Variant] = rec
+	}
+	// Fused and pipelined post one reduction per iteration, classic three.
+	cl, pi := byVariant["classic"], byVariant["pipelined"]
+	if pi.CollectiveCalls >= cl.CollectiveCalls {
+		t.Fatalf("pipelined collectives %d not below classic %d", pi.CollectiveCalls, cl.CollectiveCalls)
+	}
+	var buf bytes.Buffer
+	if err := writeBenchRecords(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	var back []BenchRecord
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(back) != len(recs) || back[len(back)-1].Variant != "pipelined" {
+		t.Fatalf("round-tripped artifact wrong: %+v", back)
+	}
+}

@@ -8,11 +8,9 @@ package experiments
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"fsaicomm/internal/archmodel"
-	"fsaicomm/internal/cache"
 	"fsaicomm/internal/core"
 	"fsaicomm/internal/distmat"
 	"fsaicomm/internal/fsai"
@@ -50,6 +48,12 @@ type Result struct {
 	GFlopsPrecond float64 // modeled GFLOP/s per process
 	// Communication per iteration (bytes sent, all ranks).
 	CommBytesPerIter float64
+	// Metered solve-phase totals over all ranks, straight from the simmpi
+	// meter: the numbers the α–β model is fed.
+	P2PBytes        int64
+	P2PMessages     int64
+	CollectiveCalls int64
+	CollectiveBytes int64
 }
 
 // Runner executes configurations against a catalog with memoization of the
@@ -70,7 +74,7 @@ type Runner struct {
 	// (<= 0 → 1 worker per rank; ranks already run concurrently).
 	Workers int
 	// Variant selects the distributed CG loop for every solve: classic,
-	// classic-overlap or fused (see krylov.CGVariant).
+	// classic-overlap, fused or pipelined (see krylov.CGVariant).
 	Variant krylov.CGVariant
 
 	mats    map[matKey]*matEntry
@@ -131,15 +135,6 @@ func (r *Runner) opOptions() []distmat.OpOption {
 		return []distmat.OpOption{distmat.WithOverlap()}
 	}
 	return nil
-}
-
-// reductionsPerIter is the global-collective count per CG iteration of the
-// configured variant, an input to the message cost model.
-func (r *Runner) reductionsPerIter() int64 {
-	if r.Variant == krylov.CGFused {
-		return 1
-	}
-	return 3
 }
 
 // cgOptions builds one rank's solver options: the Runner's tolerance and
@@ -280,6 +275,7 @@ func (r *Runner) Run(spec testsets.Spec, method core.Method, filter float64, str
 	}
 
 	perRank := make([]archmodel.RankCost, ranks)
+	perRankOverlap := make([]archmodel.OverlapCost, ranks)
 	precondRank := make([]archmodel.RankCost, ranks)
 	nnzPrecond := make([]int64, ranks)
 	var finalNNZ int64
@@ -317,27 +313,13 @@ func (r *Runner) Run(spec testsets.Spec, method core.Method, filter float64, str
 		gNNZ := c.AllreduceSumInt64(int64(g.NNZ()))[0]
 
 		// Cost model inputs (independent of the solve).
-		commMsgs := int64(len(aOp.Plan.SendPeerIDs()) + len(gOp.Plan.SendPeerIDs()) + len(gtOp.Plan.SendPeerIDs()))
-		logP := int64(math.Ceil(math.Log2(float64(ranks + 1))))
-		commBytes := int64(8 * (aOp.Plan.SendCount() + gOp.Plan.SendCount() + gtOp.Plan.SendCount()))
-		sim := r.Arch.NewProcessCache()
-		missA := cache.TraceSpMVOnX(aOp.LZ.M, sim)
-		missPre := cache.TracePrecondProduct(gOp.LZ.M, gtOp.LZ.M, sim)
-		flopsIter := 2*int64(aOp.LZ.M.NNZ()+gOp.LZ.M.NNZ()+gtOp.LZ.M.NNZ()) + 12*int64(nl)
-		// Matrix entries stream 12 bytes each (8 B value + 4 B index);
-		// the CG vector kernels stream roughly 10 vector reads/writes.
-		streamIter := 12*int64(aOp.LZ.M.NNZ()+gOp.LZ.M.NNZ()+gtOp.LZ.M.NNZ()) + 80*int64(nl)
-		perRank[c.Rank()] = archmodel.RankCost{
-			Flops:       flopsIter,
-			StreamBytes: streamIter,
-			CacheMisses: missA + missPre,
-			CommBytes:   commBytes,
-			CommMsgs:    commMsgs + r.reductionsPerIter()*logP,
-		}
+		ci := AssembleIterCost(r.Arch, aOp, gOp, gtOp, nl, ranks, r.Variant)
+		perRank[c.Rank()] = ci.Rank
+		perRankOverlap[c.Rank()] = ci.Overlap
 		precondRank[c.Rank()] = archmodel.RankCost{
 			Flops:       2 * int64(gOp.LZ.M.NNZ()+gtOp.LZ.M.NNZ()),
 			StreamBytes: 12*int64(gOp.LZ.M.NNZ()+gtOp.LZ.M.NNZ()) + 24*int64(nl),
-			CacheMisses: missPre,
+			CacheMisses: ci.PrecondMisses,
 			CommBytes:   int64(8 * (gOp.Plan.SendCount() + gtOp.Plan.SendCount())),
 			CommMsgs:    int64(len(gOp.Plan.SendPeerIDs()) + len(gtOp.Plan.SendPeerIDs())),
 		}
@@ -368,7 +350,14 @@ func (r *Runner) Run(spec testsets.Spec, method core.Method, filter float64, str
 		return res, fmt.Errorf("experiments: solve %s/%s: %w", spec.Name, method, err)
 	}
 
-	res.SolveTime = r.Arch.SolveTime(res.Iterations, perRank)
+	if r.Variant == krylov.CGClassic {
+		res.SolveTime = r.Arch.SolveTime(res.Iterations, perRank)
+	} else {
+		// Overlapping schedules are modeled with the overlap credit: the
+		// halo (and for pipelined, the reduction) is only charged to the
+		// extent it exceeds its hiding compute window.
+		res.SolveTime = r.Arch.SolveTimeOverlapped(res.Iterations, perRankOverlap)
+	}
 	if ee.baseNNZ > 0 {
 		res.PctNNZ = 100 * float64(finalNNZ-ee.baseNNZ) / float64(ee.baseNNZ)
 	}
@@ -381,8 +370,12 @@ func (r *Runner) Run(spec testsets.Spec, method core.Method, filter float64, str
 	}
 	res.MissesPerNNZ = missSum / float64(ranks)
 	res.GFlopsPrecond = gflopSum / float64(ranks)
+	res.P2PBytes = world.Meter().TotalP2PBytes()
+	res.P2PMessages = world.Meter().TotalP2PMessages()
+	res.CollectiveCalls = world.Meter().TotalCollectiveCalls()
+	res.CollectiveBytes = world.Meter().TotalCollectiveBytes()
 	if res.Iterations > 0 {
-		res.CommBytesPerIter = float64(world.Meter().TotalP2PBytes()) / float64(res.Iterations)
+		res.CommBytesPerIter = float64(res.P2PBytes) / float64(res.Iterations)
 	}
 	r.results[rk] = res
 	return res, nil

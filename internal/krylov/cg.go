@@ -32,8 +32,8 @@ type Options struct {
 	// after every iteration (costs one float per iteration).
 	RecordResiduals bool
 	// Variant selects the communication structure of the distributed loop
-	// (classic, classic-overlap or fused). The zero value is CGClassic.
-	// Ignored by the serial solver.
+	// (classic, classic-overlap, fused or pipelined). The zero value is
+	// CGClassic. Ignored by the serial solver.
 	Variant CGVariant
 	// Work, when non-nil, supplies the iteration vectors so repeated solves
 	// allocate nothing in steady state. In distributed runs each rank must
@@ -235,10 +235,14 @@ func mulDist(c *simmpi.Comm, op *distmat.Op, x, y []float64, scratch *distmat.Di
 // The operator op must be built over the same layout as b/x.
 // Options.Variant selects the loop: CGClassic and CGClassicOverlap run the
 // textbook recurrence (three reductions per iteration) with the blocking or
-// overlapped SpMV schedule respectively; CGFused dispatches to DistCGFused.
+// overlapped SpMV schedule respectively; CGFused dispatches to DistCGFused
+// and CGPipelined to DistCGPipelined.
 func DistCG(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreconditioner, opt Options, fc *vecops.FlopCounter) (Stats, error) {
-	if opt.Variant == CGFused {
+	switch opt.Variant {
+	case CGFused:
 		return DistCGFused(c, op, b, x, m, opt, fc)
+	case CGPipelined:
+		return DistCGPipelined(c, op, b, x, m, opt, fc)
 	}
 	nl := op.LZ.NLocal()
 	nGlobal := int(c.AllreduceSumInt64(int64(nl))[0])

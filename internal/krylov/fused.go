@@ -39,6 +39,13 @@ const (
 	// one-pass vector kernels. Same Krylov space as CGClassic; iteration
 	// counts may differ by ±1 from rounding (see DESIGN.md).
 	CGFused
+	// CGPipelined is the Ghysels–Vanroose pipelined recurrence: the single
+	// reduction of the fused loop becomes a nonblocking IallreduceSum whose
+	// flight time is covered by the next preconditioner apply and SpMV, so
+	// no rank ever idles in a collective. Same Krylov space as CGClassic;
+	// iteration counts may differ by ±2 from the deeper scalar recurrence
+	// rearrangement (see DESIGN.md §4d).
+	CGPipelined
 )
 
 // String returns the flag spelling of the variant.
@@ -50,13 +57,15 @@ func (v CGVariant) String() string {
 		return "classic-overlap"
 	case CGFused:
 		return "fused"
+	case CGPipelined:
+		return "pipelined"
 	default:
 		return fmt.Sprintf("CGVariant(%d)", int(v))
 	}
 }
 
 // ParseCGVariant parses the -cg flag spellings: "classic",
-// "classic-overlap", "fused". The empty string is CGClassic.
+// "classic-overlap", "fused", "pipelined". The empty string is CGClassic.
 func ParseCGVariant(s string) (CGVariant, error) {
 	switch s {
 	case "", "classic":
@@ -65,8 +74,10 @@ func ParseCGVariant(s string) (CGVariant, error) {
 		return CGClassicOverlap, nil
 	case "fused":
 		return CGFused, nil
+	case "pipelined":
+		return CGPipelined, nil
 	default:
-		return CGClassic, fmt.Errorf("krylov: unknown CG variant %q (want classic, classic-overlap or fused)", s)
+		return CGClassic, fmt.Errorf("krylov: unknown CG variant %q (want classic, classic-overlap, fused or pipelined)", s)
 	}
 }
 
@@ -79,7 +90,10 @@ func ParseCGVariant(s string) (CGVariant, error) {
 // (pass it via Options.Work when constructing per-rank Options).
 type Workspace struct {
 	r, z, d, q, s []float64
-	scratch       *distmat.DistVec
+	// pz, pq, pm, pn are the four extra recurrence vectors of the pipelined
+	// variant (z, q, m, n in Ghysels–Vanroose notation).
+	pz, pq, pm, pn []float64
+	scratch        *distmat.DistVec
 }
 
 func grow(v *[]float64, n int) []float64 {
@@ -99,6 +113,15 @@ func (ws *Workspace) take4(n int) (r, z, d, q []float64) {
 // w, p alias the classic z, q, d slots so the two variants share storage.
 func (ws *Workspace) take5(n int) (r, u, w, p, s []float64) {
 	return grow(&ws.r, n), grow(&ws.z, n), grow(&ws.q, n), grow(&ws.d, n), grow(&ws.s, n)
+}
+
+// take9 returns the nine pipelined-CG vectors (r, u, w, p, s, z, q, m, n);
+// the first five alias the fused-CG slots, the last four are the pipelined
+// recurrence's own.
+func (ws *Workspace) take9(nl int) (r, u, w, p, s, z, q, m, n []float64) {
+	r, u, w, p, s = ws.take5(nl)
+	return r, u, w, p, s,
+		grow(&ws.pz, nl), grow(&ws.pq, nl), grow(&ws.pm, nl), grow(&ws.pn, nl)
 }
 
 // distScratch returns a halo-extended vector compatible with lz, reusing

@@ -23,7 +23,8 @@ func TestParseCGVariant(t *testing.T) {
 		{"classic-overlap", CGClassicOverlap, true},
 		{"overlap", CGClassicOverlap, true},
 		{"fused", CGFused, true},
-		{"pipelined", CGClassic, false},
+		{"pipelined", CGPipelined, true},
+		{"chaotic", CGClassic, false},
 	}
 	for _, tc := range cases {
 		got, err := ParseCGVariant(tc.in)
@@ -31,7 +32,7 @@ func TestParseCGVariant(t *testing.T) {
 			t.Fatalf("ParseCGVariant(%q) = %v, %v", tc.in, got, err)
 		}
 	}
-	for _, v := range []CGVariant{CGClassic, CGClassicOverlap, CGFused} {
+	for _, v := range []CGVariant{CGClassic, CGClassicOverlap, CGFused, CGPipelined} {
 		back, err := ParseCGVariant(v.String())
 		if err != nil || back != v {
 			t.Fatalf("round trip %v -> %q -> %v, %v", v, v.String(), back, err)

@@ -1,0 +1,120 @@
+package krylov
+
+// The pipelined (Ghysels–Vanroose) Conjugate Gradient variant. The fused
+// recurrence of DistCGFused already pays only one collective per iteration,
+// but that collective is still blocking: every rank stalls in the Allreduce
+// between the SpMV and the vector updates. Pipelining rearranges the
+// recurrence once more so the reduction's operands are available one
+// operator application early: the three scalars are posted as a nonblocking
+// IallreduceSum, the next preconditioner apply m = M·w and SpMV n = A·m run
+// while the reduction is in flight, and the wait happens only when α and β
+// are actually needed. The latency of the collective hides behind the
+// heaviest compute of the iteration. The price is two extra recurrence
+// vectors on top of fused's (z ≈ A·M·s and q ≈ M·s, kept current by the
+// 8-way update kernel) and one wasted preconditioner+SpMV application after
+// the final iteration.
+//
+// The in-process simulated runtime serializes goroutines, so the overlap
+// cannot show up in wall-clock time here; internal/archmodel's
+// overlap-credit term converts the metered traffic into the modeled time a
+// real network would see (DESIGN.md §4d).
+
+import (
+	"fmt"
+	"math"
+
+	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/simmpi"
+	"fsaicomm/internal/vecops"
+)
+
+// DistCGPipelined solves A x = b with the pipelined preconditioned CG
+// recurrence of Ghysels & Vanroose. Per iteration it performs exactly one
+// collective — a nonblocking IallreduceSum(rᵀu, wᵀu, ‖r‖²) overlapped with
+// the preconditioner apply and SpMV — with halo traffic byte-identical to
+// the classic loop (asserted by the metered tests). The SpMV and halo
+// exchanges run through the nonblocking Isend/Irecv schedule. In exact
+// arithmetic the iterates equal classic PCG's; the deeper rearrangement
+// rounds differently, so iteration counts may shift by ±2.
+func DistCGPipelined(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreconditioner, opt Options, fc *vecops.FlopCounter) (Stats, error) {
+	nl := op.LZ.NLocal()
+	nGlobal := int(c.AllreduceSumInt64(int64(nl))[0])
+	opt = opt.withDefaults(nGlobal)
+	if m == nil {
+		m = DistIdentity{}
+	}
+	if len(b) != nl || len(x) != nl {
+		panic(fmt.Sprintf("krylov: DistCGPipelined local length %d/%d, want %d", len(b), len(x), nl))
+	}
+	ws := opt.Work
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	r, u, w, p, s, z, q, mv, nv := ws.take9(nl)
+	scratch := ws.distScratch(op.LZ)
+	ov := op.EnsureOverlap()
+
+	copy(r, b)
+	vecops.Fill(p, 0)
+	vecops.Fill(s, 0)
+	vecops.Fill(z, 0)
+	vecops.Fill(q, 0)
+	m.Apply(c, r, u, fc)
+	ov.MulVecOverlapAsync(c, u, w, scratch, fc)
+
+	var norm0, gamma, alpha, beta float64
+	st := Stats{}
+	for it := 0; ; it++ {
+		ruL, wuL, rrL := vecops.Dot3(r, u, w, fc)
+		// The single collective of the iteration, posted nonblocking.
+		req := c.IallreduceSum(ruL, wuL, rrL)
+		// Overlap window: the preconditioner apply and the SpMV execute
+		// while the reduction is in flight. They only read w and write the
+		// scratch vectors m and n, so they commute with the wait.
+		m.Apply(c, w, mv, fc)
+		ov.MulVecOverlapAsync(c, mv, nv, scratch, fc)
+		g, err := req.Wait()
+		if err != nil {
+			return st, err
+		}
+		gammaNew, delta, rr := g[0], g[1], g[2]
+		if it == 0 {
+			if rr == 0 {
+				vecops.Fill(x, 0)
+				return Stats{Converged: true}, nil
+			}
+			norm0 = math.Sqrt(rr)
+			if gammaNew <= 0 || delta <= 0 || math.IsNaN(gammaNew) || math.IsNaN(delta) {
+				return Stats{}, fmt.Errorf("krylov: DistCGPipelined breakdown at setup (rᵀMr = %g, uᵀAu = %g); matrix or preconditioner not SPD?", gammaNew, delta)
+			}
+			alpha = gammaNew / delta
+			beta = 0
+		} else {
+			// rr is ‖r‖² after `it` updates — the same quantity the classic
+			// loop checks after its it-th update, so counts are comparable.
+			st.Iterations = it
+			st.RelResidual = math.Sqrt(rr) / norm0
+			if opt.RecordResiduals {
+				st.Residuals = append(st.Residuals, st.RelResidual)
+			}
+			if st.RelResidual <= opt.Tol {
+				st.Converged = true
+				st.Flops = fc.Count()
+				return st, nil
+			}
+			if it >= opt.MaxIter {
+				break
+			}
+			beta = gammaNew / gamma
+			denom := delta - beta*gammaNew/alpha
+			if denom <= 0 || math.IsNaN(denom) {
+				return st, fmt.Errorf("krylov: DistCGPipelined breakdown at iteration %d (recurrence denominator %g); matrix not SPD?", it, denom)
+			}
+			alpha = gammaNew / denom
+		}
+		gamma = gammaNew
+		vecops.PipelinedCGUpdate(alpha, beta, nv, mv, w, u, z, q, s, p, x, r, fc)
+	}
+	st.Flops = fc.Count()
+	return st, fmt.Errorf("%w: %d iterations, rel residual %.3e", ErrNoConvergence, st.Iterations, st.RelResidual)
+}

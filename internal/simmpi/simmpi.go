@@ -39,6 +39,19 @@ type World struct {
 	// goroutine slot and receives the result back.
 	collUp   []chan collMsg
 	collDown []chan collMsg
+	// async holds each rank's nonblocking-operation chains (see Request).
+	// Entry r is touched only by rank r's goroutine, so no lock is needed.
+	async []asyncState
+}
+
+// asyncState tracks the tails of a rank's nonblocking-operation chains.
+// Collectives, sends and receives each order independently: chaining sends
+// behind receives (or vice versa) would deadlock the post-recv-then-send
+// idiom that makes nonblocking halo exchanges useful in the first place.
+type asyncState struct {
+	collTail *Request
+	sendTail *Request
+	recvTail *Request
 }
 
 type collMsg struct {
@@ -62,6 +75,7 @@ func NewWorld(size int, timeout time.Duration) *World {
 		p2p:      make([][]chan message, size),
 		collUp:   make([]chan collMsg, size),
 		collDown: make([]chan collMsg, size),
+		async:    make([]asyncState, size),
 	}
 	for d := 0; d < size; d++ {
 		w.p2p[d] = make([]chan message, size)
@@ -148,6 +162,7 @@ func (c *Comm) checkPeer(peer int) {
 // SendFloats sends a copy of data to dst with the given tag.
 func (c *Comm) SendFloats(dst, tag int, data []float64) {
 	c.checkPeer(dst)
+	c.drain(&c.w.async[c.rank].sendTail)
 	payload := append([]float64(nil), data...)
 	c.w.meter.record(c.rank, dst, 8*len(data))
 	c.w.p2p[dst][c.rank] <- message{src: c.rank, tag: tag, f64: payload}
@@ -156,6 +171,7 @@ func (c *Comm) SendFloats(dst, tag int, data []float64) {
 // SendInts sends a copy of data to dst with the given tag.
 func (c *Comm) SendInts(dst, tag int, data []int) {
 	c.checkPeer(dst)
+	c.drain(&c.w.async[c.rank].sendTail)
 	payload := append([]int(nil), data...)
 	c.w.meter.record(c.rank, dst, 8*len(data))
 	c.w.p2p[dst][c.rank] <- message{src: c.rank, tag: tag, ints: payload}
@@ -184,6 +200,7 @@ func (c *Comm) recv(src, tag int) message {
 // from one sender arrive in send order; mismatched tags panic (the solver
 // uses strictly ordered phases, so a mismatch is a protocol bug).
 func (c *Comm) RecvFloats(src, tag int) []float64 {
+	c.drain(&c.w.async[c.rank].recvTail)
 	m := c.recv(src, tag)
 	if m.f64 == nil && m.ints != nil {
 		panic(fmt.Sprintf("simmpi: rank %d expected floats from %d tag %d, got ints", c.rank, src, tag))
@@ -193,6 +210,7 @@ func (c *Comm) RecvFloats(src, tag int) []float64 {
 
 // RecvInts receives an int payload from src with the given tag.
 func (c *Comm) RecvInts(src, tag int) []int {
+	c.drain(&c.w.async[c.rank].recvTail)
 	m := c.recv(src, tag)
 	if m.ints == nil && m.f64 != nil {
 		panic(fmt.Sprintf("simmpi: rank %d expected ints from %d tag %d, got floats", c.rank, src, tag))
@@ -308,56 +326,56 @@ func reduceColl(op string, parts []collMsg) collMsg {
 // zero-byte collective call.
 func (c *Comm) Barrier() {
 	c.meterCollective(0)
-	c.collective("barrier", collMsg{})
+	c.syncCollective("barrier", collMsg{})
 }
 
 // AllreduceSum returns the element-wise sum of vals over all ranks.
 // The result slice is shared between ranks; callers must not mutate it.
 func (c *Comm) AllreduceSum(vals ...float64) []float64 {
 	c.meterCollective(8 * len(vals))
-	return c.collective("allreduce-sum", collMsg{f64: vals}).f64
+	return c.syncCollective("allreduce-sum", collMsg{f64: vals}).f64
 }
 
 // AllreduceMax returns the element-wise max of vals over all ranks.
 func (c *Comm) AllreduceMax(vals ...float64) []float64 {
 	c.meterCollective(8 * len(vals))
-	return c.collective("allreduce-max", collMsg{f64: vals}).f64
+	return c.syncCollective("allreduce-max", collMsg{f64: vals}).f64
 }
 
 // AllreduceMin returns the element-wise min of vals over all ranks.
 func (c *Comm) AllreduceMin(vals ...float64) []float64 {
 	c.meterCollective(8 * len(vals))
-	return c.collective("allreduce-min", collMsg{f64: vals}).f64
+	return c.syncCollective("allreduce-min", collMsg{f64: vals}).f64
 }
 
 // AllreduceSumInt64 returns the element-wise sum of vals over all ranks.
 func (c *Comm) AllreduceSumInt64(vals ...int64) []int64 {
 	c.meterCollective(8 * len(vals))
-	return c.collective("allreduce-sum-i64", collMsg{i64: vals}).i64
+	return c.syncCollective("allreduce-sum-i64", collMsg{i64: vals}).i64
 }
 
 // AllreduceMaxInt64 returns the element-wise max of vals over all ranks.
 func (c *Comm) AllreduceMaxInt64(vals ...int64) []int64 {
 	c.meterCollective(8 * len(vals))
-	return c.collective("allreduce-max-i64", collMsg{i64: vals}).i64
+	return c.syncCollective("allreduce-max-i64", collMsg{i64: vals}).i64
 }
 
 // AllgatherInt64 concatenates every rank's vals in rank order.
 func (c *Comm) AllgatherInt64(vals []int64) []int64 {
 	c.meterCollective(8 * len(vals))
-	return c.collective("allgather-i64", collMsg{i64: vals}).i64
+	return c.syncCollective("allgather-i64", collMsg{i64: vals}).i64
 }
 
 // AllgatherFloats concatenates every rank's vals in rank order.
 func (c *Comm) AllgatherFloats(vals []float64) []float64 {
 	c.meterCollective(8 * len(vals))
-	return c.collective("allgather-f64", collMsg{f64: vals}).f64
+	return c.syncCollective("allgather-f64", collMsg{f64: vals}).f64
 }
 
 // AllgatherInt concatenates every rank's vals in rank order.
 func (c *Comm) AllgatherInt(vals []int) []int {
 	c.meterCollective(8 * len(vals))
-	return c.collective("allgather-int", collMsg{ints: vals}).ints
+	return c.syncCollective("allgather-int", collMsg{ints: vals}).ints
 }
 
 // BcastFloats distributes root's vals to every rank. Non-root callers pass
@@ -374,7 +392,7 @@ func (c *Comm) BcastFloats(root int, vals []float64) []float64 {
 		bytes = 8 * len(vals)
 	}
 	c.meterCollective(bytes)
-	return c.collective("bcast", collMsg{f64: vals}).f64
+	return c.syncCollective("bcast", collMsg{f64: vals}).f64
 }
 
 // meterCollective charges a collective's payload as size-1 point-to-point
@@ -382,6 +400,146 @@ func (c *Comm) BcastFloats(root int, vals []float64) []float64 {
 // collective counts between methods, which are identical by construction).
 func (c *Comm) meterCollective(bytes int) {
 	c.w.meter.recordCollective(c.rank, bytes)
+}
+
+// syncCollective is the blocking-collective entry point: it first waits out
+// this rank's outstanding nonblocking collectives so blocking and
+// nonblocking operations keep a single per-rank order (as MPI requires of
+// mixed collective streams), then performs the rendezvous.
+func (c *Comm) syncCollective(op string, contrib collMsg) collMsg {
+	c.drain(&c.w.async[c.rank].collTail)
+	return c.collective(op, contrib)
+}
+
+// ---- Nonblocking operations ----
+//
+// IallreduceSum, IsendFloats and IrecvFloats return immediately with a
+// Request handle; the operation itself runs on a background goroutine.
+// Each rank keeps three FIFO chains — collectives, sends, receives — so
+// outstanding operations of one kind complete in post order (matching the
+// per-sender ordering the blocking twins guarantee), while the three kinds
+// stay independent: posting a receive before the matching send, the whole
+// point of nonblocking halo exchanges, cannot self-deadlock. Metering is
+// charged at post time, identically to the blocking twins, so metered
+// structural claims hold regardless of which flavor a solver uses.
+
+// ErrWaited is wrapped by Request.Wait when a handle is waited twice.
+var ErrWaited = fmt.Errorf("simmpi: request already waited")
+
+// Request is the wait handle of a nonblocking operation. A Request is
+// confined to the rank goroutine that posted it; the background goroutine
+// publishes its result (or recovered panic) before closing done, so Wait
+// observes it race-free.
+type Request struct {
+	kind     string
+	done     chan struct{}
+	f64      []float64
+	panicVal any
+	waited   bool
+}
+
+// Wait blocks until the operation completes and returns its float payload
+// (the reduced vector for IallreduceSum, the received values for
+// IrecvFloats, nil for IsendFloats). Waiting a handle twice returns an
+// error wrapping ErrWaited instead of deadlocking. A panic inside the
+// operation (timeout, protocol mismatch) is re-raised in the waiting
+// goroutine, where the runtime's per-rank recovery can observe it.
+func (r *Request) Wait() ([]float64, error) {
+	if r.waited {
+		return nil, fmt.Errorf("%w: %s", ErrWaited, r.kind)
+	}
+	r.waited = true
+	<-r.done
+	if r.panicVal != nil {
+		panic(r.panicVal)
+	}
+	return r.f64, nil
+}
+
+// Done reports whether the operation has completed (Wait would not block).
+func (r *Request) Done() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// drain waits for the tail of a chain without consuming its handle (the
+// poster may still Wait it). Called only from the owning rank's goroutine.
+func (c *Comm) drain(tail **Request) {
+	if t := *tail; t != nil {
+		<-t.done
+	}
+}
+
+// post enqueues fn on the chain whose tail is *tail and returns its
+// Request. fn runs on a background goroutine after the previous chain
+// entry completes; its panics are captured into the handle.
+func (c *Comm) post(kind string, tail **Request, fn func(r *Request)) *Request {
+	prev := *tail
+	r := &Request{kind: kind, done: make(chan struct{})}
+	*tail = r
+	go func() {
+		defer close(r.done)
+		defer func() {
+			if p := recover(); p != nil {
+				r.panicVal = p
+			}
+		}()
+		if prev != nil {
+			<-prev.done
+			// A failed predecessor poisons the chain: executing after it
+			// would desynchronize this rank's operation order against its
+			// peers, so surface the same failure here.
+			if prev.panicVal != nil {
+				panic(prev.panicVal)
+			}
+		}
+		fn(r)
+	}()
+	return r
+}
+
+// IallreduceSum posts the element-wise sum reduction of vals over all ranks
+// and returns immediately; Wait yields the reduced vector. Metered at post
+// time exactly like AllreduceSum. All ranks must post (or call) matching
+// collectives in the same order; blocking collectives issued while
+// nonblocking ones are outstanding wait for them first.
+func (c *Comm) IallreduceSum(vals ...float64) *Request {
+	c.meterCollective(8 * len(vals))
+	payload := append([]float64(nil), vals...)
+	return c.post("iallreduce-sum", &c.w.async[c.rank].collTail, func(r *Request) {
+		r.f64 = c.collective("allreduce-sum", collMsg{f64: payload}).f64
+	})
+}
+
+// IsendFloats posts a copy of data to dst with the given tag and returns
+// immediately; Wait yields (nil, nil) once the payload is handed to the
+// transport. Metered at post time exactly like SendFloats, so the per-pair
+// byte and message counts are independent of which flavor is used.
+func (c *Comm) IsendFloats(dst, tag int, data []float64) *Request {
+	c.checkPeer(dst)
+	payload := append([]float64(nil), data...)
+	c.w.meter.record(c.rank, dst, 8*len(data))
+	return c.post("isend", &c.w.async[c.rank].sendTail, func(r *Request) {
+		c.w.p2p[dst][c.rank] <- message{src: c.rank, tag: tag, f64: payload}
+	})
+}
+
+// IrecvFloats posts a receive for a float payload from src with the given
+// tag; Wait yields the values. Outstanding receives complete in post order,
+// so the per-sender FIFO delivery of the blocking twin is preserved.
+func (c *Comm) IrecvFloats(src, tag int) *Request {
+	c.checkPeer(src)
+	return c.post("irecv", &c.w.async[c.rank].recvTail, func(r *Request) {
+		m := c.recv(src, tag)
+		if m.f64 == nil && m.ints != nil {
+			panic(fmt.Sprintf("simmpi: rank %d expected floats from %d tag %d, got ints", c.rank, src, tag))
+		}
+		r.f64 = m.f64
+	})
 }
 
 // Meter accumulates communication statistics. Safe for concurrent use.

@@ -107,6 +107,23 @@ func Dot2(x, y, z []float64, fc *FlopCounter) (xy, zy float64) {
 	return xy, zy
 }
 
+// Dot3 returns (xᵀy, zᵀy, xᵀx) in one pass over the three vectors,
+// counting 6·n flops. The pipelined CG recurrence reduces all three scalars
+// of an iteration — rᵀu, wᵀu and ‖r‖² — in one nonblocking collective, and
+// this kernel produces the local contributions in a single sweep.
+func Dot3(x, y, z []float64, fc *FlopCounter) (xy, zy, xx float64) {
+	if len(x) != len(y) || len(z) != len(y) {
+		panic(fmt.Sprintf("vecops: Dot3 length mismatch %d/%d/%d", len(x), len(y), len(z)))
+	}
+	for i := range y {
+		xy += x[i] * y[i]
+		zy += z[i] * y[i]
+		xx += x[i] * x[i]
+	}
+	fc.Add(6 * int64(len(y)))
+	return xy, zy, xx
+}
+
 // FusedCGUpdate performs the four vector updates of one fused-CG iteration
 // in a single sweep and folds the residual-norm reduction into the same
 // loop (the AxpyDot/XpayNorm2 merged update+reduce style):
@@ -138,6 +155,40 @@ func FusedCGUpdate(alpha, beta float64, u, w, p, s, x, r []float64, fc *FlopCoun
 	}
 	fc.Add(10 * int64(n))
 	return rr
+}
+
+// PipelinedCGUpdate performs the eight vector updates of one pipelined-CG
+// (Ghysels–Vanroose) iteration in a single sweep:
+//
+//	z ← n + β·z    q ← m + β·q    s ← w + β·s    p ← u + β·p
+//	x ← x + α·p    r ← r − α·s    u ← u − α·q    w ← w − α·z
+//
+// The auxiliary recurrences keep q = M·s and z = A·M·s current without extra
+// operator applications, which is what lets the next iteration's reduction
+// operands exist before the previous reduction has completed. Counts 16·n
+// flops.
+func PipelinedCGUpdate(alpha, beta float64, n, m, w, u, z, q, s, p, x, r []float64, fc *FlopCounter) {
+	ln := len(n)
+	if len(m) != ln || len(w) != ln || len(u) != ln || len(z) != ln ||
+		len(q) != ln || len(s) != ln || len(p) != ln || len(x) != ln || len(r) != ln {
+		panic(fmt.Sprintf("vecops: PipelinedCGUpdate length mismatch %d/%d/%d/%d/%d/%d/%d/%d/%d/%d",
+			len(n), len(m), len(w), len(u), len(z), len(q), len(s), len(p), len(x), len(r)))
+	}
+	for i := 0; i < ln; i++ {
+		zi := n[i] + beta*z[i]
+		qi := m[i] + beta*q[i]
+		si := w[i] + beta*s[i]
+		pi := u[i] + beta*p[i]
+		z[i] = zi
+		q[i] = qi
+		s[i] = si
+		p[i] = pi
+		x[i] += alpha * pi
+		r[i] -= alpha * si
+		u[i] -= alpha * qi
+		w[i] -= alpha * zi
+	}
+	fc.Add(16 * int64(ln))
 }
 
 // Norm2 returns the Euclidean norm of x.

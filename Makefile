@@ -1,12 +1,15 @@
 GO ?= go
 
-.PHONY: all tier1 tier2 bench fuzz
+.PHONY: all tier1 tier2 bench fuzz trace
 
 all: tier1
 
-# tier1: the fast correctness gate — full build + vet + full test suite.
+# tier1: the fast correctness gate — full build + gofmt + vet + full test
+# suite. The gofmt step fails (and lists the files) on any formatting diff.
 tier1:
 	$(GO) build ./...
+	@fmt_out="$$(gofmt -l .)"; if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test ./...
 
@@ -24,6 +27,16 @@ tier2:
 bench:
 	$(GO) test -run xxx -bench '50k' -benchmem .
 	$(GO) run ./cmd/fsaibench -exp benchjson -out BENCH_pipelined.json
+
+# trace: emit a sample per-iteration telemetry artifact — the consph-sim
+# catalog instance solved with pipelined CG on 4 ranks, per-iteration
+# residual/alpha/beta/communication deltas plus the per-window modeled-time
+# split, as TRACE_pipelined.json.
+trace:
+	$(GO) run ./cmd/matgen -name consph-sim -o /tmp/fsaicomm-trace.mtx
+	$(GO) run ./cmd/mmsolve -matrix /tmp/fsaicomm-trace.mtx -ranks 4 \
+		-cg pipelined -trace TRACE_pipelined.json
+	@rm -f /tmp/fsaicomm-trace.mtx
 
 # fuzz: short exploration of each sparse-format fuzz target (seeds already
 # run under plain `go test`).

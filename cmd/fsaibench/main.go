@@ -8,9 +8,10 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7
 // fig2 fig3a fig3b fig4 fig5a fig5b fig6 fig7 fig8 imbalance all,
-// plus interaction (filter × CG-variant × ranks study) and benchjson
-// (the BENCH_pipelined.json artifact of `make bench`; -out selects the
-// file, default stdout).
+// plus interaction (filter × CG-variant × ranks study), phases (the
+// per-window exposed/hidden breakdown of the modeled solve time per CG
+// variant and rank count) and benchjson (the BENCH_pipelined.json artifact
+// of `make bench`; -out selects the file, default stdout).
 // The quick set (default) is a 7-matrix class-representative subset of
 // Table 1; -set full runs the whole 39-matrix catalog (minutes, not
 // seconds).
@@ -229,6 +230,25 @@ func run(exp, set, archOverride string, workers int, cg, outPath string, out io.
 			}
 			return experiments.WriteInteraction(out, mk, spec, []int{2, 4, 8}, []float64{0.05, 0.1})
 		},
+		"phases": func() error {
+			// Same instance and runners as the interaction study, so the
+			// Total column of the phases table matches its modeled times.
+			spec, err := testsets.ByName("thermal2-sim")
+			if err != nil {
+				return err
+			}
+			mk := func() *experiments.Runner {
+				r := experiments.NewRunner(archmodel.Zen2)
+				if archOverride != "" {
+					if p, err := archmodel.ByName(archOverride); err == nil {
+						r.Arch = p
+					}
+				}
+				r.Workers = workers
+				return r
+			}
+			return experiments.WritePhases(out, mk, spec, []int{4, 8}, 0.05)
+		},
 		"benchjson": func() error {
 			arch := archmodel.Skylake
 			if archOverride != "" {
@@ -259,7 +279,7 @@ func run(exp, set, archOverride string, workers int, cg, outPath string, out io.
 
 	order := []string{"table1", "table2", "table3", "table4", "table5", "table6", "table7",
 		"fig2", "fig3a", "fig3b", "fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8",
-		"imbalance", "ablation", "scaling", "interaction", "convergence", "setupcost", "baselines"}
+		"imbalance", "ablation", "scaling", "interaction", "phases", "convergence", "setupcost", "baselines"}
 	if exp == "all" {
 		for _, id := range order {
 			fmt.Fprintf(out, "================ %s ================\n", id)

@@ -7,6 +7,7 @@
 //	mmsolve -matrix A.mtx [-rhs b.txt] [-method fsai|fsaie|fsaie-comm]
 //	        [-filter 0.01] [-dynamic] [-line 64] [-ranks 4] [-workers 0]
 //	        [-cg classic|classic-overlap|fused|pipelined] [-tol 1e-8] [-out x.txt]
+//	        [-trace trace.json] [-rr 0]
 //
 // Without -rhs a deterministic random right-hand side normalized to the
 // matrix max norm is used (the paper's setup). With -ranks 1 the solve is
@@ -16,6 +17,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,15 +41,17 @@ func main() {
 		tol        = flag.Float64("tol", 1e-8, "relative residual tolerance")
 		maxIter    = flag.Int("maxiter", 0, "iteration cap (0 = 10n)")
 		outPath    = flag.String("out", "", "write the solution vector to this file (one value per line)")
+		tracePath  = flag.String("trace", "", "write per-iteration solver telemetry (residual, alpha/beta, comm deltas) to this JSON file")
+		rr         = flag.Int("rr", 0, "pipelined CG: recompute the true residual every N iterations (0 = off)")
 	)
 	flag.Parse()
-	if err := run(*matrixPath, *rhsPath, *method, *filter, *dynamic, *line, *ranks, *workers, *cg, *tol, *maxIter, *outPath); err != nil {
+	if err := run(*matrixPath, *rhsPath, *method, *filter, *dynamic, *line, *ranks, *workers, *cg, *tol, *maxIter, *outPath, *tracePath, *rr); err != nil {
 		fmt.Fprintln(os.Stderr, "mmsolve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line, ranks, workers int, cg string, tol float64, maxIter int, outPath string) error {
+func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line, ranks, workers int, cg string, tol float64, maxIter int, outPath, tracePath string, rr int) error {
 	if matrixPath == "" {
 		return fmt.Errorf("-matrix is required")
 	}
@@ -76,12 +80,14 @@ func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line,
 	}
 
 	opt := fsaicomm.Options{
-		Filter:    filter,
-		LineBytes: line,
-		Tol:       tol,
-		MaxIter:   maxIter,
-		Ranks:     ranks,
-		Workers:   workers,
+		Filter:               filter,
+		LineBytes:            line,
+		Tol:                  tol,
+		MaxIter:              maxIter,
+		Ranks:                ranks,
+		Workers:              workers,
+		Trace:                tracePath != "",
+		ResidualReplaceEvery: rr,
 	}
 	switch strings.ToLower(method) {
 	case "fsai":
@@ -121,7 +127,17 @@ func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line,
 		fmt.Printf(", %d bytes exchanged (%.1f per iteration)", res.CommBytes, res.CommBytesPerIteration)
 	}
 	fmt.Println()
+	for _, win := range res.Phases.Windows {
+		fmt.Printf("modeled %s window: %.3e s raw, %.3e s hidden, %.3e s exposed\n",
+			win.Name, win.RawSec, win.HiddenSec, win.ExposedSec)
+	}
 
+	if tracePath != "" {
+		if err := writeTrace(tracePath, matrixPath, cg, res); err != nil {
+			return err
+		}
+		fmt.Printf("per-iteration trace written to %s\n", tracePath)
+	}
 	if outPath != "" {
 		if err := writeVector(outPath, res.X); err != nil {
 			return err
@@ -129,6 +145,37 @@ func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line,
 		fmt.Printf("solution written to %s\n", outPath)
 	}
 	return nil
+}
+
+// traceArtifact is the JSON shape of the -trace output: run identification
+// plus the per-iteration telemetry and the per-window modeled-time split.
+type traceArtifact struct {
+	Matrix     string                 `json:"matrix"`
+	CGVariant  string                 `json:"cg_variant"`
+	Ranks      int                    `json:"ranks"`
+	Iterations int                    `json:"iterations"`
+	Converged  bool                   `json:"converged"`
+	Phases     fsaicomm.OverlapReport `json:"phases"`
+	Trace      *fsaicomm.IterTrace    `json:"trace"`
+}
+
+func writeTrace(path, matrixPath, cg string, res *fsaicomm.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(traceArtifact{
+		Matrix:     matrixPath,
+		CGVariant:  cg,
+		Ranks:      res.Ranks,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+		Phases:     res.Phases,
+		Trace:      res.Trace,
+	})
 }
 
 func readVector(path string) ([]float64, error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -26,7 +27,7 @@ func writeTestMatrix(t *testing.T) string {
 func TestRunSolvesAndWritesSolution(t *testing.T) {
 	mtx := writeTestMatrix(t)
 	out := filepath.Join(t.TempDir(), "x.txt")
-	if err := run(mtx, "", "fsaie-comm", 0.01, true, 64, 2, 2, "classic", 1e-8, 0, out); err != nil {
+	if err := run(mtx, "", "fsaie-comm", 0.01, true, 64, 2, 2, "classic", 1e-8, 0, out, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	x, err := readVector(out)
@@ -44,7 +45,7 @@ func TestRunCommHidingCGMatchesClassic(t *testing.T) {
 	outs := map[string]string{}
 	for _, cg := range []string{"classic", "fused", "pipelined"} {
 		out := filepath.Join(dir, "x-"+cg+".txt")
-		if err := run(mtx, "", "fsaie-comm", 0.01, false, 64, 4, 0, cg, 1e-8, 0, out); err != nil {
+		if err := run(mtx, "", "fsaie-comm", 0.01, false, 64, 4, 0, cg, 1e-8, 0, out, "", 0); err != nil {
 			t.Fatalf("-cg %s: %v", cg, err)
 		}
 		outs[cg] = out
@@ -66,6 +67,28 @@ func TestRunCommHidingCGMatchesClassic(t *testing.T) {
 	}
 }
 
+func TestRunWritesTraceArtifact(t *testing.T) {
+	mtx := writeTestMatrix(t)
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	if err := run(mtx, "", "fsai", 0, false, 64, 4, 0, "pipelined", 1e-8, 0, "", trace, 10); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art traceArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("trace artifact not valid JSON: %v", err)
+	}
+	if art.Trace == nil || len(art.Trace.Iters) != art.Iterations {
+		t.Fatalf("trace has %v records, want %d iterations", art.Trace, art.Iterations)
+	}
+	if len(art.Phases.Windows) == 0 || art.Phases.TotalSec <= 0 {
+		t.Fatalf("phases section missing: %+v", art.Phases)
+	}
+}
+
 func TestRunSerialWithRHS(t *testing.T) {
 	mtx := writeTestMatrix(t)
 	rhs := filepath.Join(t.TempDir(), "b.txt")
@@ -74,25 +97,25 @@ func TestRunSerialWithRHS(t *testing.T) {
 		f.WriteString("1.0\n")
 	}
 	f.Close()
-	if err := run(mtx, rhs, "fsai", 0, false, 64, 1, 0, "classic", 1e-8, 0, ""); err != nil {
+	if err := run(mtx, rhs, "fsai", 0, false, 64, 1, 0, "classic", 1e-8, 0, "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	mtx := writeTestMatrix(t)
-	if err := run("", "", "fsai", 0, false, 64, 1, 0, "classic", 0, 0, ""); err == nil {
+	if err := run("", "", "fsai", 0, false, 64, 1, 0, "classic", 0, 0, "", "", 0); err == nil {
 		t.Fatal("missing matrix accepted")
 	}
-	if err := run(mtx, "", "bogus", 0, false, 64, 1, 0, "classic", 0, 0, ""); err == nil {
+	if err := run(mtx, "", "bogus", 0, false, 64, 1, 0, "classic", 0, 0, "", "", 0); err == nil {
 		t.Fatal("unknown method accepted")
 	}
-	if err := run(mtx, "", "fsai", 0, false, 64, 1, 0, "bogus", 0, 0, ""); err == nil {
+	if err := run(mtx, "", "fsai", 0, false, 64, 1, 0, "bogus", 0, 0, "", "", 0); err == nil {
 		t.Fatal("unknown CG variant accepted")
 	}
 	short := filepath.Join(t.TempDir(), "short.txt")
 	os.WriteFile(short, []byte("1.0\n"), 0o644)
-	if err := run(mtx, short, "fsai", 0, false, 64, 1, 0, "classic", 0, 0, ""); err == nil {
+	if err := run(mtx, short, "fsai", 0, false, 64, 1, 0, "classic", 0, 0, "", "", 0); err == nil {
 		t.Fatal("short rhs accepted")
 	}
 }

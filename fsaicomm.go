@@ -101,6 +101,24 @@ const (
 // "pipelined" (the -cg flag spellings of the command-line tools).
 func ParseCGVariant(s string) (CGVariant, error) { return krylov.ParseCGVariant(s) }
 
+// IterTrace is one rank's per-iteration solver telemetry (relative
+// residual, α/β, communication deltas), recorded when Options.Trace is set.
+type IterTrace = krylov.IterTrace
+
+// IterRecord is one iteration's telemetry row.
+type IterRecord = krylov.IterRecord
+
+// CommDelta is a rank's communication traffic between two trace points.
+type CommDelta = krylov.CommDelta
+
+// OverlapReport is the per-window breakdown of the modeled solve time:
+// compute, always-exposed communication, and per-window raw / hidden /
+// exposed seconds under the overlap-credit model.
+type OverlapReport = archmodel.OverlapReport
+
+// WindowReport is one communication window's share of an OverlapReport.
+type WindowReport = archmodel.WindowReport
+
 // Options configures a solve.
 type Options struct {
 	// Method selects FSAI, FSAIE or FSAIEComm. Default FSAIEComm.
@@ -153,6 +171,16 @@ type Options struct {
 	// "skylake" (default), "a64fx" or "zen2". It only parameterizes the
 	// cost model; LineBytes independently steers the pattern extension.
 	Arch string
+	// Trace records per-iteration solver telemetry into Result.Trace
+	// (rank 0's view in distributed solves). Off by default; when off the
+	// solve does no telemetry work.
+	Trace bool
+	// ResidualReplaceEvery > 0 makes the pipelined CG loop recompute the
+	// true residual r = b − A·x every that-many iterations, arresting the
+	// rounding drift of the pipelined recurrence on ill-conditioned
+	// instances at the price of extra halo traffic (no extra collectives).
+	// Zero disables replacement; other CG variants ignore it.
+	ResidualReplaceEvery int
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -202,6 +230,15 @@ type Result struct {
 	// ModeledSolveTime is the number to compare CG variants by (DESIGN.md
 	// §4d). Zero for serial solves.
 	ModeledSolveTime float64
+	// Phases is the per-window breakdown of ModeledSolveTime (worst rank,
+	// whole solve): per communication window ("halo", "reduction"), the raw
+	// α–β time, the credit hidden behind overlapped compute, and the exposed
+	// remainder. Phases.TotalSec == ModeledSolveTime exactly. Zero value for
+	// serial solves.
+	Phases OverlapReport
+	// Trace is the per-iteration telemetry when Options.Trace is set (rank
+	// 0's view in distributed solves), nil otherwise.
+	Trace *IterTrace
 }
 
 // ErrNotSPD is returned when the input matrix is detectably not symmetric
@@ -239,7 +276,7 @@ func Solve(a *Matrix, b []float64, opt Options) (*Result, error) {
 	x := make([]float64, a.Rows)
 	t1 := time.Now()
 	st, err := krylov.CG(a, b, x, krylov.NewSplit(g, g.Transpose()),
-		krylov.Options{Tol: opt.Tol, MaxIter: opt.MaxIter}, nil)
+		krylov.Options{Tol: opt.Tol, MaxIter: opt.MaxIter, Trace: opt.Trace}, nil)
 	if err != nil && !errors.Is(err, krylov.ErrNoConvergence) {
 		return nil, err
 	}
@@ -253,6 +290,7 @@ func Solve(a *Matrix, b []float64, opt Options) (*Result, error) {
 		ImbalanceIndex: 1,
 		SetupTime:      setup,
 		SolveTime:      time.Since(t1),
+		Trace:          st.Trace,
 	}, nil
 }
 
@@ -345,7 +383,9 @@ func SolveDistributed(a *Matrix, b []float64, opt Options) (*Result, error) {
 		st, err := krylov.DistCG(c, aOp, pb[lo:hi], xl,
 			krylov.NewDistSplit(bd.GOp, bd.GTOp),
 			krylov.Options{Tol: opt.Tol, MaxIter: opt.MaxIter,
-				Variant: opt.CGVariant, Work: &krylov.Workspace{}}, nil)
+				Variant: opt.CGVariant, Work: &krylov.Workspace{},
+				Trace:                opt.Trace,
+				ResidualReplaceEvery: opt.ResidualReplaceEvery}, nil)
 		if err != nil && !errors.Is(err, krylov.ErrNoConvergence) {
 			return err
 		}
@@ -357,6 +397,7 @@ func SolveDistributed(a *Matrix, b []float64, opt Options) (*Result, error) {
 			res.RelResidual = st.RelResidual
 			res.PctNNZIncrease = bd.PctNNZIncrease
 			res.ImbalanceIndex = bd.ImbalanceIndex
+			res.Trace = st.Trace
 		}
 		return nil
 	})
@@ -368,6 +409,7 @@ func SolveDistributed(a *Matrix, b []float64, opt Options) (*Result, error) {
 		res.CommBytesPerIteration = float64(res.CommBytes) / float64(res.Iterations)
 	}
 	res.ModeledSolveTime = experiments.ModeledSolveTime(prof, opt.CGVariant, res.Iterations, costs)
+	res.Phases = experiments.ModeledPhases(prof, opt.CGVariant, res.Iterations, costs)
 	// Un-permute the solution.
 	res.X = make([]float64, a.Rows)
 	for i := range res.X {

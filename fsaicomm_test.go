@@ -263,3 +263,53 @@ func TestPartitionerOption(t *testing.T) {
 		t.Fatal("unknown partitioner accepted")
 	}
 }
+
+// The observability surface of the facade: opt-in per-iteration traces, the
+// per-window modeled-time breakdown reconciling exactly with
+// ModeledSolveTime, and the pipelined residual-replacement knob.
+func TestSolveTelemetryFacade(t *testing.T) {
+	a := GeneratePoisson2D(16, 16)
+	b := GenerateRHS(a, 1)
+
+	res, err := SolveDistributed(a, b, Options{Method: FSAIEComm, Filter: 0.01, Ranks: 4, Trace: true})
+	if err != nil || !res.Converged {
+		t.Fatalf("traced distributed solve: %+v, %v", res, err)
+	}
+	if res.Trace == nil || res.Trace.Rank != 0 || len(res.Trace.Iters) != res.Iterations {
+		t.Fatalf("trace missing or wrong shape: %+v", res.Trace)
+	}
+	if tot := res.Trace.Total(); tot.CollectiveCalls <= 0 || tot.P2PBytes <= 0 {
+		t.Fatalf("trace totals empty: %+v", tot)
+	}
+	if res.Phases.TotalSec != res.ModeledSolveTime {
+		t.Fatalf("Phases.TotalSec %g != ModeledSolveTime %g", res.Phases.TotalSec, res.ModeledSolveTime)
+	}
+	names := map[string]bool{}
+	for _, w := range res.Phases.Windows {
+		names[w.Name] = true
+	}
+	if !names["halo"] || !names["reduction"] {
+		t.Fatalf("phase windows missing: %+v", res.Phases.Windows)
+	}
+
+	plain, err := SolveDistributed(a, b, Options{Method: FSAIEComm, Filter: 0.01, Ranks: 4})
+	if err != nil || plain.Trace != nil {
+		t.Fatalf("untraced solve carries trace: %+v, %v", plain.Trace, err)
+	}
+	for i := range plain.X {
+		if plain.X[i] != res.X[i] {
+			t.Fatalf("tracing changed x[%d]: %v vs %v", i, plain.X[i], res.X[i])
+		}
+	}
+
+	ser, err := Solve(a, b, Options{Method: FSAI, Trace: true})
+	if err != nil || ser.Trace == nil || len(ser.Trace.Iters) != ser.Iterations {
+		t.Fatalf("serial trace missing: %+v, %v", ser.Trace, err)
+	}
+
+	rr, err := SolveDistributed(a, b, Options{Method: FSAIEComm, Filter: 0.01, Ranks: 4,
+		CGVariant: CGPipelined, ResidualReplaceEvery: 10})
+	if err != nil || !rr.Converged {
+		t.Fatalf("pipelined solve with residual replacement: %+v, %v", rr, err)
+	}
+}

@@ -227,6 +227,74 @@ func (p Profile) OverlapTime(oc OverlapCost) float64 {
 	return t
 }
 
+// WindowReport is one communication window's share of an iteration's
+// modeled time: the raw α–β cost of its traffic, the compute available to
+// hide it, the credit actually taken, and the exposed remainder. Hidden is
+// defined as Raw − Exposed, so the split is exact by construction.
+type WindowReport struct {
+	Name       string  `json:"window"`
+	RawSec     float64 `json:"raw_s"`        // α–β time of the window's traffic
+	HideAvail  float64 `json:"hide_avail_s"` // compute time available to hide it
+	HiddenSec  float64 `json:"hidden_s"`     // min(raw, available) — the credit
+	ExposedSec float64 `json:"exposed_s"`    // raw − hidden, charged to the iteration
+}
+
+// OverlapReport is the per-window breakdown of OverlapTime for one rank's
+// iteration cost. TotalSec is accumulated with the identical operation
+// order as OverlapTime, so the two are bit-for-bit equal — the breakdown
+// reconciles exactly with the scalar modeled time it explains.
+type OverlapReport struct {
+	ComputeSec float64        `json:"compute_s"`      // on-node work
+	ExposedSec float64        `json:"exposed_comm_s"` // unwindowed (always-exposed) comm
+	Windows    []WindowReport `json:"windows"`
+	TotalSec   float64        `json:"total_s"` // == OverlapTime(oc)
+}
+
+// OverlapReport decomposes OverlapTime(oc) into its per-window terms.
+func (p Profile) OverlapReport(oc OverlapCost) OverlapReport {
+	rep := OverlapReport{
+		ComputeSec: p.ComputeTime(oc.Compute),
+		ExposedSec: p.CommTime(oc.Exposed),
+		Windows:    make([]WindowReport, 0, len(oc.Windows)),
+	}
+	// Accumulate exactly as OverlapTime does (same subexpressions, same
+	// order) so TotalSec matches it bit-for-bit.
+	t := p.ComputeTime(oc.Compute) + p.CommTime(oc.Exposed)
+	for _, w := range oc.Windows {
+		wr := WindowReport{
+			Name:      w.Name,
+			RawSec:    p.CommTime(w.Comm),
+			HideAvail: p.ComputeTime(w.Hide),
+		}
+		if ex := p.CommTime(w.Comm) - p.ComputeTime(w.Hide); ex > 0 {
+			wr.ExposedSec = ex
+			t += ex
+		}
+		wr.HiddenSec = wr.RawSec - wr.ExposedSec
+		rep.Windows = append(rep.Windows, wr)
+	}
+	rep.TotalSec = t
+	return rep
+}
+
+// Scale returns the report with every time multiplied by f — e.g. the
+// iteration count, turning a per-iteration breakdown into a per-solve one.
+func (r OverlapReport) Scale(f float64) OverlapReport {
+	out := r
+	out.ComputeSec *= f
+	out.ExposedSec *= f
+	out.TotalSec *= f
+	out.Windows = make([]WindowReport, len(r.Windows))
+	for i, w := range r.Windows {
+		w.RawSec *= f
+		w.HideAvail *= f
+		w.HiddenSec *= f
+		w.ExposedSec *= f
+		out.Windows[i] = w
+	}
+	return out
+}
+
 // SolveTime returns the modeled time of a solve: iterations times the
 // slowest rank's per-iteration time (ranks synchronize at the dot products
 // every iteration, so the maximum governs).

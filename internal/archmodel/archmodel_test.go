@@ -188,3 +188,75 @@ func TestSolveTimeOverlappedUsesWorstRank(t *testing.T) {
 		t.Fatal("empty ranks should cost 0")
 	}
 }
+
+// OverlapReport is OverlapTime's breakdown and must reconcile with it
+// bit-for-bit: same windows, same clamping, same accumulation order.
+func TestOverlapReportReconcilesWithOverlapTime(t *testing.T) {
+	oc := OverlapCost{
+		Compute: RankCost{Flops: 2e6, StreamBytes: 1e7, CacheMisses: 2e3},
+		Exposed: RankCost{CommBytes: 2e4, CommMsgs: 20},
+		Windows: []CommWindow{
+			// Tiny traffic under a huge hiding window: fully hidden.
+			{Name: "halo", Comm: RankCost{CommBytes: 64, CommMsgs: 1}, Hide: RankCost{Flops: 1e6}},
+			// Heavy traffic with no compute to hide it: fully exposed.
+			{Name: "reduction", Comm: RankCost{CommBytes: 1e6, CommMsgs: 100}},
+		},
+	}
+	for _, p := range []Profile{Skylake, A64FX, Zen2} {
+		rep := p.OverlapReport(oc)
+		if rep.TotalSec != p.OverlapTime(oc) {
+			t.Fatalf("%s: TotalSec %g != OverlapTime %g", p.Name, rep.TotalSec, p.OverlapTime(oc))
+		}
+		if rep.ComputeSec != p.ComputeTime(oc.Compute) || rep.ExposedSec != p.CommTime(oc.Exposed) {
+			t.Fatalf("%s: compute/exposed terms do not match the scalar model: %+v", p.Name, rep)
+		}
+		if len(rep.Windows) != 2 {
+			t.Fatalf("%s: %d windows, want 2", p.Name, len(rep.Windows))
+		}
+		for _, w := range rep.Windows {
+			if w.RawSec != p.CommTime(oc.Windows[0].Comm) && w.RawSec != p.CommTime(oc.Windows[1].Comm) {
+				t.Fatalf("%s: window %q raw %g matches neither input", p.Name, w.Name, w.RawSec)
+			}
+			if w.HiddenSec != w.RawSec-w.ExposedSec {
+				t.Fatalf("%s: window %q hidden %g != raw %g - exposed %g", p.Name, w.Name, w.HiddenSec, w.RawSec, w.ExposedSec)
+			}
+			if w.HiddenSec < 0 || w.ExposedSec < 0 {
+				t.Fatalf("%s: window %q negative component: %+v", p.Name, w.Name, w)
+			}
+		}
+		halo, red := rep.Windows[0], rep.Windows[1]
+		if halo.ExposedSec != 0 || halo.HiddenSec != halo.RawSec {
+			t.Fatalf("%s: fully hidable halo window not fully hidden: %+v", p.Name, halo)
+		}
+		if red.HiddenSec != 0 || red.ExposedSec != red.RawSec {
+			t.Fatalf("%s: unhidable reduction window not fully exposed: %+v", p.Name, red)
+		}
+	}
+}
+
+func TestOverlapReportScale(t *testing.T) {
+	oc := OverlapCost{
+		Compute: RankCost{Flops: 1e6},
+		Exposed: RankCost{CommBytes: 1e4, CommMsgs: 10},
+		Windows: []CommWindow{{Name: "halo", Comm: RankCost{CommBytes: 1e5, CommMsgs: 5}, Hide: RankCost{Flops: 5e5}}},
+	}
+	rep := Skylake.OverlapReport(oc)
+	got := rep.Scale(7)
+	if got.TotalSec != 7*rep.TotalSec || got.ComputeSec != 7*rep.ComputeSec || got.ExposedSec != 7*rep.ExposedSec {
+		t.Fatalf("Scale(7) scalar fields wrong: %+v vs %+v", got, rep)
+	}
+	for i, w := range got.Windows {
+		o := rep.Windows[i]
+		if w.RawSec != 7*o.RawSec || w.HideAvail != 7*o.HideAvail || w.HiddenSec != 7*o.HiddenSec || w.ExposedSec != 7*o.ExposedSec {
+			t.Fatalf("Scale(7) window %d wrong: %+v vs %+v", i, w, o)
+		}
+	}
+	if len(rep.Windows) != 1 || rep.Windows[0].HiddenSec <= 0 {
+		t.Fatalf("test premise: partially hidden window expected, got %+v", rep.Windows)
+	}
+	// Scaling must not alias the receiver's windows.
+	got.Windows[0].RawSec = -1
+	if rep.Windows[0].RawSec == -1 {
+		t.Fatal("Scale aliased the receiver's windows")
+	}
+}

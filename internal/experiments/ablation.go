@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"fsaicomm/internal/archmodel"
 	"fsaicomm/internal/core"
 	"fsaicomm/internal/distmat"
 	"fsaicomm/internal/fsai"
@@ -26,7 +25,11 @@ type AblationRow struct {
 	HaloRecv   [3]int     // total unknowns received per halo update of G
 	Neighbours [3]int     // total neighbour pairs in G's halo update
 	BytesIter  [3]float64 // metered solve traffic per iteration
-	ModelTime  [3]float64 // cost-model solve time
+	ModelTime  [3]float64 // cost-model solve time (overlap-credit model)
+	// ExposedComm is the modeled communication time left exposed after
+	// overlap credit, per solve (worst rank): the part of ModelTime the
+	// interconnect actually costs under the variant's schedule.
+	ExposedComm [3]float64
 }
 
 // variantNames orders the ablation columns.
@@ -46,7 +49,7 @@ func RunAblation(r *Runner, spec testsets.Spec) (AblationRow, error) {
 
 	works := r.workspaces(ranks)
 	for vi := 0; vi < 3; vi++ {
-		perRank := make([]archmodel.RankCost, ranks)
+		costs := make([]IterCostInputs, ranks)
 		var iters int
 		var haloRecv, neigh int
 		world, err := simmpi.Run(ranks, runTimeout, func(c *simmpi.Comm) error {
@@ -86,7 +89,7 @@ func RunAblation(r *Runner, spec testsets.Spec) (AblationRow, error) {
 			recv := c.AllreduceSumInt64(int64(gOp.Plan.RecvCount()))[0]
 			nb := c.AllreduceSumInt64(int64(len(gOp.Plan.RecvPeerIDs())))[0]
 
-			perRank[c.Rank()] = AssembleIterCost(r.Arch, aOp, gOp, gtOp, nl, ranks, r.Variant).Rank
+			costs[c.Rank()] = AssembleIterCost(r.Arch, aOp, gOp, gtOp, nl, ranks, r.Variant)
 
 			c.Barrier()
 			if c.Rank() == 0 {
@@ -113,7 +116,12 @@ func RunAblation(r *Runner, spec testsets.Spec) (AblationRow, error) {
 		row.HaloRecv[vi] = haloRecv
 		row.Neighbours[vi] = neigh
 		row.BytesIter[vi] = float64(world.Meter().TotalP2PBytes()) / float64(iters)
-		row.ModelTime[vi] = r.Arch.SolveTime(iters, perRank)
+		row.ModelTime[vi] = ModeledSolveTime(r.Arch, r.Variant, iters, costs)
+		rep := ModeledPhases(r.Arch, r.Variant, iters, costs)
+		row.ExposedComm[vi] = rep.ExposedSec
+		for _, w := range rep.Windows {
+			row.ExposedComm[vi] += w.ExposedSec
+		}
 	}
 	return row, nil
 }
@@ -135,11 +143,12 @@ func WriteAblation(w io.Writer, r *Runner, set []testsets.Spec) error {
 			fmt.Sprintf("%d/%d/%d", row.Neighbours[0], row.Neighbours[1], row.Neighbours[2]),
 			fmt.Sprintf("%.0f/%.0f/%.0f", row.BytesIter[0], row.BytesIter[1], row.BytesIter[2]),
 			fmt.Sprintf("%.2e/%.2e/%.2e", row.ModelTime[0], row.ModelTime[1], row.ModelTime[2]),
+			fmt.Sprintf("%.2e/%.2e/%.2e", row.ExposedComm[0], row.ExposedComm[1], row.ExposedComm[2]),
 		})
 	}
 	writeTable(w, []string{
 		"Matrix", "Ranks", "Iters F/C/N", "Halo recv F/C/N", "Neigh F/C/N",
-		"Bytes/iter F/C/N", "Model time F/C/N",
+		"Bytes/iter F/C/N", "Model time F/C/N", "Exposed comm F/C/N",
 	}, rows)
 	fmt.Fprintln(w)
 	return nil

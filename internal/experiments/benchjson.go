@@ -35,6 +35,11 @@ type BenchRecord struct {
 	CollectiveBytes int64   `json:"collective_bytes"`
 	P2PBytes        int64   `json:"p2p_bytes"`
 	P2PMessages     int64   `json:"p2p_messages"`
+
+	// Phases is the per-window breakdown of modeled_solve_s (worst rank,
+	// whole solve): compute, always-exposed comm, and per-window raw /
+	// hidden / exposed seconds. Its total_s equals modeled_solve_s exactly.
+	Phases archmodel.OverlapReport `json:"phases"`
 }
 
 // BenchSpec is the ~50k-row 3-D Poisson instance the `make bench` suite
@@ -84,6 +89,7 @@ func benchRecords(arch archmodel.Profile, spec testsets.Spec, ranks int) ([]Benc
 			CollectiveBytes: res.CollectiveBytes,
 			P2PBytes:        res.P2PBytes,
 			P2PMessages:     res.P2PMessages,
+			Phases:          res.Phases,
 		}
 		if res.Iterations > 0 {
 			rec.ModeledIterSec = res.SolveTime / float64(res.Iterations)

@@ -16,7 +16,7 @@ import (
 // the GFLOP/s histograms.
 type IterCostInputs struct {
 	Rank          archmodel.RankCost
-	Overlap       archmodel.OverlapCost // zero value when variant is CGClassic
+	Overlap       archmodel.OverlapCost
 	PrecondMisses int64
 }
 
@@ -32,34 +32,36 @@ func reductionsFor(variant krylov.CGVariant) int64 {
 }
 
 // overlapCostFor splits one rank's per-iteration cost the way a variant's
-// schedule executes it, for archmodel's overlap-credit model. The halo
-// exchange hides behind the interior rows of the three operators; the
-// pipelined variant additionally hides its single reduction behind the
-// boundary rows — a disjoint compute window, so no flop is credited twice
-// (conservative: the real schedule overlaps the reduction with the whole
-// SpMV phase).
+// schedule executes it, for archmodel's overlap-credit model. Every variant
+// carries the same two named windows — "halo" and "reduction" — so the
+// per-phase reports are comparable across variants; what changes is the
+// hiding compute. The classic loop hides nothing (both windows fully
+// exposed). The overlapped schedules hide the halo exchange behind the
+// interior rows of the three operators; the pipelined variant additionally
+// hides its single reduction behind the boundary rows — a disjoint compute
+// window, so no flop is credited twice (conservative: the real schedule
+// overlaps the reduction with the whole SpMV phase).
 func overlapCostFor(variant krylov.CGVariant, rc archmodel.RankCost, intNNZ, totNNZ, logP int64) archmodel.OverlapCost {
 	red := archmodel.RankCost{CommMsgs: reductionsFor(variant) * logP, CommBytes: 24 * logP}
 	halo := archmodel.RankCost{CommMsgs: rc.CommMsgs - red.CommMsgs, CommBytes: rc.CommBytes}
-	oc := archmodel.OverlapCost{
-		Compute: archmodel.RankCost{Flops: rc.Flops, StreamBytes: rc.StreamBytes, CacheMisses: rc.CacheMisses},
-		Windows: []archmodel.CommWindow{{
-			Name: "halo",
-			Comm: halo,
-			Hide: archmodel.RankCost{Flops: 2 * intNNZ, StreamBytes: 12 * intNNZ},
-		}},
-	}
-	if variant == krylov.CGPipelined {
+	var haloHide, redHide archmodel.RankCost
+	switch variant {
+	case krylov.CGClassic:
+		// Blocking schedule: nothing hides.
+	case krylov.CGPipelined:
 		bnd := totNNZ - intNNZ
-		oc.Windows = append(oc.Windows, archmodel.CommWindow{
-			Name: "reduction",
-			Comm: red,
-			Hide: archmodel.RankCost{Flops: 2 * bnd, StreamBytes: 12 * bnd},
-		})
-	} else {
-		oc.Exposed = red
+		haloHide = archmodel.RankCost{Flops: 2 * intNNZ, StreamBytes: 12 * intNNZ}
+		redHide = archmodel.RankCost{Flops: 2 * bnd, StreamBytes: 12 * bnd}
+	default: // CGClassicOverlap, CGFused: overlapped SpMV, blocking reduction
+		haloHide = archmodel.RankCost{Flops: 2 * intNNZ, StreamBytes: 12 * intNNZ}
 	}
-	return oc
+	return archmodel.OverlapCost{
+		Compute: archmodel.RankCost{Flops: rc.Flops, StreamBytes: rc.StreamBytes, CacheMisses: rc.CacheMisses},
+		Windows: []archmodel.CommWindow{
+			{Name: "halo", Comm: halo, Hide: haloHide},
+			{Name: "reduction", Comm: red, Hide: redHide},
+		},
+	}
 }
 
 // AssembleIterCost builds one rank's per-iteration cost-model inputs from
@@ -86,28 +88,46 @@ func AssembleIterCost(arch archmodel.Profile, aOp, gOp, gtOp *distmat.Op, nl, ra
 		},
 		PrecondMisses: missPre,
 	}
+	// The classic loop's windows carry zero hiding compute, so it never
+	// needs the overlap view of the operators (interior nnz only feeds the
+	// hide windows).
+	var intNNZ int64
 	if variant != krylov.CGClassic {
-		intNNZ := int64(aOp.EnsureOverlap().InteriorNNZ() +
+		intNNZ = int64(aOp.EnsureOverlap().InteriorNNZ() +
 			gOp.EnsureOverlap().InteriorNNZ() + gtOp.EnsureOverlap().InteriorNNZ())
-		out.Overlap = overlapCostFor(variant, out.Rank, intNNZ, totNNZ, logP)
 	}
+	out.Overlap = overlapCostFor(variant, out.Rank, intNNZ, totNNZ, logP)
 	return out
 }
 
 // ModeledSolveTime converts per-rank cost inputs into the variant-aware
-// modeled solve time: the fully-exposed model for the classic loop, the
-// overlap-credit model for the communication-hiding loops.
+// modeled solve time under the overlap-credit model. Every variant flows
+// through the same windowed model; the classic loop's windows simply carry
+// no hiding compute, so its time equals the fully-exposed α–β model.
 func ModeledSolveTime(arch archmodel.Profile, variant krylov.CGVariant, iters int, costs []IterCostInputs) float64 {
-	if variant == krylov.CGClassic {
-		perRank := make([]archmodel.RankCost, len(costs))
-		for i, ci := range costs {
-			perRank[i] = ci.Rank
-		}
-		return arch.SolveTime(iters, perRank)
-	}
 	perRank := make([]archmodel.OverlapCost, len(costs))
 	for i, ci := range costs {
 		perRank[i] = ci.Overlap
 	}
 	return arch.SolveTimeOverlapped(iters, perRank)
+}
+
+// ModeledPhases returns the per-window breakdown of ModeledSolveTime for
+// the same inputs: the worst rank's per-iteration OverlapReport scaled by
+// the iteration count. The report's per-iteration terms sum exactly (same
+// accumulation order) and TotalSec equals ModeledSolveTime bit-for-bit, so
+// the printed phases tables reconcile with the scalar modeled time.
+func ModeledPhases(arch archmodel.Profile, variant krylov.CGVariant, iters int, costs []IterCostInputs) archmodel.OverlapReport {
+	var worst archmodel.OverlapCost
+	worstT := 0.0
+	for _, ci := range costs {
+		if t := arch.OverlapTime(ci.Overlap); t > worstT {
+			worstT = t
+			worst = ci.Overlap
+		}
+	}
+	if worstT == 0 {
+		return archmodel.OverlapReport{}
+	}
+	return arch.OverlapReport(worst).Scale(float64(iters))
 }

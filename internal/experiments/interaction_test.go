@@ -112,6 +112,9 @@ func TestBenchRecordsSmoke(t *testing.T) {
 		if rec.P2PBytes <= 0 || rec.CollectiveCalls <= 0 {
 			t.Fatalf("meter totals missing: %+v", rec)
 		}
+		if len(rec.Phases.Windows) == 0 || rec.Phases.TotalSec != rec.ModeledSolveSec {
+			t.Fatalf("phases section missing or not reconciling with modeled_solve_s: %+v", rec.Phases)
+		}
 		byVariant[rec.Variant] = rec
 	}
 	// Fused and pipelined post one reduction per iteration, classic three.

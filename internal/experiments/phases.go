@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fsaicomm/internal/archmodel"
+	"fsaicomm/internal/core"
+	"fsaicomm/internal/krylov"
+	"fsaicomm/internal/testsets"
+)
+
+// PhaseRow is one (rank count, CG variant) row of the phases study: the
+// per-window exposed/hidden breakdown of the modeled solve time. Report is
+// the worst rank's whole-solve breakdown; Report.TotalSec == ModeledSolve
+// exactly, so the table's columns reconcile with the scalar time the other
+// experiments print.
+type PhaseRow struct {
+	Ranks      int
+	Variant    krylov.CGVariant
+	Iterations int
+	Filter     float64
+	// ModeledSolve is the Result.SolveTime of the same configuration.
+	ModeledSolve float64
+	Report       archmodel.OverlapReport
+}
+
+// RunPhases solves spec with FSAIE-Comm (dynamic filter) for every CG
+// variant at every rank count and collects the per-window modeled-time
+// breakdowns. mk builds a fresh Runner per rank count, like RunInteraction.
+func RunPhases(mk func() *Runner, spec testsets.Spec, rankCounts []int, filter float64) ([]PhaseRow, error) {
+	var out []PhaseRow
+	for _, ranks := range rankCounts {
+		r := mk()
+		rk := ranks
+		r.RanksOf = func(int) int { return rk }
+		for _, v := range InteractionVariants {
+			r.Variant = v
+			res, err := r.Run(spec, core.FSAIEComm, filter, core.DynamicFilter)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, PhaseRow{
+				Ranks: ranks, Variant: v,
+				Iterations:   res.Iterations,
+				Filter:       filter,
+				ModeledSolve: res.SolveTime,
+				Report:       res.Phases,
+			})
+		}
+	}
+	return out, nil
+}
+
+// window returns the named window's report, or a zero report when absent.
+func window(rep archmodel.OverlapReport, name string) archmodel.WindowReport {
+	for _, w := range rep.Windows {
+		if w.Name == name {
+			return w
+		}
+	}
+	return archmodel.WindowReport{Name: name}
+}
+
+// WritePhases renders the per-window exposed/hidden phases table: for each
+// CG variant and rank count, the raw, hidden and exposed modeled time of
+// the halo and reduction windows (milliseconds, whole solve, worst rank).
+// The Total column is compute + unwindowed comm + exposed window time and
+// equals the modeled solve time of the interaction study's cells.
+func WritePhases(w io.Writer, mk func() *Runner, spec testsets.Spec, rankCounts []int, filter float64) error {
+	rows, err := RunPhases(mk, spec, rankCounts, filter)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Phase breakdown on %s (FSAIE-Comm, dynamic Filter %g): modeled ms per solve, worst rank\n",
+		spec.Name, filter)
+	fmt.Fprintln(w, "hidden = comm time covered by the window's overlapped compute; exposed = remainder charged to the solve.")
+	ms := func(s float64) string { return fmt.Sprintf("%.3f", 1e3*s) }
+	var table [][]string
+	for _, row := range rows {
+		halo := window(row.Report, "halo")
+		red := window(row.Report, "reduction")
+		table = append(table, []string{
+			fmt.Sprintf("%d", row.Ranks), row.Variant.String(),
+			fmt.Sprintf("%d", row.Iterations),
+			ms(row.Report.ComputeSec),
+			ms(halo.RawSec), ms(halo.HiddenSec), ms(halo.ExposedSec),
+			ms(red.RawSec), ms(red.HiddenSec), ms(red.ExposedSec),
+			ms(row.ModeledSolve),
+		})
+	}
+	writeTable(w, []string{"Ranks", "CG loop", "Iters", "Compute",
+		"Halo raw", "hidden", "exposed",
+		"Red raw", "hidden", "exposed", "Total"}, table)
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fsaicomm/internal/archmodel"
+	"fsaicomm/internal/core"
+	"fsaicomm/internal/krylov"
+)
+
+// The acceptance identity of the phases study: for every CG variant the
+// per-window breakdown reconciles exactly — not approximately — with the
+// scalar modeled solve time the other experiments print, and the windows
+// land where the schedules put them: classic hides nothing, the overlapped
+// SpMV variants hide halo time, and only the pipelined loop hides
+// reduction time.
+func TestPhasesReconcileWithModeledSolveTime(t *testing.T) {
+	spec := tinySet()[0]
+	for _, v := range InteractionVariants {
+		r := tinyRunner(archmodel.Zen2)
+		r.Variant = v
+		res, err := r.Run(spec, core.FSAIEComm, 0.05, core.DynamicFilter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := res.Phases
+		if rep.TotalSec != res.SolveTime {
+			t.Fatalf("%v: Phases.TotalSec %g != SolveTime %g", v, rep.TotalSec, res.SolveTime)
+		}
+		halo, red := window(rep, "halo"), window(rep, "reduction")
+		if halo.RawSec <= 0 || red.RawSec <= 0 {
+			t.Fatalf("%v: empty windows: halo %+v reduction %+v", v, halo, red)
+		}
+		// The whole-solve report is the per-iteration one scaled by the
+		// iteration count; scaling each component separately costs an ulp,
+		// so the window split reconciles to relative rounding error while
+		// TotalSec (the same multiplication SolveTime performs) stays exact.
+		for _, w := range []archmodel.WindowReport{halo, red} {
+			if d := w.HiddenSec - (w.RawSec - w.ExposedSec); d > 1e-12*w.RawSec || d < -1e-12*w.RawSec {
+				t.Fatalf("%v: window %q does not split raw time: %+v", v, w.Name, w)
+			}
+			if w.HiddenSec < 0 || w.ExposedSec < 0 {
+				t.Fatalf("%v: window %q negative component: %+v", v, w.Name, w)
+			}
+		}
+		switch v {
+		case krylov.CGClassic:
+			if halo.HiddenSec != 0 || red.HiddenSec != 0 {
+				t.Fatalf("classic hides nothing, got halo %+v reduction %+v", halo, red)
+			}
+		case krylov.CGClassicOverlap, krylov.CGFused:
+			if halo.HiddenSec <= 0 {
+				t.Fatalf("%v: overlapped SpMV hides no halo time: %+v", v, halo)
+			}
+			if red.HiddenSec != 0 {
+				t.Fatalf("%v: blocking reduction reported hidden time: %+v", v, red)
+			}
+		case krylov.CGPipelined:
+			if red.HiddenSec <= 0 {
+				t.Fatalf("pipelined hides no reduction time: %+v", red)
+			}
+			if halo.HiddenSec <= 0 {
+				t.Fatalf("pipelined hides no halo time: %+v", halo)
+			}
+		}
+	}
+}
+
+func TestRunPhasesAndWrite(t *testing.T) {
+	spec := tinySet()[0]
+	mk := func() *Runner { return NewRunner(archmodel.Zen2) }
+	rows, err := RunPhases(mk, spec, []int{2, 3}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(InteractionVariants); len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	for _, row := range rows {
+		if row.Report.TotalSec != row.ModeledSolve {
+			t.Fatalf("row %+v: breakdown does not reconcile with modeled solve", row)
+		}
+		if row.Iterations <= 0 {
+			t.Fatalf("row without iterations: %+v", row)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WritePhases(&buf, mk, spec, []int{2}, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Phase breakdown", "Halo raw", "Red raw", "pipelined", "classic-overlap", "Total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("phases table missing %q:\n%s", want, out)
+		}
+	}
+}

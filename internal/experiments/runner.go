@@ -39,6 +39,10 @@ type Result struct {
 	Iterations int
 	Converged  bool
 	SolveTime  float64 // modeled seconds (arch cost model)
+	// Phases is the per-window breakdown of SolveTime (worst rank, whole
+	// solve): for each communication window, raw α–β time, hidden credit and
+	// exposed remainder. Phases.TotalSec == SolveTime exactly.
+	Phases archmodel.OverlapReport
 
 	PctNNZ         float64 // % pattern entries added vs FSAI
 	ImbalanceIndex float64 // avg/max per-rank entries of G
@@ -274,8 +278,7 @@ func (r *Runner) Run(spec testsets.Spec, method core.Method, filter float64, str
 		return res, err
 	}
 
-	perRank := make([]archmodel.RankCost, ranks)
-	perRankOverlap := make([]archmodel.OverlapCost, ranks)
+	costs := make([]IterCostInputs, ranks)
 	precondRank := make([]archmodel.RankCost, ranks)
 	nnzPrecond := make([]int64, ranks)
 	var finalNNZ int64
@@ -314,8 +317,7 @@ func (r *Runner) Run(spec testsets.Spec, method core.Method, filter float64, str
 
 		// Cost model inputs (independent of the solve).
 		ci := AssembleIterCost(r.Arch, aOp, gOp, gtOp, nl, ranks, r.Variant)
-		perRank[c.Rank()] = ci.Rank
-		perRankOverlap[c.Rank()] = ci.Overlap
+		costs[c.Rank()] = ci
 		precondRank[c.Rank()] = archmodel.RankCost{
 			Flops:       2 * int64(gOp.LZ.M.NNZ()+gtOp.LZ.M.NNZ()),
 			StreamBytes: 12*int64(gOp.LZ.M.NNZ()+gtOp.LZ.M.NNZ()) + 24*int64(nl),
@@ -350,14 +352,11 @@ func (r *Runner) Run(spec testsets.Spec, method core.Method, filter float64, str
 		return res, fmt.Errorf("experiments: solve %s/%s: %w", spec.Name, method, err)
 	}
 
-	if r.Variant == krylov.CGClassic {
-		res.SolveTime = r.Arch.SolveTime(res.Iterations, perRank)
-	} else {
-		// Overlapping schedules are modeled with the overlap credit: the
-		// halo (and for pipelined, the reduction) is only charged to the
-		// extent it exceeds its hiding compute window.
-		res.SolveTime = r.Arch.SolveTimeOverlapped(res.Iterations, perRankOverlap)
-	}
+	// Every variant is modeled with the windowed overlap-credit model (the
+	// classic loop's windows carry no hiding compute, so its time equals the
+	// fully-exposed α–β model); Phases is the matching per-window breakdown.
+	res.SolveTime = ModeledSolveTime(r.Arch, r.Variant, res.Iterations, costs)
+	res.Phases = ModeledPhases(r.Arch, r.Variant, res.Iterations, costs)
 	if ee.baseNNZ > 0 {
 		res.PctNNZ = 100 * float64(finalNNZ-ee.baseNNZ) / float64(ee.baseNNZ)
 	}

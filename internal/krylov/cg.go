@@ -39,6 +39,17 @@ type Options struct {
 	// allocate nothing in steady state. In distributed runs each rank must
 	// pass its own Workspace.
 	Work *Workspace
+	// Trace records per-iteration telemetry (relative residual, α/β and the
+	// rank's communication deltas) into Stats.Trace. Off by default; when
+	// off the solve paths do no telemetry work and allocate nothing extra.
+	Trace bool
+	// ResidualReplaceEvery > 0 makes the pipelined loop recompute r = b − A·x
+	// (and the dependent recurrence vectors) every that-many iterations,
+	// arresting the rounding drift of the deeply rearranged recurrence on
+	// ill-conditioned instances at the price of extra halo traffic — no
+	// extra collectives. Zero (the default) disables replacement. Ignored by
+	// the other variants, whose recurrences track the true residual closely.
+	ResidualReplaceEvery int
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -63,6 +74,9 @@ type Stats struct {
 	// Residuals holds the per-iteration relative residuals when
 	// Options.RecordResiduals is set.
 	Residuals []float64
+	// Trace is the rank's per-iteration telemetry when Options.Trace is set,
+	// nil otherwise.
+	Trace *IterTrace
 }
 
 // Preconditioner applies z ← M·r in the serial solver. Implementations must
@@ -136,23 +150,26 @@ func CG(a *sparse.CSR, b, x []float64, m Preconditioner, opt Options, fc *vecops
 	}
 	r, z, d, q := ws.take4(n)
 	copy(r, b) // r = b - A·0 = b
+	tr := newTracer(opt.Trace, nil)
 
 	norm0 := vecops.Norm2(r, fc)
 	if norm0 == 0 {
 		vecops.Fill(x, 0)
-		return Stats{Iterations: 0, Converged: true, RelResidual: 0, Flops: fc.Count()}, nil
+		return finish(Stats{Iterations: 0, Converged: true, RelResidual: 0}, fc, tr), nil
 	}
 	m.Apply(r, z, fc)
 	copy(d, z)
 	rho := vecops.Dot(r, z, fc)
+	tr.setup()
 
 	st := Stats{}
+	beta := 0.0 // the β that built this iteration's direction d
 	for iter := 1; iter <= opt.MaxIter; iter++ {
 		a.MulVec(d, q)
 		fc.Add(2 * int64(a.NNZ()))
 		dq := vecops.Dot(d, q, fc)
 		if dq <= 0 || math.IsNaN(dq) {
-			return st, fmt.Errorf("krylov: CG breakdown at iteration %d (dᵀAd = %g); matrix not SPD?", iter, dq)
+			return finish(st, fc, tr), fmt.Errorf("krylov: CG breakdown at iteration %d (dᵀAd = %g); matrix not SPD?", iter, dq)
 		}
 		alpha := rho / dq
 		vecops.Axpy(alpha, d, x, fc)
@@ -165,16 +182,17 @@ func CG(a *sparse.CSR, b, x []float64, m Preconditioner, opt Options, fc *vecops
 		}
 		if st.RelResidual <= opt.Tol {
 			st.Converged = true
-			st.Flops = fc.Count()
-			return st, nil
+			tr.record(iter, st.RelResidual, alpha, beta)
+			return finish(st, fc, tr), nil
 		}
 		m.Apply(r, z, fc)
 		rhoNew := vecops.Dot(r, z, fc)
-		beta := rhoNew / rho
+		tr.record(iter, st.RelResidual, alpha, beta)
+		beta = rhoNew / rho
 		rho = rhoNew
 		vecops.Xpay(z, beta, d, fc)
 	}
-	st.Flops = fc.Count()
+	st = finish(st, fc, tr)
 	return st, fmt.Errorf("%w: %d iterations, rel residual %.3e", ErrNoConvergence, st.Iterations, st.RelResidual)
 }
 
@@ -244,6 +262,7 @@ func DistCG(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreconditioner
 	case CGPipelined:
 		return DistCGPipelined(c, op, b, x, m, opt, fc)
 	}
+	tr := newTracer(opt.Trace, c)
 	nl := op.LZ.NLocal()
 	nGlobal := int(c.AllreduceSumInt64(int64(nl))[0])
 	opt = opt.withDefaults(nGlobal)
@@ -268,13 +287,15 @@ func DistCG(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreconditioner
 	norm0 := distmat.Norm2(c, r, fc)
 	if norm0 == 0 {
 		vecops.Fill(x, 0)
-		return Stats{Converged: true}, nil
+		return finish(Stats{Converged: true}, fc, tr), nil
 	}
 	m.Apply(c, r, z, fc)
 	copy(d, z)
 	rho := distmat.Dot(c, r, z, fc)
+	tr.setup()
 
 	st := Stats{}
+	beta := 0.0 // the β that built this iteration's direction d
 	for iter := 1; iter <= opt.MaxIter; iter++ {
 		if ov != nil {
 			ov.MulVecOverlap(c, d, q, scratch, fc)
@@ -283,7 +304,7 @@ func DistCG(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreconditioner
 		}
 		dq := distmat.Dot(c, d, q, fc)
 		if dq <= 0 || math.IsNaN(dq) {
-			return st, fmt.Errorf("krylov: DistCG breakdown at iteration %d (dᵀAd = %g)", iter, dq)
+			return finish(st, fc, tr), fmt.Errorf("krylov: DistCG breakdown at iteration %d (dᵀAd = %g)", iter, dq)
 		}
 		alpha := rho / dq
 		vecops.Axpy(alpha, d, x, fc)
@@ -296,15 +317,16 @@ func DistCG(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreconditioner
 		}
 		if st.RelResidual <= opt.Tol {
 			st.Converged = true
-			st.Flops = fc.Count()
-			return st, nil
+			tr.record(iter, st.RelResidual, alpha, beta)
+			return finish(st, fc, tr), nil
 		}
 		m.Apply(c, r, z, fc)
 		rhoNew := distmat.Dot(c, r, z, fc)
-		beta := rhoNew / rho
+		tr.record(iter, st.RelResidual, alpha, beta)
+		beta = rhoNew / rho
 		rho = rhoNew
 		vecops.Xpay(z, beta, d, fc)
 	}
-	st.Flops = fc.Count()
+	st = finish(st, fc, tr)
 	return st, fmt.Errorf("%w: %d iterations, rel residual %.3e", ErrNoConvergence, st.Iterations, st.RelResidual)
 }

@@ -146,6 +146,7 @@ func (ws *Workspace) distScratch(lz *distmat.Localized) *distmat.DistVec {
 //
 // round differently, so iteration counts may shift by ±1.
 func DistCGFused(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreconditioner, opt Options, fc *vecops.FlopCounter) (Stats, error) {
+	tr := newTracer(opt.Trace, c)
 	nl := op.LZ.NLocal()
 	nGlobal := int(c.AllreduceSumInt64(int64(nl))[0])
 	opt = opt.withDefaults(nGlobal)
@@ -174,14 +175,15 @@ func DistCGFused(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPrecondit
 	gamma, delta, rr := g[0], g[1], g[2]
 	if rr == 0 {
 		vecops.Fill(x, 0)
-		return Stats{Converged: true}, nil
+		return finish(Stats{Converged: true}, fc, tr), nil
 	}
 	norm0 := math.Sqrt(rr)
 	if gamma <= 0 || delta <= 0 || math.IsNaN(gamma) || math.IsNaN(delta) {
-		return Stats{}, fmt.Errorf("krylov: DistCGFused breakdown at setup (rᵀMr = %g, uᵀAu = %g); matrix or preconditioner not SPD?", gamma, delta)
+		return finish(Stats{}, fc, tr), fmt.Errorf("krylov: DistCGFused breakdown at setup (rᵀMr = %g, uᵀAu = %g); matrix or preconditioner not SPD?", gamma, delta)
 	}
 	alpha := gamma / delta
 	beta := 0.0
+	tr.setup()
 
 	st := Stats{}
 	for iter := 1; iter <= opt.MaxIter; iter++ {
@@ -201,17 +203,21 @@ func DistCGFused(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPrecondit
 		}
 		if st.RelResidual <= opt.Tol {
 			st.Converged = true
-			st.Flops = fc.Count()
-			return st, nil
+			tr.record(iter, st.RelResidual, alpha, beta)
+			return finish(st, fc, tr), nil
 		}
+		// Record before α/β advance: the pass's traffic (apply, SpMV,
+		// Allreduce) is complete here, and α/β are still the scalars of the
+		// update that produced this iteration's residual.
+		tr.record(iter, st.RelResidual, alpha, beta)
 		beta = gammaNew / gamma
 		denom := delta - beta*gammaNew/alpha
 		if denom <= 0 || math.IsNaN(denom) {
-			return st, fmt.Errorf("krylov: DistCGFused breakdown at iteration %d (recurrence denominator %g); matrix not SPD?", iter, denom)
+			return finish(st, fc, tr), fmt.Errorf("krylov: DistCGFused breakdown at iteration %d (recurrence denominator %g); matrix not SPD?", iter, denom)
 		}
 		alpha = gammaNew / denom
 		gamma = gammaNew
 	}
-	st.Flops = fc.Count()
+	st = finish(st, fc, tr)
 	return st, fmt.Errorf("%w: %d iterations, rel residual %.3e", ErrNoConvergence, st.Iterations, st.RelResidual)
 }

@@ -37,6 +37,7 @@ import (
 // arithmetic the iterates equal classic PCG's; the deeper rearrangement
 // rounds differently, so iteration counts may shift by ±2.
 func DistCGPipelined(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreconditioner, opt Options, fc *vecops.FlopCounter) (Stats, error) {
+	tr := newTracer(opt.Trace, c)
 	nl := op.LZ.NLocal()
 	nGlobal := int(c.AllreduceSumInt64(int64(nl))[0])
 	opt = opt.withDefaults(nGlobal)
@@ -61,6 +62,7 @@ func DistCGPipelined(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreco
 	vecops.Fill(q, 0)
 	m.Apply(c, r, u, fc)
 	ov.MulVecOverlapAsync(c, u, w, scratch, fc)
+	tr.setup()
 
 	var norm0, gamma, alpha, beta float64
 	st := Stats{}
@@ -75,17 +77,21 @@ func DistCGPipelined(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreco
 		ov.MulVecOverlapAsync(c, mv, nv, scratch, fc)
 		g, err := req.Wait()
 		if err != nil {
-			return st, err
+			return finish(st, fc, tr), err
 		}
 		gammaNew, delta, rr := g[0], g[1], g[2]
+		// upAlpha/upBeta are the scalars of the update that produced this
+		// pass's residual (computed in the previous pass), reported in the
+		// iteration's trace record.
+		upAlpha, upBeta := alpha, beta
 		if it == 0 {
 			if rr == 0 {
 				vecops.Fill(x, 0)
-				return Stats{Converged: true}, nil
+				return finish(Stats{Converged: true}, fc, tr), nil
 			}
 			norm0 = math.Sqrt(rr)
 			if gammaNew <= 0 || delta <= 0 || math.IsNaN(gammaNew) || math.IsNaN(delta) {
-				return Stats{}, fmt.Errorf("krylov: DistCGPipelined breakdown at setup (rᵀMr = %g, uᵀAu = %g); matrix or preconditioner not SPD?", gammaNew, delta)
+				return finish(Stats{}, fc, tr), fmt.Errorf("krylov: DistCGPipelined breakdown at setup (rᵀMr = %g, uᵀAu = %g); matrix or preconditioner not SPD?", gammaNew, delta)
 			}
 			alpha = gammaNew / delta
 			beta = 0
@@ -99,22 +105,48 @@ func DistCGPipelined(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreco
 			}
 			if st.RelResidual <= opt.Tol {
 				st.Converged = true
-				st.Flops = fc.Count()
-				return st, nil
+				tr.record(it, st.RelResidual, upAlpha, upBeta)
+				return finish(st, fc, tr), nil
 			}
 			if it >= opt.MaxIter {
+				tr.record(it, st.RelResidual, upAlpha, upBeta)
 				break
 			}
 			beta = gammaNew / gamma
 			denom := delta - beta*gammaNew/alpha
 			if denom <= 0 || math.IsNaN(denom) {
-				return st, fmt.Errorf("krylov: DistCGPipelined breakdown at iteration %d (recurrence denominator %g); matrix not SPD?", it, denom)
+				return finish(st, fc, tr), fmt.Errorf("krylov: DistCGPipelined breakdown at iteration %d (recurrence denominator %g); matrix not SPD?", it, denom)
 			}
 			alpha = gammaNew / denom
 		}
 		gamma = gammaNew
 		vecops.PipelinedCGUpdate(alpha, beta, nv, mv, w, u, z, q, s, p, x, r, fc)
+		if k := opt.ResidualReplaceEvery; k > 0 && (it+1)%k == 0 {
+			// Periodic residual replacement: recompute the true residual
+			// r = b − A·x and rebuild the recurrence vectors that depend on
+			// it (u = M·r, w = A·u) plus the search-direction pair
+			// (s = A·p, q = M·s, z = A·q), which the recursive update has
+			// been approximating. Four extra halo exchanges and two
+			// preconditioner applications, zero extra collectives; `it` is
+			// globally synchronized, so every rank replaces on the same
+			// iterations and the solve stays deterministic. mv/nv are free
+			// here — the next pass overwrites both.
+			ov.MulVecOverlapAsync(c, x, nv, scratch, fc)
+			copy(r, b)
+			vecops.Axpy(-1, nv, r, fc)
+			m.Apply(c, r, u, fc)
+			ov.MulVecOverlapAsync(c, u, w, scratch, fc)
+			ov.MulVecOverlapAsync(c, p, s, scratch, fc)
+			m.Apply(c, s, q, fc)
+			ov.MulVecOverlapAsync(c, q, z, scratch, fc)
+		}
+		if it > 0 {
+			// Close the pass: the record's comm delta spans this pass's
+			// reduction post, overlap-window SpMV and any replacement
+			// traffic, so per-iteration deltas sum exactly to run totals.
+			tr.record(it, st.RelResidual, upAlpha, upBeta)
+		}
 	}
-	st.Flops = fc.Count()
+	st = finish(st, fc, tr)
 	return st, fmt.Errorf("%w: %d iterations, rel residual %.3e", ErrNoConvergence, st.Iterations, st.RelResidual)
 }

@@ -693,6 +693,28 @@ func (m *Meter) Snapshot() Snapshot {
 	return s
 }
 
+// RankSnapshot returns the counters attributable to one rank: the
+// point-to-point traffic it sent and the collectives it entered. All
+// metering happens synchronously on the originating rank's goroutine (sends
+// and collective posts are charged at post time), so a rank snapshotting
+// itself between program phases sees exactly its own traffic, and the sum of
+// all rank snapshots equals the aggregate Snapshot. Allocation-free, so
+// solvers can call it every iteration.
+func (m *Meter) RankSnapshot(rank int) Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var s Snapshot
+	for _, b := range m.pairBytes[rank] {
+		s.P2PBytes += b
+	}
+	for _, n := range m.pairMsgs[rank] {
+		s.P2PMessages += n
+	}
+	s.CollectiveCalls = m.collOps[rank]
+	s.CollectiveBytes = m.collBytes[rank]
+	return s
+}
+
 // Sub returns the counter-wise difference s − o.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
 	return Snapshot{

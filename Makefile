@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 tier2 bench fuzz trace
+.PHONY: all tier1 tier2 bench fuzz trace serve cover
 
 all: tier1
 
@@ -14,11 +14,12 @@ tier1:
 	$(GO) test ./...
 
 # tier2: race-detector pass over the concurrency-bearing packages (the
-# simulated MPI runtime, the worker pool, the row-parallel FSAI builds, and
-# the distributed solver/operator layers).
+# simulated MPI runtime, the worker pool, the row-parallel FSAI builds, the
+# distributed solver/operator layers, and the HTTP serving layer with its
+# concurrent cached solves).
 tier2:
 	$(GO) build ./...
-	$(GO) test -race ./internal/simmpi/... ./internal/fsai/... ./internal/parallel/... ./internal/krylov/... ./internal/distmat/...
+	$(GO) test -race ./internal/simmpi/... ./internal/fsai/... ./internal/parallel/... ./internal/krylov/... ./internal/distmat/... ./internal/serve/... ./cmd/fsaiserve/...
 
 # bench: the serial-vs-parallel kernel pairs plus the CG-variant
 # (classic/overlap/fused/pipelined) and blocking-vs-overlap SpMV comparisons
@@ -37,6 +38,25 @@ trace:
 	$(GO) run ./cmd/mmsolve -matrix /tmp/fsaicomm-trace.mtx -ranks 4 \
 		-cg pipelined -trace TRACE_pipelined.json
 	@rm -f /tmp/fsaicomm-trace.mtx
+
+# serve: build the solver daemon, smoke-start it, probe /healthz with the
+# binary's own -probe mode (no curl needed), and shut it down again. Proves
+# the daemon boots and answers before anyone deploys it.
+serve:
+	$(GO) build -o bin/fsaiserve ./cmd/fsaiserve
+	@./bin/fsaiserve -addr 127.0.0.1:8097 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	ok=1; for i in 1 2 3 4 5 6 7 8 9 10; do \
+		sleep 0.3; \
+		if ./bin/fsaiserve -probe http://127.0.0.1:8097/healthz; then ok=0; break; fi; \
+	done; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	if [ $$ok -ne 0 ]; then echo "fsaiserve smoke test failed"; exit 1; fi; \
+	echo "fsaiserve smoke test passed"
+
+# cover: per-package statement coverage for the whole module.
+cover:
+	$(GO) test -cover ./...
 
 # fuzz: short exploration of each sparse-format fuzz target (seeds already
 # run under plain `go test`).

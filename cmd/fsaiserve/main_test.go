@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"fsaicomm"
+	"fsaicomm/internal/serve"
+)
+
+// startDaemon boots the full daemon on a random port and returns its base
+// URL, the cancel func that triggers graceful shutdown, and a channel
+// yielding run's final error.
+func startDaemon(t *testing.T, cfg serve.Config) (base string, shutdown context.CancelFunc, done <-chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, "127.0.0.1:0", cfg, 10*time.Second, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, cancel, errc
+	case err := <-errc:
+		cancel()
+		t.Fatalf("server failed to start: %v", err)
+		return "", nil, nil
+	}
+}
+
+func post(t *testing.T, url, contentType string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+type solveReply struct {
+	CacheHit   bool      `json:"cache_hit"`
+	Iterations int       `json:"iterations"`
+	Converged  bool      `json:"converged"`
+	SetupMs    float64   `json:"setup_ms"`
+	X          []float64 `json:"x"`
+}
+
+// The full client walkthrough against the real daemon: upload a
+// MatrixMarket body, solve, re-solve from the cache (zero setup,
+// bit-identical solution), hit the admission limit, then shut down
+// gracefully and watch the drain.
+func TestDaemonEndToEnd(t *testing.T) {
+	base, shutdown, done := startDaemon(t, serve.Config{
+		MaxInFlight: 1,
+		MaxQueue:    -1, // no queue: the overload step below wants a deterministic 429
+		JobTimeout:  time.Minute,
+	})
+	defer shutdown()
+
+	// Upload: a real MatrixMarket body, as a client would POST it.
+	a := fsaicomm.GeneratePoisson2D(40, 40)
+	var mm bytes.Buffer
+	if err := fsaicomm.WriteMatrixMarket(&mm, a); err != nil {
+		t.Fatal(err)
+	}
+	code, body := post(t, base+"/matrix", "text/plain", mm.Bytes())
+	if code != http.StatusOK {
+		t.Fatalf("upload: %d %s", code, body)
+	}
+	var up struct {
+		Matrix string `json:"matrix"`
+		Rows   int    `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &up); err != nil {
+		t.Fatal(err)
+	}
+	if up.Rows != a.Rows || up.Matrix == "" {
+		t.Fatalf("upload response: %s", body)
+	}
+
+	// First solve: pays the setup.
+	req, _ := json.Marshal(map[string]any{
+		"matrix": up.Matrix, "ranks": 2, "cg": "fused", "filter": 0.01,
+	})
+	code, body = post(t, base+"/solve", "application/json", req)
+	if code != http.StatusOK {
+		t.Fatalf("solve: %d %s", code, body)
+	}
+	var first solveReply
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if !first.Converged || first.CacheHit || first.SetupMs <= 0 {
+		t.Fatalf("first solve: %+v", first)
+	}
+
+	// Re-solve: cache hit, no setup, bit-identical x through JSON.
+	code, body = post(t, base+"/solve", "application/json", req)
+	if code != http.StatusOK {
+		t.Fatalf("re-solve: %d %s", code, body)
+	}
+	var second solveReply
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit || second.SetupMs != 0 {
+		t.Fatalf("re-solve skipped the cache: %+v", second)
+	}
+	for i := range first.X {
+		if first.X[i] != second.X[i] {
+			t.Fatalf("x[%d] differs between cached solves", i)
+		}
+	}
+
+	// Overload: occupy the single slot with an unreachable-tolerance job,
+	// then watch the next request bounce with 429.
+	longReq, _ := json.Marshal(map[string]any{
+		"matrix": up.Matrix, "ranks": 2, "tol": 1e-300, "max_iter": 2_000_000,
+	})
+	ctx, cancelLong := context.WithCancel(context.Background())
+	hr, err := http.NewRequestWithContext(ctx, "POST", base+"/solve", bytes.NewReader(longReq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	longDone := make(chan struct{})
+	go func() {
+		defer close(longDone)
+		if resp, err := http.DefaultClient.Do(hr); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m struct {
+			Jobs struct {
+				InFlight int64 `json:"in_flight"`
+			} `json:"jobs"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&m)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Jobs.InFlight >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("long job never started")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	code, body = post(t, base+"/solve", "application/json", req)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overloaded solve: %d %s", code, body)
+	}
+	cancelLong()
+	<-longDone
+
+	// Graceful shutdown: the daemon drains and run() returns nil.
+	shutdown()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	// The listener is really gone.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("healthz still reachable after shutdown")
+	}
+}
+
+// Catalog generation shortcut: POST /matrix?gen=<name> with an empty body
+// ingests a named matrix from the paper's Table 1/2 catalog.
+func TestDaemonCatalogGen(t *testing.T) {
+	base, shutdown, done := startDaemon(t, serve.Config{})
+	defer shutdown()
+	code, body := post(t, base+"/matrix?gen=qa8fm-sim", "text/plain", nil)
+	if code != http.StatusOK {
+		t.Fatalf("gen: %d %s", code, body)
+	}
+	var up struct {
+		Matrix string `json:"matrix"`
+		NNZ    int    `json:"nnz"`
+	}
+	if err := json.Unmarshal(body, &up); err != nil {
+		t.Fatal(err)
+	}
+	if up.NNZ == 0 {
+		t.Fatalf("gen response: %s", body)
+	}
+	req, _ := json.Marshal(map[string]any{"matrix": up.Matrix, "rhs_seed": 3})
+	code, body = post(t, base+"/solve", "application/json", req)
+	if code != http.StatusOK {
+		t.Fatalf("solve: %d %s", code, body)
+	}
+	var rep solveReply
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatalf("solve: %s", body)
+	}
+	shutdown()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The -probe mode used by `make serve` and container health checks.
+func TestProbe(t *testing.T) {
+	base, shutdown, done := startDaemon(t, serve.Config{})
+	defer shutdown()
+	if code := runProbe(base + "/healthz"); code != 0 {
+		t.Fatalf("probe of a healthy server exited %d", code)
+	}
+	if code := runProbe("http://127.0.0.1:1/healthz"); code == 0 {
+		t.Fatal("probe of a dead address exited 0")
+	}
+	shutdown()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if code := runProbe(base + "/healthz"); code == 0 {
+		t.Fatal("probe of a stopped server exited 0")
+	}
+}

@@ -89,16 +89,11 @@ func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line,
 		Trace:                tracePath != "",
 		ResidualReplaceEvery: rr,
 	}
-	switch strings.ToLower(method) {
-	case "fsai":
-		opt.Method = fsaicomm.FSAI
-	case "fsaie":
-		opt.Method = fsaicomm.FSAIE
-	case "fsaie-comm", "fsaiecomm":
-		opt.Method = fsaicomm.FSAIEComm
-	default:
-		return fmt.Errorf("unknown method %q", method)
+	m, err := fsaicomm.ParseMethod(method)
+	if err != nil {
+		return err
 	}
+	opt.Method = m
 	if dynamic {
 		opt.Strategy = fsaicomm.DynamicFilter
 	}

@@ -21,9 +21,12 @@
 package fsaicomm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"strings"
 	"time"
 
 	"fsaicomm/internal/archmodel"
@@ -100,6 +103,25 @@ const (
 // ParseCGVariant parses "classic", "classic-overlap", "fused" or
 // "pipelined" (the -cg flag spellings of the command-line tools).
 func ParseCGVariant(s string) (CGVariant, error) { return krylov.ParseCGVariant(s) }
+
+// ParseMethod parses the -method flag spellings: "fsai", "fsaie" or
+// "fsaie-comm" (also accepted: "fsaiecomm"), case-insensitively. The empty
+// string means "caller did not say" and resolves to FSAIEComm, the default
+// the command-line tools and the serving layer's request decoder share.
+func ParseMethod(s string) (Method, error) {
+	switch strings.ToLower(s) {
+	case "":
+		return FSAIEComm, nil
+	case "fsai":
+		return FSAI, nil
+	case "fsaie":
+		return FSAIE, nil
+	case "fsaie-comm", "fsaiecomm":
+		return FSAIEComm, nil
+	default:
+		return FSAI, fmt.Errorf("fsaicomm: unknown method %q (want fsai, fsaie or fsaie-comm)", s)
+	}
+}
 
 // IterTrace is one rank's per-iteration solver telemetry (relative
 // residual, α/β, communication deltas), recorded when Options.Trace is set.
@@ -183,6 +205,74 @@ type Options struct {
 	ResidualReplaceEvery int
 }
 
+// ErrInvalidOptions is wrapped by the errors Validate returns for
+// nonsensical option values, so callers (and the HTTP layer, which maps it
+// to a 400 response) can classify them with errors.Is.
+var ErrInvalidOptions = errors.New("fsaicomm: invalid options")
+
+// Validate rejects nonsensical option combinations with a descriptive
+// error instead of silently clamping them. It is the single validator
+// shared by every facade entry point (Solve, SolveDistributed, Prepare,
+// BuildPreconditioner) and by the fsaiserve request decoder. Zero values
+// always pass: they mean "use the default". Negative tolerances, iteration
+// caps, rank counts, filters and pattern levels, unknown methods,
+// strategies, partitioners and architecture profiles all fail.
+func (o Options) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrInvalidOptions, fmt.Sprintf(format, args...))
+	}
+	if o.Tol < 0 || math.IsNaN(o.Tol) {
+		return fail("Tol %g is negative or NaN (0 selects the default 1e-8)", o.Tol)
+	}
+	if o.MaxIter < 0 {
+		return fail("MaxIter %d is negative (0 selects the default 10·n)", o.MaxIter)
+	}
+	if o.Ranks < 0 {
+		return fail("Ranks %d is negative (0 selects an automatic rank count)", o.Ranks)
+	}
+	if o.Filter < 0 || math.IsNaN(o.Filter) {
+		return fail("Filter %g is negative or NaN (0 keeps every extension entry)", o.Filter)
+	}
+	if o.LineBytes < 0 {
+		return fail("LineBytes %d is negative (0 selects 64)", o.LineBytes)
+	}
+	if o.PatternLevel < 0 {
+		return fail("PatternLevel %d is negative (0 or 1 is the lower triangle of A)", o.PatternLevel)
+	}
+	if o.Threshold < 0 || math.IsNaN(o.Threshold) {
+		return fail("Threshold %g is negative or NaN (0 keeps all entries)", o.Threshold)
+	}
+	if o.ResidualReplaceEvery < 0 {
+		return fail("ResidualReplaceEvery %d is negative (0 disables replacement)", o.ResidualReplaceEvery)
+	}
+	switch o.Method {
+	case FSAI, FSAIE, FSAIEComm:
+	default:
+		return fail("unknown method %d", int(o.Method))
+	}
+	switch o.Strategy {
+	case StaticFilter, DynamicFilter:
+	default:
+		return fail("unknown filter strategy %d", int(o.Strategy))
+	}
+	switch o.Partitioner {
+	case "", "multilevel", "block", "strip":
+	default:
+		return fail("unknown partitioner %q (want multilevel, block or strip)", o.Partitioner)
+	}
+	switch o.CGVariant {
+	case CGClassic, CGClassicOverlap, CGFused, CGPipelined:
+	default:
+		return fail("unknown CG variant %d", int(o.CGVariant))
+	}
+	if o.Arch != "" {
+		if _, err := archmodel.ByName(o.Arch); err != nil {
+			return fail("%v", err)
+		}
+	}
+	return nil
+}
+
 func (o Options) withDefaults(n int) Options {
 	if o.LineBytes == 0 {
 		o.LineBytes = 64
@@ -217,6 +307,11 @@ type Result struct {
 	// (0 for serial solves); CommBytesPerIteration the per-iteration volume.
 	CommBytes             int64
 	CommBytesPerIteration float64
+	// CollectiveCalls and CollectiveBytes are the aggregate collective
+	// totals over all ranks of the solve phase, from the simulated runtime's
+	// meter (0 for serial solves). The serving layer accumulates these into
+	// its /metrics report.
+	CollectiveCalls, CollectiveBytes int64
 	// ImbalanceIndex is avg/max per-rank preconditioner entries (1 =
 	// balanced; only meaningful for distributed solves).
 	ImbalanceIndex float64
@@ -245,6 +340,12 @@ type Result struct {
 // positive definite.
 var ErrNotSPD = errors.New("fsaicomm: matrix is not symmetric positive definite")
 
+// ErrCanceled is wrapped by the errors the context-aware entry points
+// return when the supplied context is canceled (or its deadline passes)
+// mid-solve. The partial Result accumulated so far is returned alongside
+// the error.
+var ErrCanceled = krylov.ErrCanceled
+
 func checkInput(a *Matrix, b []float64) error {
 	if a.Rows != a.Cols {
 		return fmt.Errorf("fsaicomm: matrix is %dx%d, want square", a.Rows, a.Cols)
@@ -263,6 +364,16 @@ func checkInput(a *Matrix, b []float64) error {
 
 // Solve runs a preconditioned CG solve A·x = b on a single process.
 func Solve(a *Matrix, b []float64, opt Options) (*Result, error) {
+	return SolveContext(context.Background(), a, b, opt)
+}
+
+// SolveContext is Solve with cancellation: the CG loop checks ctx once per
+// iteration and, when it fires, returns the partial Result so far together
+// with an ErrCanceled-wrapped error.
+func SolveContext(ctx context.Context, a *Matrix, b []float64, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	if err := checkInput(a, b); err != nil {
 		return nil, err
 	}
@@ -276,11 +387,11 @@ func Solve(a *Matrix, b []float64, opt Options) (*Result, error) {
 	x := make([]float64, a.Rows)
 	t1 := time.Now()
 	st, err := krylov.CG(a, b, x, krylov.NewSplit(g, g.Transpose()),
-		krylov.Options{Tol: opt.Tol, MaxIter: opt.MaxIter, Trace: opt.Trace}, nil)
-	if err != nil && !errors.Is(err, krylov.ErrNoConvergence) {
+		krylov.Options{Tol: opt.Tol, MaxIter: opt.MaxIter, Trace: opt.Trace, Ctx: ctx}, nil)
+	if err != nil && !errors.Is(err, krylov.ErrNoConvergence) && !errors.Is(err, krylov.ErrCanceled) {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		X:              x,
 		Iterations:     st.Iterations,
 		Converged:      st.Converged,
@@ -291,27 +402,66 @@ func Solve(a *Matrix, b []float64, opt Options) (*Result, error) {
 		SetupTime:      setup,
 		SolveTime:      time.Since(t1),
 		Trace:          st.Trace,
-	}, nil
+	}
+	if errors.Is(err, krylov.ErrCanceled) {
+		return res, err
+	}
+	return res, nil
+}
+
+// AutoRanks resolves a requested simulated-process count the way the
+// facade does: nonzero requests pass through; zero selects from the matrix
+// size (≈16k entries per rank, clamped to 2..12). The serving layer uses
+// it to canonicalize cache keys before a preconditioner is built.
+func AutoRanks(a *Matrix, requested int) int {
+	if requested != 0 {
+		return requested
+	}
+	ranks := a.NNZ() / 16384
+	if ranks < 2 {
+		ranks = 2
+	}
+	if ranks > 12 {
+		ranks = 12
+	}
+	return ranks
+}
+
+// partitionRows computes the row distribution selected by opt.Partitioner.
+func partitionRows(a *Matrix, opt Options, ranks int) ([]int, error) {
+	switch opt.Partitioner {
+	case "", "multilevel":
+		g := partition.GraphFromMatrix(a)
+		return partition.Multilevel(g, ranks, partition.Options{Seed: opt.PartitionSeed})
+	case "block":
+		return partition.Block(a.Rows, ranks), nil
+	case "strip":
+		return partition.Strip(a.Rows, ranks), nil
+	default:
+		return nil, fmt.Errorf("fsaicomm: unknown partitioner %q (want multilevel, block or strip)", opt.Partitioner)
+	}
 }
 
 // SolveDistributed partitions A over a simulated message-passing cluster,
 // builds the selected preconditioner variant, and solves A·x = b with
 // distributed CG. The returned X is in the caller's original row order.
 func SolveDistributed(a *Matrix, b []float64, opt Options) (*Result, error) {
+	return SolveDistributedContext(context.Background(), a, b, opt)
+}
+
+// SolveDistributedContext is SolveDistributed with cancellation: every rank
+// of the distributed CG loop checks ctx once per iteration through a
+// collective verdict, so all ranks stop at the same iteration boundary and
+// the partial Result so far is returned with an ErrCanceled-wrapped error.
+func SolveDistributedContext(ctx context.Context, a *Matrix, b []float64, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	if err := checkInput(a, b); err != nil {
 		return nil, err
 	}
 	opt = opt.withDefaults(a.Rows)
-	ranks := opt.Ranks
-	if ranks == 0 {
-		ranks = a.NNZ() / 16384
-		if ranks < 2 {
-			ranks = 2
-		}
-		if ranks > 12 {
-			ranks = 12
-		}
-	}
+	ranks := AutoRanks(a, opt.Ranks)
 	if ranks < 1 {
 		return nil, fmt.Errorf("fsaicomm: ranks %d < 1", ranks)
 	}
@@ -323,21 +473,9 @@ func SolveDistributed(a *Matrix, b []float64, opt Options) (*Result, error) {
 		}
 	}
 
-	var part []int
-	switch opt.Partitioner {
-	case "", "multilevel":
-		g := partition.GraphFromMatrix(a)
-		var err error
-		part, err = partition.Multilevel(g, ranks, partition.Options{Seed: opt.PartitionSeed})
-		if err != nil {
-			return nil, err
-		}
-	case "block":
-		part = partition.Block(a.Rows, ranks)
-	case "strip":
-		part = partition.Strip(a.Rows, ranks)
-	default:
-		return nil, fmt.Errorf("fsaicomm: unknown partitioner %q (want multilevel, block or strip)", opt.Partitioner)
+	part, err := partitionRows(a, opt, ranks)
+	if err != nil {
+		return nil, err
 	}
 	pa, layout, oldToNew := distmat.ApplyPartition(a, part, ranks)
 	pb := distmat.PermuteVec(b, oldToNew)
@@ -361,6 +499,7 @@ func SolveDistributed(a *Matrix, b []float64, opt Options) (*Result, error) {
 	costs := make([]experiments.IterCostInputs, ranks)
 	t0 := time.Now()
 	var solveStart time.Time
+	var cancelErr error
 	world, err := simmpi.Run(ranks, time.Hour, func(c *simmpi.Comm) error {
 		lo, hi := layout.Range(c.Rank())
 		aRows := distmat.ExtractLocalRows(pa, lo, hi)
@@ -385,8 +524,9 @@ func SolveDistributed(a *Matrix, b []float64, opt Options) (*Result, error) {
 			krylov.Options{Tol: opt.Tol, MaxIter: opt.MaxIter,
 				Variant: opt.CGVariant, Work: &krylov.Workspace{},
 				Trace:                opt.Trace,
-				ResidualReplaceEvery: opt.ResidualReplaceEvery}, nil)
-		if err != nil && !errors.Is(err, krylov.ErrNoConvergence) {
+				ResidualReplaceEvery: opt.ResidualReplaceEvery,
+				Ctx:                  ctx}, nil)
+		if err != nil && !errors.Is(err, krylov.ErrNoConvergence) && !errors.Is(err, krylov.ErrCanceled) {
 			return err
 		}
 		copy(px[lo:hi], xl)
@@ -398,6 +538,9 @@ func SolveDistributed(a *Matrix, b []float64, opt Options) (*Result, error) {
 			res.PctNNZIncrease = bd.PctNNZIncrease
 			res.ImbalanceIndex = bd.ImbalanceIndex
 			res.Trace = st.Trace
+			if errors.Is(err, krylov.ErrCanceled) {
+				cancelErr = err
+			}
 		}
 		return nil
 	})
@@ -405,15 +548,20 @@ func SolveDistributed(a *Matrix, b []float64, opt Options) (*Result, error) {
 		return nil, err
 	}
 	res.CommBytes = world.Meter().TotalP2PBytes()
+	res.CollectiveCalls = world.Meter().TotalCollectiveCalls()
+	res.CollectiveBytes = world.Meter().TotalCollectiveBytes()
 	if res.Iterations > 0 {
 		res.CommBytesPerIteration = float64(res.CommBytes) / float64(res.Iterations)
 	}
 	res.ModeledSolveTime = experiments.ModeledSolveTime(prof, opt.CGVariant, res.Iterations, costs)
 	res.Phases = experiments.ModeledPhases(prof, opt.CGVariant, res.Iterations, costs)
-	// Un-permute the solution.
+	// Un-permute the (possibly partial, under cancellation) solution.
 	res.X = make([]float64, a.Rows)
 	for i := range res.X {
 		res.X[i] = px[oldToNew[i]]
+	}
+	if cancelErr != nil {
+		return res, cancelErr
 	}
 	return res, nil
 }

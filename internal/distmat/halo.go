@@ -195,6 +195,22 @@ func BuildHaloPlan(c *simmpi.Comm, l *Layout, lz *Localized) *HaloPlan {
 	return plan
 }
 
+// Clone returns a plan that shares this plan's immutable schedule (peer
+// sets and index lists, which no exchange mutates) but owns fresh send
+// buffers and async state. The per-rank schedule of a matrix is computed
+// collectively once (BuildHaloPlan) and is then pure data; cloning lets a
+// preconditioner cache hand each concurrent solve its own plan instance
+// without redoing the setup-phase index exchange — the buffers are the only
+// mutable state, and each clone grows its own lazily.
+func (p *HaloPlan) Clone() *HaloPlan {
+	return &HaloPlan{
+		SendPeers:   p.SendPeers,
+		RecvPeers:   p.RecvPeers,
+		sendPeerIDs: p.sendPeerIDs,
+		recvPeerIDs: p.recvPeerIDs,
+	}
+}
+
 // Exchange performs one halo update: xExt must have length
 // NLocal+len(Halo); its first NLocal entries are the local values (already
 // filled by the caller), and Exchange fills the halo slots from peers.

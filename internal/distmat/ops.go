@@ -57,6 +57,21 @@ func NewOp(c *simmpi.Comm, l *Layout, lo, hi int, rows *sparse.CSR, opts ...OpOp
 	return op
 }
 
+// NewOpFromParts assembles an operator from a previously built localized
+// matrix and halo plan without any communication — the cached-setup path: a
+// preconditioner cache stores the Localized views and plan schedules from
+// one collective setup and then derives per-solve operators with
+// NewOpFromParts(lz, plan.Clone()). The Localized view is read-only during
+// SpMVs and may be shared between concurrent solves; the plan must be a
+// private clone per solve (its send buffers are mutable).
+func NewOpFromParts(lz *Localized, plan *HaloPlan, opts ...OpOption) *Op {
+	op := &Op{LZ: lz, Plan: plan}
+	for _, o := range opts {
+		o(op)
+	}
+	return op
+}
+
 // Overlap returns the overlap view if it has been built, nil otherwise.
 func (op *Op) Overlap() *OverlapOp { return op.overlap }
 

@@ -7,6 +7,7 @@
 package krylov
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -20,6 +21,35 @@ import (
 // ErrNoConvergence is wrapped by solver errors when the iteration limit is
 // reached before the residual tolerance.
 var ErrNoConvergence = errors.New("krylov: no convergence within iteration limit")
+
+// ErrCanceled is wrapped by solver errors when Options.Ctx is canceled (or
+// its deadline passes) before the solve finishes. The partial Stats
+// accumulated so far — iterations, residual, flops, trace — are still
+// returned alongside the error.
+var ErrCanceled = errors.New("krylov: solve canceled")
+
+// canceled is the once-per-iteration cancellation check. Serial solves
+// (c == nil) just poll the context. Distributed solves must exit their
+// collectives in lockstep, so the decision is itself collective: each rank
+// contributes its local context state to an AllreduceMax and every rank
+// sees the same verdict — one rank observing cancellation stops all of
+// them at the same iteration boundary. Passing a nil Ctx keeps the solve
+// loops collective-free and byte-for-byte identical to their metered
+// baselines; when a context is supplied, every rank of the solve must
+// supply one.
+func canceled(c *simmpi.Comm, ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	if c == nil {
+		return ctx.Err() != nil
+	}
+	var flag int64
+	if ctx.Err() != nil {
+		flag = 1
+	}
+	return c.AllreduceMaxInt64(flag)[0] != 0
+}
 
 // Options controls a CG solve.
 type Options struct {
@@ -43,6 +73,13 @@ type Options struct {
 	// rank's communication deltas) into Stats.Trace. Off by default; when
 	// off the solve paths do no telemetry work and allocate nothing extra.
 	Trace bool
+	// Ctx, when non-nil, cancels the solve: every loop checks it once per
+	// iteration and returns an ErrCanceled-wrapped error with the partial
+	// Stats accumulated so far. In distributed solves the check is a
+	// collective (an extra AllreduceMax per iteration), so all ranks of a
+	// solve must either pass a context or none — and the communication
+	// metering of a context-free solve is unchanged.
+	Ctx context.Context
 	// ResidualReplaceEvery > 0 makes the pipelined loop recompute r = b − A·x
 	// (and the dependent recurrence vectors) every that-many iterations,
 	// arresting the rounding drift of the deeply rearranged recurrence on
@@ -165,6 +202,9 @@ func CG(a *sparse.CSR, b, x []float64, m Preconditioner, opt Options, fc *vecops
 	st := Stats{}
 	beta := 0.0 // the β that built this iteration's direction d
 	for iter := 1; iter <= opt.MaxIter; iter++ {
+		if canceled(nil, opt.Ctx) {
+			return finish(st, fc, tr), fmt.Errorf("%w at iteration %d: %v", ErrCanceled, iter, opt.Ctx.Err())
+		}
 		a.MulVec(d, q)
 		fc.Add(2 * int64(a.NNZ()))
 		dq := vecops.Dot(d, q, fc)
@@ -297,6 +337,9 @@ func DistCG(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreconditioner
 	st := Stats{}
 	beta := 0.0 // the β that built this iteration's direction d
 	for iter := 1; iter <= opt.MaxIter; iter++ {
+		if canceled(c, opt.Ctx) {
+			return finish(st, fc, tr), fmt.Errorf("%w at iteration %d", ErrCanceled, iter)
+		}
 		if ov != nil {
 			ov.MulVecOverlap(c, d, q, scratch, fc)
 		} else {

@@ -187,6 +187,9 @@ func DistCGFused(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPrecondit
 
 	st := Stats{}
 	for iter := 1; iter <= opt.MaxIter; iter++ {
+		if canceled(c, opt.Ctx) {
+			return finish(st, fc, tr), fmt.Errorf("%w at iteration %d", ErrCanceled, iter)
+		}
 		// p ← u + βp, s ← w + βs, x ← x + αp, r ← r − αs, and the local
 		// ‖r‖² contribution, all in one sweep.
 		rrL := vecops.FusedCGUpdate(alpha, beta, u, w, p, s, x, r, fc)

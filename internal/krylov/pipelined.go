@@ -67,6 +67,9 @@ func DistCGPipelined(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreco
 	var norm0, gamma, alpha, beta float64
 	st := Stats{}
 	for it := 0; ; it++ {
+		if canceled(c, opt.Ctx) {
+			return finish(st, fc, tr), fmt.Errorf("%w at iteration %d", ErrCanceled, it)
+		}
 		ruL, wuL, rrL := vecops.Dot3(r, u, w, fc)
 		// The single collective of the iteration, posted nonblocking.
 		req := c.IallreduceSum(ruL, wuL, rrL)

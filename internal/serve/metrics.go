@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMs are the fixed upper bounds (milliseconds) of the solve
+// latency histogram, Prometheus-style: a request of d ms increments every
+// bucket with bound ≥ d plus the implicit +Inf bucket.
+var latencyBucketsMs = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// histogram is a fixed-bucket cumulative latency histogram with atomic
+// counters (no locking on the observe path).
+type histogram struct {
+	counts []atomic.Int64 // len(latencyBucketsMs)+1; last is +Inf
+	count  atomic.Int64
+	sumUs  atomic.Int64 // sum in microseconds, reported as fractional ms
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(latencyBucketsMs)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMs) && ms > latencyBucketsMs[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumUs.Add(int64(d / time.Microsecond))
+}
+
+func (h *histogram) snapshot() histogramSnapshot {
+	s := histogramSnapshot{
+		Count:   h.count.Load(),
+		SumMs:   float64(h.sumUs.Load()) / 1000,
+		Buckets: make(map[string]int64, len(h.counts)),
+	}
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		label := "+Inf"
+		if i < len(latencyBucketsMs) {
+			label = fmt.Sprintf("%g", latencyBucketsMs[i])
+		}
+		s.Buckets[label] = cum
+	}
+	return s
+}
+
+type histogramSnapshot struct {
+	Count   int64            `json:"count"`
+	SumMs   float64          `json:"sum_ms"`
+	Buckets map[string]int64 `json:"le_ms"`
+}
+
+// metrics is the server's counter set. Everything is atomic so handlers
+// never serialize on telemetry; /metrics reads a consistent-enough snapshot.
+type metrics struct {
+	start time.Time
+
+	jobsAccepted  atomic.Int64
+	jobsRejected  atomic.Int64 // admission-control 429s
+	jobsCompleted atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCanceled  atomic.Int64 // deadline or client disconnect
+	inFlight      atomic.Int64
+	queued        atomic.Int64
+
+	preparedHits, preparedMisses, preparedEvictions atomic.Int64
+	matrixHits, matrixMisses, matrixEvictions       atomic.Int64
+
+	iterations      atomic.Int64
+	commBytes       atomic.Int64
+	collectiveCalls atomic.Int64
+	collectiveBytes atomic.Int64
+
+	latency *histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), latency: newHistogram()}
+}
+
+type cacheSnapshot struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	BudgetBytes int64 `json:"budget_bytes"`
+}
+
+type metricsSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Jobs          struct {
+		Accepted  int64 `json:"accepted"`
+		Rejected  int64 `json:"rejected"`
+		Completed int64 `json:"completed"`
+		Failed    int64 `json:"failed"`
+		Canceled  int64 `json:"canceled"`
+		InFlight  int64 `json:"in_flight"`
+		Queued    int64 `json:"queued"`
+	} `json:"jobs"`
+	Cache struct {
+		Prepared cacheSnapshot `json:"prepared"`
+		Matrices cacheSnapshot `json:"matrices"`
+	} `json:"cache"`
+	Solve struct {
+		Iterations      int64 `json:"iterations_total"`
+		CommBytes       int64 `json:"comm_bytes_total"`
+		CollectiveCalls int64 `json:"collective_calls_total"`
+		CollectiveBytes int64 `json:"collective_bytes_total"`
+	} `json:"solve"`
+	LatencyMs histogramSnapshot `json:"solve_latency_ms"`
+}
+
+// snapshot renders the counters plus the two caches' occupancy as JSON.
+func (m *metrics) snapshot(prepared, matrices *lru) ([]byte, error) {
+	var s metricsSnapshot
+	s.UptimeSeconds = time.Since(m.start).Seconds()
+	s.Jobs.Accepted = m.jobsAccepted.Load()
+	s.Jobs.Rejected = m.jobsRejected.Load()
+	s.Jobs.Completed = m.jobsCompleted.Load()
+	s.Jobs.Failed = m.jobsFailed.Load()
+	s.Jobs.Canceled = m.jobsCanceled.Load()
+	s.Jobs.InFlight = m.inFlight.Load()
+	s.Jobs.Queued = m.queued.Load()
+	s.Cache.Prepared = cacheSnapshot{
+		Hits: m.preparedHits.Load(), Misses: m.preparedMisses.Load(),
+		Evictions: m.preparedEvictions.Load(),
+		Entries:   prepared.Len(), Bytes: prepared.UsedBytes(), BudgetBytes: prepared.Budget(),
+	}
+	s.Cache.Matrices = cacheSnapshot{
+		Hits: m.matrixHits.Load(), Misses: m.matrixMisses.Load(),
+		Evictions: m.matrixEvictions.Load(),
+		Entries:   matrices.Len(), Bytes: matrices.UsedBytes(), BudgetBytes: matrices.Budget(),
+	}
+	s.Solve.Iterations = m.iterations.Load()
+	s.Solve.CommBytes = m.commBytes.Load()
+	s.Solve.CollectiveCalls = m.collectiveCalls.Load()
+	s.Solve.CollectiveBytes = m.collectiveBytes.Load()
+	s.LatencyMs = m.latency.snapshot()
+	return json.MarshalIndent(&s, "", "  ")
+}

@@ -1,0 +1,518 @@
+// Package serve implements the solver-as-a-service layer: an HTTP handler
+// that accepts matrix uploads, fingerprints them, and runs distributed FSAI
+// + CG solve jobs against a content-addressed cache of prepared systems
+// (partition + halo plans + factors). Repeated solves of the same matrix
+// under the same setup options skip the whole setup phase and pay only the
+// Krylov loop. The package is stdlib-only and wraps the public fsaicomm
+// facade; cmd/fsaiserve turns it into a daemon.
+//
+// Production concerns handled here rather than in the solver:
+//
+//   - Admission control: at most MaxInFlight concurrent solves, at most
+//     MaxQueue waiting; beyond that requests get 429 immediately, so an
+//     overloaded server degrades by refusing, not by thrashing.
+//   - Deadlines and cancellation: every job runs under a context combining
+//     the client connection and JobTimeout; cancellation propagates into
+//     the distributed CG loop, which stops collectively at an iteration
+//     boundary.
+//   - Caching: two byte-budget LRUs (uploaded matrices by content
+//     fingerprint, prepared systems by fingerprint + canonical setup
+//     options) with singleflight build deduplication.
+//   - Observability: /healthz for liveness and /metrics for counters,
+//     cache occupancy, aggregate communication totals from the simulated
+//     runtime, and a solve-latency histogram.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"fsaicomm"
+	"fsaicomm/internal/testsets"
+)
+
+// Config sizes the server. The zero value serves with sensible defaults.
+type Config struct {
+	// MaxInFlight caps concurrently running solve jobs. Default 4.
+	MaxInFlight int
+	// MaxQueue caps jobs waiting for a slot; beyond it requests are
+	// rejected with 429. Default 2·MaxInFlight; negative means no queue
+	// (reject as soon as every slot is busy).
+	MaxQueue int
+	// CacheBytes budgets the prepared-system cache. Default 256 MiB.
+	CacheBytes int64
+	// MatrixCacheBytes budgets the uploaded-matrix cache. Default 256 MiB.
+	MatrixCacheBytes int64
+	// JobTimeout bounds one solve job (setup + Krylov loop). Default 120s.
+	JobTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (matrix uploads dominate).
+	// Default 64 MiB.
+	MaxBodyBytes int64
+	// Logf, when set, receives one line per notable event (job done,
+	// rejection, shutdown). Silent by default.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	} else if c.MaxQueue == 0 {
+		c.MaxQueue = 2 * c.MaxInFlight
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.MatrixCacheBytes == 0 {
+		c.MatrixCacheBytes = 256 << 20
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 120 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server is the HTTP solver service. Create with New, mount anywhere (it
+// implements http.Handler), stop with Shutdown.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	met      *metrics
+	matrices *lru // fingerprint -> *fsaicomm.Matrix
+	prepared *lru // fingerprint + setup options -> *fsaicomm.Prepared
+	sem      chan struct{}
+
+	mu       sync.Mutex
+	draining bool
+	jobs     sync.WaitGroup
+}
+
+// New builds a server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	met := newMetrics()
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		met:      met,
+		matrices: newLRU(cfg.MatrixCacheBytes, &met.matrixHits, &met.matrixMisses, &met.matrixEvictions),
+		prepared: newLRU(cfg.CacheBytes, &met.preparedHits, &met.preparedMisses, &met.preparedEvictions),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.mux.HandleFunc("POST /matrix", s.handleMatrix)
+	s.mux.HandleFunc("POST /solve", s.handleSolve)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Shutdown drains the server: new solve jobs are refused with 503 and the
+// call blocks until every accepted job has finished or ctx expires. It does
+// not close listeners — pair it with http.Server.Shutdown, which stops
+// accepting connections while this stops accepting work.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.jobs.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.logf("serve: drained")
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
+	}
+}
+
+// beginJob admits one solve job, returning false when the server is
+// draining. The caller must call the returned release exactly once.
+func (s *Server) beginJob() (release func(), ok bool) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.jobs.Add(1)
+	s.mu.Unlock()
+	return func() { s.jobs.Done() }, true
+}
+
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func fail(code int, format string, args ...any) *httpError {
+	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	var he *httpError
+	if !errors.As(err, &he) {
+		he = fail(http.StatusInternalServerError, "%v", err)
+	}
+	writeJSON(w, he.code, map[string]string{"error": he.msg})
+}
+
+// matrixResponse answers POST /matrix.
+type matrixResponse struct {
+	Matrix string `json:"matrix"` // content fingerprint; the /solve handle
+	Rows   int    `json:"rows"`
+	NNZ    int    `json:"nnz"`
+	Cached bool   `json:"cached"` // body was already known under this fingerprint
+}
+
+// handleMatrix ingests a matrix — a MatrixMarket body, or a named catalog
+// matrix via ?gen=<name> with an empty body — fingerprints it and stores it
+// in the matrix cache. Re-uploading identical content is idempotent: same
+// fingerprint, refreshed LRU position.
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	var a *fsaicomm.Matrix
+	if gen := r.URL.Query().Get("gen"); gen != "" {
+		spec, err := testsets.ByName(gen)
+		if err != nil {
+			writeErr(w, fail(http.StatusBadRequest, "unknown catalog matrix %q", gen))
+			return
+		}
+		a = spec.Generate()
+	} else {
+		var err error
+		a, err = fsaicomm.ReadMatrixMarket(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			writeErr(w, fail(http.StatusBadRequest, "parsing MatrixMarket body: %v", err))
+			return
+		}
+	}
+	if a.Rows != a.Cols {
+		writeErr(w, fail(http.StatusBadRequest, "matrix is %dx%d, want square", a.Rows, a.Cols))
+		return
+	}
+	if err := a.Validate(); err != nil {
+		writeErr(w, fail(http.StatusBadRequest, "invalid matrix: %v", err))
+		return
+	}
+	fp := a.Fingerprint()
+	_, known := s.matrices.Get(fp)
+	if !known {
+		s.matrices.Add(fp, a, matrixBytes(a))
+	}
+	s.logf("serve: matrix %s ingested (%dx%d, %d nnz, cached=%v)", fp, a.Rows, a.Cols, a.NNZ(), known)
+	writeJSON(w, http.StatusOK, matrixResponse{Matrix: fp, Rows: a.Rows, NNZ: a.NNZ(), Cached: known})
+}
+
+func matrixBytes(a *fsaicomm.Matrix) int64 {
+	return 8 * int64(len(a.RowPtr)+len(a.ColIdx)+len(a.Val))
+}
+
+// solveRequest is the POST /solve body. Zero values mean defaults, exactly
+// as in fsaicomm.Options; field validation is shared with the library
+// (Options.Validate), so the API cannot accept what the library would
+// reject.
+type solveRequest struct {
+	Matrix string `json:"matrix"` // fingerprint from POST /matrix
+
+	// Right-hand side: explicit values, or a deterministic seed (the
+	// paper's normalized random RHS). Omitting both means seed 1.
+	RHS     []float64 `json:"rhs,omitempty"`
+	RHSSeed int64     `json:"rhs_seed,omitempty"`
+
+	// Setup options (cache-key relevant).
+	Method        string  `json:"method,omitempty"` // fsai | fsaie | fsaie-comm
+	Filter        float64 `json:"filter,omitempty"`
+	Dynamic       bool    `json:"dynamic,omitempty"`
+	LineBytes     int     `json:"line_bytes,omitempty"`
+	PatternLevel  int     `json:"pattern_level,omitempty"`
+	Threshold     float64 `json:"threshold,omitempty"`
+	Ranks         int     `json:"ranks,omitempty"`
+	Partitioner   string  `json:"partitioner,omitempty"`
+	PartitionSeed int64   `json:"partition_seed,omitempty"`
+	Workers       int     `json:"workers,omitempty"`
+
+	// Per-solve options.
+	Tol                  float64 `json:"tol,omitempty"`
+	MaxIter              int     `json:"max_iter,omitempty"`
+	CG                   string  `json:"cg,omitempty"` // classic | classic-overlap | fused | pipelined
+	Arch                 string  `json:"arch,omitempty"`
+	Trace                bool    `json:"trace,omitempty"`
+	ResidualReplaceEvery int     `json:"residual_replace_every,omitempty"`
+}
+
+// options maps the request onto the facade's option types.
+func (q *solveRequest) options() (fsaicomm.Options, fsaicomm.SolveOptions, error) {
+	method, err := fsaicomm.ParseMethod(q.Method)
+	if err != nil {
+		return fsaicomm.Options{}, fsaicomm.SolveOptions{}, fail(http.StatusBadRequest, "%v", err)
+	}
+	var variant fsaicomm.CGVariant
+	if q.CG != "" {
+		if variant, err = fsaicomm.ParseCGVariant(q.CG); err != nil {
+			return fsaicomm.Options{}, fsaicomm.SolveOptions{}, fail(http.StatusBadRequest, "%v", err)
+		}
+	}
+	strategy := fsaicomm.StaticFilter
+	if q.Dynamic {
+		strategy = fsaicomm.DynamicFilter
+	}
+	opt := fsaicomm.Options{
+		Method:        method,
+		Filter:        q.Filter,
+		Strategy:      strategy,
+		LineBytes:     q.LineBytes,
+		PatternLevel:  q.PatternLevel,
+		Threshold:     q.Threshold,
+		Ranks:         q.Ranks,
+		Partitioner:   q.Partitioner,
+		PartitionSeed: q.PartitionSeed,
+		Workers:       q.Workers,
+
+		Tol:                  q.Tol,
+		MaxIter:              q.MaxIter,
+		CGVariant:            variant,
+		Arch:                 q.Arch,
+		Trace:                q.Trace,
+		ResidualReplaceEvery: q.ResidualReplaceEvery,
+	}
+	if err := opt.Validate(); err != nil {
+		return fsaicomm.Options{}, fsaicomm.SolveOptions{}, fail(http.StatusBadRequest, "%v", err)
+	}
+	so := fsaicomm.SolveOptions{
+		Tol:                  q.Tol,
+		MaxIter:              q.MaxIter,
+		CGVariant:            variant,
+		Arch:                 q.Arch,
+		Trace:                q.Trace,
+		ResidualReplaceEvery: q.ResidualReplaceEvery,
+	}
+	return opt, so, nil
+}
+
+// setupKey is the prepared-cache key: content fingerprint plus every option
+// that shapes the partition or the factors, canonicalized so spellings of
+// the same setup share an entry ("" and "multilevel", 0 and 64-byte lines,
+// automatic and explicit equal rank counts). Workers is deliberately
+// excluded: it parallelizes the build without changing its result.
+func setupKey(fp string, o fsaicomm.Options, ranks int) string {
+	lb := o.LineBytes
+	if lb == 0 {
+		lb = 64
+	}
+	pl := o.PatternLevel
+	if pl < 1 {
+		pl = 1
+	}
+	part := o.Partitioner
+	if part == "" {
+		part = "multilevel"
+	}
+	return fmt.Sprintf("%s|m%d|f%g|s%d|lb%d|pl%d|th%g|r%d|%s|seed%d",
+		fp, o.Method, o.Filter, o.Strategy, lb, pl, o.Threshold, ranks, part, o.PartitionSeed)
+}
+
+// solveResponse answers POST /solve. X round-trips float64s bit-exactly
+// through JSON (encoding/json emits shortest-form decimals), so two cached
+// solves of the same job compare bit-identical on the client side too.
+type solveResponse struct {
+	Matrix      string    `json:"matrix"`
+	CacheHit    bool      `json:"cache_hit"` // setup came from the prepared cache
+	Ranks       int       `json:"ranks"`
+	Iterations  int       `json:"iterations"`
+	Converged   bool      `json:"converged"`
+	RelResidual float64   `json:"rel_residual"`
+	SetupMs     float64   `json:"setup_ms"` // 0 on cache hits
+	SolveMs     float64   `json:"solve_ms"`
+	ModeledSec  float64   `json:"modeled_solve_sec"`
+	CommBytes   int64     `json:"comm_bytes"`
+	Collectives int64     `json:"collective_calls"`
+	PctNNZ      float64   `json:"pct_nnz_increase"`
+	X           []float64 `json:"x"`
+
+	Trace *fsaicomm.IterTrace `json:"trace,omitempty"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.beginJob()
+	if !ok {
+		writeErr(w, fail(http.StatusServiceUnavailable, "server is draining"))
+		return
+	}
+	defer release()
+
+	var q solveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&q); err != nil {
+		writeErr(w, fail(http.StatusBadRequest, "decoding request: %v", err))
+		return
+	}
+	opt, so, err := q.options()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if q.Matrix == "" {
+		writeErr(w, fail(http.StatusBadRequest, "missing \"matrix\" (fingerprint from POST /matrix)"))
+		return
+	}
+	mv, ok := s.matrices.Get(q.Matrix)
+	if !ok {
+		writeErr(w, fail(http.StatusNotFound, "unknown matrix %q (upload it via POST /matrix)", q.Matrix))
+		return
+	}
+	a := mv.(*fsaicomm.Matrix)
+	rhs := q.RHS
+	if rhs == nil {
+		seed := q.RHSSeed
+		if seed == 0 {
+			seed = 1
+		}
+		rhs = fsaicomm.GenerateRHS(a, seed)
+	} else if len(rhs) != a.Rows {
+		writeErr(w, fail(http.StatusBadRequest, "rhs length %d, want %d", len(rhs), a.Rows))
+		return
+	}
+
+	// Admission: take a free slot immediately if one exists; otherwise
+	// join the bounded queue or fail fast with 429 when it is full. A
+	// queued client that disconnects frees its queue place.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		if int(s.met.queued.Load()) >= s.cfg.MaxQueue {
+			s.met.jobsRejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, fail(http.StatusTooManyRequests,
+				"server at capacity (%d running, %d queued)", s.cfg.MaxInFlight, s.cfg.MaxQueue))
+			return
+		}
+		s.met.queued.Add(1)
+		select {
+		case s.sem <- struct{}{}:
+			s.met.queued.Add(-1)
+		case <-r.Context().Done():
+			s.met.queued.Add(-1)
+			s.met.jobsCanceled.Add(1)
+			return // client is gone; nothing to write
+		}
+	}
+	defer func() { <-s.sem }()
+	s.met.jobsAccepted.Add(1)
+	s.met.inFlight.Add(1)
+	defer s.met.inFlight.Add(-1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.JobTimeout)
+	defer cancel()
+
+	ranks := fsaicomm.AutoRanks(a, opt.Ranks)
+	key := setupKey(q.Matrix, opt, ranks)
+	t0 := time.Now()
+	pv, hit, err := s.prepared.GetOrBuild(key, func() (any, int64, error) {
+		p, err := fsaicomm.Prepare(a, opt)
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, p.SizeBytes(), nil
+	})
+	if err != nil {
+		s.met.jobsFailed.Add(1)
+		writeErr(w, fail(http.StatusUnprocessableEntity, "preparing system: %v", err))
+		return
+	}
+	setup := time.Duration(0)
+	if !hit {
+		setup = time.Since(t0)
+	}
+	p := pv.(*fsaicomm.Prepared)
+
+	res, err := p.Solve(ctx, rhs, so)
+	s.met.latency.observe(time.Since(t0))
+	if err != nil && !errors.Is(err, fsaicomm.ErrCanceled) {
+		s.met.jobsFailed.Add(1)
+		writeErr(w, fail(http.StatusUnprocessableEntity, "solve: %v", err))
+		return
+	}
+	s.met.iterations.Add(int64(res.Iterations))
+	s.met.commBytes.Add(res.CommBytes)
+	s.met.collectiveCalls.Add(res.CollectiveCalls)
+	s.met.collectiveBytes.Add(res.CollectiveBytes)
+	if err != nil { // canceled: deadline or client disconnect
+		s.met.jobsCanceled.Add(1)
+		if r.Context().Err() != nil {
+			return // client is gone
+		}
+		writeErr(w, fail(http.StatusGatewayTimeout,
+			"job exceeded its %v deadline after %d iterations", s.cfg.JobTimeout, res.Iterations))
+		return
+	}
+	s.met.jobsCompleted.Add(1)
+	s.logf("serve: solve %s ranks=%d iters=%d converged=%v hit=%v setup=%v solve=%v",
+		q.Matrix, res.Ranks, res.Iterations, res.Converged, hit, setup, res.SolveTime)
+	writeJSON(w, http.StatusOK, solveResponse{
+		Matrix:      q.Matrix,
+		CacheHit:    hit,
+		Ranks:       res.Ranks,
+		Iterations:  res.Iterations,
+		Converged:   res.Converged,
+		RelResidual: res.RelResidual,
+		SetupMs:     float64(setup) / float64(time.Millisecond),
+		SolveMs:     float64(res.SolveTime) / float64(time.Millisecond),
+		ModeledSec:  res.ModeledSolveTime,
+		CommBytes:   res.CommBytes,
+		Collectives: res.CollectiveCalls,
+		PctNNZ:      res.PctNNZIncrease,
+		X:           res.X,
+		Trace:       res.Trace,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	b, err := s.met.snapshot(s.prepared, s.matrices)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(b)
+}

@@ -1,0 +1,48 @@
+package sparse
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// fingerprintMantissaMask drops the low 12 bits of the IEEE-754 mantissa
+// before hashing, quantizing values to ~5e-13 relative resolution. Matrices
+// that differ only by sub-quantum floating-point noise (e.g. the same
+// operator assembled with a different summation order) map to the same
+// fingerprint, so a serving cache keyed on it reuses one preconditioner for
+// all of them.
+const fingerprintMantissaMask = ^uint64(0xFFF)
+
+// Fingerprint returns a stable content hash of the matrix: SHA-256 over the
+// shape, the CSR structure (RowPtr, ColIdx) and the quantized values,
+// rendered as a 32-character hex string. Two matrices share a fingerprint
+// iff they have identical shape and sparsity structure and entrywise values
+// equal after mantissa quantization. The hash is independent of slice
+// capacities and stable across processes and platforms (little-endian
+// serialization is forced).
+func (m *CSR) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	h.Write([]byte("csr/v1\n"))
+	writeInt(m.Rows)
+	writeInt(m.Cols)
+	writeInt(m.NNZ())
+	for _, p := range m.RowPtr {
+		writeInt(p)
+	}
+	for _, c := range m.ColIdx {
+		writeInt(c)
+	}
+	for _, v := range m.Val {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v)&fingerprintMantissaMask)
+		h.Write(buf[:])
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}

@@ -1,0 +1,73 @@
+package sparse_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fsaicomm/internal/sparse"
+	"fsaicomm/internal/testsets"
+)
+
+func fpTestMatrix(n int, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	return testsets.RandomSPD(rng, n, testsets.SPDOptions{
+		Diag: 8, Chain: -1, Couplings: 3 * n,
+		Off: func(r *rand.Rand) float64 { return 0.5 * r.Float64() },
+	})
+}
+
+func TestFingerprintStableAcrossClones(t *testing.T) {
+	a := fpTestMatrix(200, 42)
+	fp := a.Fingerprint()
+	if len(fp) != 32 {
+		t.Fatalf("fingerprint length %d, want 32 hex chars", len(fp))
+	}
+	if got := a.Clone().Fingerprint(); got != fp {
+		t.Fatalf("clone fingerprint %s != original %s", got, fp)
+	}
+	// Extra slice capacity must not matter.
+	b := a.Clone()
+	b.ColIdx = append(make([]int, 0, 4*b.NNZ()), b.ColIdx...)
+	b.Val = append(make([]float64, 0, 4*b.NNZ()), b.Val...)
+	if got := b.Fingerprint(); got != fp {
+		t.Fatalf("capacity-padded fingerprint %s != original %s", got, fp)
+	}
+}
+
+func TestFingerprintDistinguishesContent(t *testing.T) {
+	a := fpTestMatrix(120, 1)
+	fp := a.Fingerprint()
+	// A changed value moves the fingerprint.
+	v := a.Clone()
+	v.Val[len(v.Val)/2] *= 1.5
+	if v.Fingerprint() == fp {
+		t.Fatal("value change did not change the fingerprint")
+	}
+	// A changed structure (different matrix entirely) moves it too.
+	s := fpTestMatrix(120, 2)
+	if s.Fingerprint() == fp {
+		t.Fatal("different matrix collides with original fingerprint")
+	}
+	// Shape is part of the identity even for an empty pattern.
+	e1 := sparse.NewCSR(3, 3, 0)
+	e2 := sparse.NewCSR(4, 4, 0)
+	e2.RowPtr = make([]int, 5)
+	if e1.Fingerprint() == e2.Fingerprint() {
+		t.Fatal("empty 3x3 and 4x4 share a fingerprint")
+	}
+}
+
+func TestFingerprintQuantizesNoise(t *testing.T) {
+	a := fpTestMatrix(150, 7)
+	fp := a.Fingerprint()
+	// Sub-quantum noise: flipping mantissa bits below the quantization mask
+	// must not change the fingerprint (assembly-order rounding noise).
+	n := a.Clone()
+	for i, v := range n.Val {
+		n.Val[i] = math.Float64frombits(math.Float64bits(v) ^ 0x3)
+	}
+	if got := n.Fingerprint(); got != fp {
+		t.Fatalf("sub-quantum noise changed fingerprint: %s != %s", got, fp)
+	}
+}

@@ -31,6 +31,9 @@ type Preconditioner struct {
 // once. The returned Preconditioner is safe for sequential reuse across
 // solves (not for concurrent Apply calls; it owns scratch buffers).
 func BuildPreconditioner(a *Matrix, opt Options) (*Preconditioner, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	if err := checkInputMatrix(a); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,297 @@
+package fsaicomm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fsaicomm/internal/archmodel"
+	"fsaicomm/internal/core"
+	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/experiments"
+	"fsaicomm/internal/krylov"
+	"fsaicomm/internal/simmpi"
+)
+
+// SolveOptions are the per-solve knobs of a Prepared system: everything in
+// Options that does not change the partition or the preconditioner factors.
+// The setup-shaping fields (Method, Filter, Ranks, Partitioner, ...) are
+// fixed at Prepare time; trying to change them per solve would invalidate
+// the cached factors, so they simply are not here.
+type SolveOptions struct {
+	// Tol is the relative residual target. Default 1e-8.
+	Tol float64
+	// MaxIter caps CG iterations. Default 10·n.
+	MaxIter int
+	// CGVariant selects the distributed CG loop (see Options.CGVariant).
+	CGVariant CGVariant
+	// Arch names the architecture profile for Result.ModeledSolveTime
+	// ("skylake" default, "a64fx", "zen2").
+	Arch string
+	// Trace records per-iteration telemetry into Result.Trace (rank 0).
+	Trace bool
+	// ResidualReplaceEvery periodically recomputes the true residual in the
+	// pipelined loop (see Options.ResidualReplaceEvery).
+	ResidualReplaceEvery int
+}
+
+// Validate rejects nonsensical per-solve options, reusing the facade's
+// single validator so the HTTP layer and the library agree on what a bad
+// request is.
+func (o SolveOptions) Validate() error {
+	return Options{
+		Tol:                  o.Tol,
+		MaxIter:              o.MaxIter,
+		CGVariant:            o.CGVariant,
+		Arch:                 o.Arch,
+		ResidualReplaceEvery: o.ResidualReplaceEvery,
+	}.Validate()
+}
+
+// prepRank is one rank's share of a prepared system: the localized matrix
+// and factor views (read-only during solves, shared by every solve) and the
+// halo-plan schedules (cloned per solve; only their send buffers are
+// mutable).
+type prepRank struct {
+	lo, hi               int
+	aLZ, gLZ, gtLZ       *distmat.Localized
+	aPlan, gPlan, gtPlan *distmat.HaloPlan
+}
+
+// Prepared is a fully set-up distributed system: partition, permutation,
+// localized matrix, halo-plan schedules and preconditioner factors, built
+// once by Prepare and reusable for any number of Solve calls — including
+// concurrent ones. Each Solve spins up its own simulated world and derives
+// private operators from the shared read-only parts with zero setup
+// communication, so repeated solves pay only the Krylov loop. This is the
+// unit the serving layer caches: one Prepared per (matrix fingerprint,
+// setup options) pair.
+type Prepared struct {
+	n         int
+	ranks     int
+	setupOpt  Options // canonicalized setup options (informational)
+	layout    *distmat.Layout
+	oldToNew  []int
+	parts     []prepRank
+	pct       float64
+	imbalance float64
+	setup     time.Duration
+	// pools hold per-rank krylov workspaces so steady-state solves allocate
+	// only the solution vector. Indexed by rank: concurrent solves share the
+	// pools, but a workspace is only ever used by one rank goroutine at a
+	// time between Get and Put.
+	pools []sync.Pool
+}
+
+// Prepare partitions A, builds the selected preconditioner variant and the
+// halo schedules, and returns a Prepared system ready for repeated solves.
+// The setup-phase communication (plan index exchange, remote row gather,
+// distributed transpose) happens exactly once, here.
+func Prepare(a *Matrix, opt Options) (*Prepared, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkInputMatrix(a); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults(a.Rows)
+	ranks := AutoRanks(a, opt.Ranks)
+	if ranks < 1 {
+		return nil, fmt.Errorf("fsaicomm: ranks %d < 1", ranks)
+	}
+	opt.Ranks = ranks
+
+	part, err := partitionRows(a, opt, ranks)
+	if err != nil {
+		return nil, err
+	}
+	pa, layout, oldToNew := distmat.ApplyPartition(a, part, ranks)
+
+	cfg := core.Config{
+		Method:       opt.Method,
+		Filter:       opt.Filter,
+		Strategy:     opt.Strategy,
+		LineBytes:    opt.LineBytes,
+		PatternLevel: opt.PatternLevel,
+		Threshold:    opt.Threshold,
+		Workers:      opt.Workers,
+		// The CG variant is chosen per solve; overlap views are built
+		// lazily (and locally) on the per-solve operators, so the setup
+		// builds the blocking schedule only.
+		CGVariant: CGClassic,
+	}
+	p := &Prepared{
+		n:        a.Rows,
+		ranks:    ranks,
+		setupOpt: opt,
+		layout:   layout,
+		oldToNew: oldToNew,
+		parts:    make([]prepRank, ranks),
+		pools:    make([]sync.Pool, ranks),
+	}
+	t0 := time.Now()
+	if _, err := simmpi.Run(ranks, time.Hour, func(c *simmpi.Comm) error {
+		lo, hi := layout.Range(c.Rank())
+		aRows := distmat.ExtractLocalRows(pa, lo, hi)
+		bd, err := core.BuildPrecond(c, layout, aRows, cfg)
+		if err != nil {
+			return err
+		}
+		aOp := distmat.NewOp(c, layout, lo, hi, aRows)
+		p.parts[c.Rank()] = prepRank{
+			lo: lo, hi: hi,
+			aLZ: aOp.LZ, gLZ: bd.GOp.LZ, gtLZ: bd.GTOp.LZ,
+			aPlan: aOp.Plan, gPlan: bd.GOp.Plan, gtPlan: bd.GTOp.Plan,
+		}
+		if c.Rank() == 0 {
+			p.pct = bd.PctNNZIncrease
+			p.imbalance = bd.ImbalanceIndex
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	p.setup = time.Since(t0)
+	for i := range p.pools {
+		p.pools[i].New = func() any { return &krylov.Workspace{} }
+	}
+	return p, nil
+}
+
+// Ranks returns the simulated-process count the system was prepared for.
+func (p *Prepared) Ranks() int { return p.ranks }
+
+// Rows returns the system dimension.
+func (p *Prepared) Rows() int { return p.n }
+
+// SetupTime returns the wall-clock cost of Prepare — the time every solve
+// served from this Prepared avoids paying again.
+func (p *Prepared) SetupTime() time.Duration { return p.setup }
+
+// PctNNZIncrease returns the factor pattern growth versus the FSAI baseline.
+func (p *Prepared) PctNNZIncrease() float64 { return p.pct }
+
+// Options returns the canonicalized setup options (defaults applied,
+// automatic rank count resolved).
+func (p *Prepared) Options() Options { return p.setupOpt }
+
+// SizeBytes estimates the memory retained by the prepared system — the
+// localized matrix and factor copies plus the halo schedules — for cache
+// byte-budget accounting. It ignores small fixed overheads.
+func (p *Prepared) SizeBytes() int64 {
+	var total int64
+	lzBytes := func(lz *distmat.Localized) int64 {
+		return 8 * int64(len(lz.M.RowPtr)+len(lz.M.ColIdx)+len(lz.M.Val)+len(lz.Halo))
+	}
+	planBytes := func(pl *distmat.HaloPlan) int64 {
+		return 8 * int64(pl.SendCount()+pl.RecvCount()+len(pl.SendPeerIDs())+len(pl.RecvPeerIDs()))
+	}
+	for i := range p.parts {
+		r := &p.parts[i]
+		total += lzBytes(r.aLZ) + lzBytes(r.gLZ) + lzBytes(r.gtLZ)
+		total += planBytes(r.aPlan) + planBytes(r.gPlan) + planBytes(r.gtPlan)
+	}
+	total += 8 * int64(len(p.oldToNew))
+	return total
+}
+
+// Solve runs one distributed CG solve A·x = b on the prepared system. It
+// performs no setup communication: every rank derives private operators
+// from the shared localized views and cloned plan schedules, so the
+// returned Result reports SetupTime 0. Safe to call concurrently from
+// multiple goroutines; concurrent solves share the read-only parts and
+// nothing else. Cancellation follows SolveDistributedContext: all ranks
+// stop at the same iteration boundary and the partial Result comes back
+// with an ErrCanceled-wrapped error.
+func (p *Prepared) Solve(ctx context.Context, b []float64, so SolveOptions) (*Result, error) {
+	if err := so.Validate(); err != nil {
+		return nil, err
+	}
+	if len(b) != p.n {
+		return nil, fmt.Errorf("fsaicomm: rhs length %d, want %d", len(b), p.n)
+	}
+	if so.Tol == 0 {
+		so.Tol = 1e-8
+	}
+	if so.MaxIter == 0 {
+		so.MaxIter = 10 * p.n
+		if so.MaxIter < 100 {
+			so.MaxIter = 100
+		}
+	}
+	prof := archmodel.Skylake
+	if so.Arch != "" {
+		var err error
+		if prof, err = archmodel.ByName(so.Arch); err != nil {
+			return nil, fmt.Errorf("fsaicomm: %w", err)
+		}
+	}
+	var opOpts []distmat.OpOption
+	if so.CGVariant != CGClassic {
+		opOpts = append(opOpts, distmat.WithOverlap())
+	}
+
+	pb := distmat.PermuteVec(b, p.oldToNew)
+	px := make([]float64, p.n)
+	costs := make([]experiments.IterCostInputs, p.ranks)
+	res := &Result{
+		Ranks:          p.ranks,
+		PctNNZIncrease: p.pct,
+		ImbalanceIndex: p.imbalance,
+	}
+	var cancelErr error
+	t0 := time.Now()
+	world, err := simmpi.Run(p.ranks, time.Hour, func(c *simmpi.Comm) error {
+		r := &p.parts[c.Rank()]
+		aOp := distmat.NewOpFromParts(r.aLZ, r.aPlan.Clone(), opOpts...)
+		gOp := distmat.NewOpFromParts(r.gLZ, r.gPlan.Clone(), opOpts...)
+		gtOp := distmat.NewOpFromParts(r.gtLZ, r.gtPlan.Clone(), opOpts...)
+		costs[c.Rank()] = experiments.AssembleIterCost(prof, aOp, gOp, gtOp, r.hi-r.lo, p.ranks, so.CGVariant)
+		xl := make([]float64, r.hi-r.lo)
+		ws := p.pools[c.Rank()].Get().(*krylov.Workspace)
+		defer p.pools[c.Rank()].Put(ws)
+		st, err := krylov.DistCG(c, aOp, pb[r.lo:r.hi], xl,
+			krylov.NewDistSplit(gOp, gtOp),
+			krylov.Options{Tol: so.Tol, MaxIter: so.MaxIter,
+				Variant: so.CGVariant, Work: ws,
+				Trace:                so.Trace,
+				ResidualReplaceEvery: so.ResidualReplaceEvery,
+				Ctx:                  ctx}, nil)
+		if err != nil && !errors.Is(err, krylov.ErrNoConvergence) && !errors.Is(err, krylov.ErrCanceled) {
+			return err
+		}
+		copy(px[r.lo:r.hi], xl)
+		if c.Rank() == 0 {
+			res.Iterations = st.Iterations
+			res.Converged = st.Converged
+			res.RelResidual = st.RelResidual
+			res.Trace = st.Trace
+			if errors.Is(err, krylov.ErrCanceled) {
+				cancelErr = err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.SolveTime = time.Since(t0)
+	res.CommBytes = world.Meter().TotalP2PBytes()
+	res.CollectiveCalls = world.Meter().TotalCollectiveCalls()
+	res.CollectiveBytes = world.Meter().TotalCollectiveBytes()
+	if res.Iterations > 0 {
+		res.CommBytesPerIteration = float64(res.CommBytes) / float64(res.Iterations)
+	}
+	res.ModeledSolveTime = experiments.ModeledSolveTime(prof, so.CGVariant, res.Iterations, costs)
+	res.Phases = experiments.ModeledPhases(prof, so.CGVariant, res.Iterations, costs)
+	res.X = make([]float64, p.n)
+	for i := range res.X {
+		res.X[i] = px[p.oldToNew[i]]
+	}
+	if cancelErr != nil {
+		return res, cancelErr
+	}
+	return res, nil
+}

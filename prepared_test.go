@@ -1,0 +1,254 @@
+package fsaicomm
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+		want string // substring of the error; "" means valid
+	}{
+		{"zero value", Options{}, ""},
+		{"typical", Options{Method: FSAIEComm, Filter: 0.05, Tol: 1e-9, Ranks: 4, CGVariant: CGFused}, ""},
+		{"negative tol", Options{Tol: -1}, "Tol"},
+		{"nan tol", Options{Tol: math.NaN()}, "Tol"},
+		{"negative maxiter", Options{MaxIter: -5}, "MaxIter"},
+		{"negative ranks", Options{Ranks: -2}, "Ranks"},
+		{"negative filter", Options{Filter: -0.1}, "Filter"},
+		{"negative linebytes", Options{LineBytes: -64}, "LineBytes"},
+		{"negative pattern level", Options{PatternLevel: -1}, "PatternLevel"},
+		{"negative threshold", Options{Threshold: -1e-3}, "Threshold"},
+		{"negative replace every", Options{ResidualReplaceEvery: -1}, "ResidualReplaceEvery"},
+		{"unknown method", Options{Method: Method(42)}, "method"},
+		{"unknown strategy", Options{Strategy: FilterStrategy(9)}, "strategy"},
+		{"unknown partitioner", Options{Partitioner: "metis"}, "partitioner"},
+		{"unknown cg variant", Options{CGVariant: CGVariant(7)}, "CG variant"},
+		{"unknown arch", Options{Arch: "m1"}, "arch"},
+	}
+	for _, tc := range cases {
+		err := tc.opt.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidOptions) {
+			t.Errorf("%s: error %v is not ErrInvalidOptions", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// The validator is shared by every entry point: bad options must be
+// rejected before any work happens, with ErrInvalidOptions classifiable.
+func TestEntryPointsValidateOptions(t *testing.T) {
+	a := GeneratePoisson2D(8, 8)
+	b := GenerateRHS(a, 1)
+	bad := Options{MaxIter: -1}
+	if _, err := Solve(a, b, bad); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("Solve: %v", err)
+	}
+	if _, err := SolveDistributed(a, b, bad); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("SolveDistributed: %v", err)
+	}
+	if _, err := BuildPreconditioner(a, bad); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("BuildPreconditioner: %v", err)
+	}
+	if _, err := Prepare(a, bad); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("Prepare: %v", err)
+	}
+	p, err := Prepare(a, Options{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Solve(context.Background(), b, SolveOptions{Tol: -1}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("Prepared.Solve: %v", err)
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	for in, want := range map[string]Method{
+		"": FSAIEComm, "fsai": FSAI, "FSAIE": FSAIE,
+		"fsaie-comm": FSAIEComm, "fsaiecomm": FSAIEComm,
+	} {
+		got, err := ParseMethod(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMethod(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseMethod("ilu"); err == nil {
+		t.Error("ParseMethod accepted an unknown method")
+	}
+}
+
+// A prepared system must reproduce SolveDistributed bit for bit: the same
+// partition, factors and solver loop, only the setup phase is skipped.
+func TestPreparedMatchesSolveDistributed(t *testing.T) {
+	a := GenerateElasticity2D(9, 9, 3)
+	b := GenerateRHS(a, 4)
+	opt := Options{Method: FSAIEComm, Filter: 0.01, Ranks: 3}
+	for _, v := range []CGVariant{CGClassic, CGFused, CGPipelined} {
+		opt.CGVariant = v
+		ref, err := SolveDistributed(a, b, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		p, err := Prepare(a, opt)
+		if err != nil {
+			t.Fatalf("%v: Prepare: %v", v, err)
+		}
+		got, err := p.Solve(context.Background(), b, SolveOptions{CGVariant: v})
+		if err != nil {
+			t.Fatalf("%v: Prepared.Solve: %v", v, err)
+		}
+		if got.Iterations != ref.Iterations || got.Converged != ref.Converged {
+			t.Fatalf("%v: iterations %d/%v, reference %d/%v",
+				v, got.Iterations, got.Converged, ref.Iterations, ref.Converged)
+		}
+		for i := range ref.X {
+			if got.X[i] != ref.X[i] {
+				t.Fatalf("%v: x[%d] differs: %g != %g", v, i, got.X[i], ref.X[i])
+			}
+		}
+		if got.SetupTime != 0 {
+			t.Fatalf("%v: prepared solve reports setup time %v", v, got.SetupTime)
+		}
+		if got.CommBytes != ref.CommBytes {
+			t.Fatalf("%v: comm bytes %d, reference %d (setup traffic leaked into the solve?)",
+				v, got.CommBytes, ref.CommBytes)
+		}
+		// The reference's metered phase includes one extra Barrier (counted
+		// once per rank) right after its meter reset; the Krylov loops
+		// themselves issue identical collectives.
+		if got.CollectiveCalls != ref.CollectiveCalls-int64(p.Ranks()) {
+			t.Fatalf("%v: collective calls %d, reference %d", v, got.CollectiveCalls, ref.CollectiveCalls)
+		}
+	}
+}
+
+// Concurrent solves on one Prepared must not interfere: every goroutine
+// gets the bit-identical solution the sequential solve produces.
+func TestPreparedConcurrentSolves(t *testing.T) {
+	a := GeneratePoisson2D(20, 20)
+	b := GenerateRHS(a, 8)
+	p, err := Prepare(a, Options{Method: FSAIEComm, Filter: 0.01, Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := p.Solve(context.Background(), b, SolveOptions{CGVariant: CGFused})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 6
+	results := make([]*Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[w], errs[w] = p.Solve(context.Background(), b, SolveOptions{CGVariant: CGFused})
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if results[w].Iterations != ref.Iterations {
+			t.Fatalf("worker %d: %d iterations, reference %d", w, results[w].Iterations, ref.Iterations)
+		}
+		for i := range ref.X {
+			if results[w].X[i] != ref.X[i] {
+				t.Fatalf("worker %d: x[%d] differs", w, i)
+			}
+		}
+	}
+}
+
+// Cancellation through the facade: a canceled context yields ErrCanceled
+// with the partial result, both in SolveContext and on a Prepared system.
+func TestFacadeCancellation(t *testing.T) {
+	a := GeneratePoisson2D(16, 16)
+	b := GenerateRHS(a, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SolveContext(ctx, a, b, Options{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("SolveContext: got %v, want ErrCanceled", err)
+	}
+	if res == nil || res.Iterations != 0 || res.Converged {
+		t.Fatalf("SolveContext: partial result %+v", res)
+	}
+	res, err = SolveDistributedContext(ctx, a, b, Options{Ranks: 2})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("SolveDistributedContext: got %v, want ErrCanceled", err)
+	}
+	if res == nil || res.Converged {
+		t.Fatal("SolveDistributedContext: no partial result")
+	}
+	p, err := Prepare(a, Options{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = p.Solve(ctx, b, SolveOptions{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Prepared.Solve: got %v, want ErrCanceled", err)
+	}
+	if res == nil || res.Converged {
+		t.Fatal("Prepared.Solve: no partial result")
+	}
+}
+
+func TestPreparedAccessors(t *testing.T) {
+	a := GeneratePoisson2D(12, 12)
+	p, err := Prepare(a, Options{Ranks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ranks() != 3 || p.Rows() != a.Rows {
+		t.Fatalf("ranks %d rows %d", p.Ranks(), p.Rows())
+	}
+	if p.SetupTime() <= 0 {
+		t.Fatal("setup time not recorded")
+	}
+	if p.SizeBytes() <= 0 {
+		t.Fatal("size estimate not positive")
+	}
+	if got := p.Options().Ranks; got != 3 {
+		t.Fatalf("canonicalized ranks %d", got)
+	}
+	if p.Options().Tol != 1e-8 {
+		t.Fatalf("canonicalized tol %g", p.Options().Tol)
+	}
+}
+
+func TestAutoRanks(t *testing.T) {
+	a := GeneratePoisson2D(10, 10)
+	if got := AutoRanks(a, 5); got != 5 {
+		t.Fatalf("explicit request: %d", got)
+	}
+	if got := AutoRanks(a, 0); got != 2 {
+		t.Fatalf("small matrix: %d, want clamp to 2", got)
+	}
+	big := GeneratePoisson2D(300, 300)
+	got := AutoRanks(big, 0)
+	if got < 2 || got > 12 {
+		t.Fatalf("auto ranks %d outside [2,12]", got)
+	}
+}

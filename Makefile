@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 tier2 bench fuzz trace serve cover
+.PHONY: all tier1 tier2 bench fuzz trace serve mp cover
 
 all: tier1
 
@@ -14,12 +14,13 @@ tier1:
 	$(GO) test ./...
 
 # tier2: race-detector pass over the concurrency-bearing packages (the
-# simulated MPI runtime, the worker pool, the row-parallel FSAI builds, the
-# distributed solver/operator layers, and the HTTP serving layer with its
-# concurrent cached solves).
+# simulated MPI runtime, the socket transport and the multi-process rank
+# runner, the worker pool, the row-parallel FSAI builds, the distributed
+# solver/operator layers, the HTTP serving layer with its concurrent cached
+# solves, and the root facade's cross-backend transport suite).
 tier2:
 	$(GO) build ./...
-	$(GO) test -race ./internal/simmpi/... ./internal/fsai/... ./internal/parallel/... ./internal/krylov/... ./internal/distmat/... ./internal/serve/... ./cmd/fsaiserve/...
+	$(GO) test -race ./internal/simmpi/... ./internal/tcpmpi/... ./internal/mprun/... ./internal/fsai/... ./internal/parallel/... ./internal/krylov/... ./internal/distmat/... ./internal/serve/... ./cmd/fsaiserve/... .
 
 # bench: the serial-vs-parallel kernel pairs plus the CG-variant
 # (classic/overlap/fused/pipelined) and blocking-vs-overlap SpMV comparisons
@@ -28,6 +29,7 @@ tier2:
 bench:
 	$(GO) test -run xxx -bench '50k' -benchmem .
 	$(GO) run ./cmd/fsaibench -exp benchjson -out BENCH_pipelined.json
+	$(GO) run ./cmd/fsaibench -exp transportjson -out BENCH_transport.json
 
 # trace: emit a sample per-iteration telemetry artifact — the consph-sim
 # catalog instance solved with pipelined CG on 4 ranks, per-iteration
@@ -53,6 +55,14 @@ serve:
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	if [ $$ok -ne 0 ]; then echo "fsaiserve smoke test failed"; exit 1; fi; \
 	echo "fsaiserve smoke test passed"
+
+# mp: multi-process smoke test — build the rank worker binary and run its
+# selfcheck, which solves one catalog instance on 4 goroutine ranks and
+# again on 4 OS processes over the TCP mesh and diffs the two bit for bit
+# (solution, iteration count, per-rank comm meters).
+mp:
+	$(GO) build -o bin/fsairank ./cmd/fsairank
+	./bin/fsairank -selfcheck
 
 # cover: per-package statement coverage for the whole module.
 cover:

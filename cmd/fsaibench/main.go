@@ -10,8 +10,11 @@
 // fig2 fig3a fig3b fig4 fig5a fig5b fig6 fig7 fig8 imbalance all,
 // plus interaction (filter × CG-variant × ranks study), phases (the
 // per-window exposed/hidden breakdown of the modeled solve time per CG
-// variant and rank count) and benchjson (the BENCH_pipelined.json artifact
-// of `make bench`; -out selects the file, default stdout).
+// variant and rank count), benchjson (the BENCH_pipelined.json artifact
+// of `make bench`; -out selects the file, default stdout) and transportjson
+// (the BENCH_transport.json artifact: measured ns/solve for the classic,
+// fused and pipelined variants at 4 and 8 ranks on the in-process and the
+// multi-process TCP backends; -transport narrows the backends measured).
 // The quick set (default) is a 7-matrix class-representative subset of
 // Table 1; -set full runs the whole 39-matrix catalog (minutes, not
 // seconds).
@@ -28,25 +31,30 @@ import (
 	"fsaicomm/internal/core"
 	"fsaicomm/internal/experiments"
 	"fsaicomm/internal/krylov"
+	"fsaicomm/internal/mprun"
 	"fsaicomm/internal/testsets"
 )
 
 func main() {
+	// The transportjson experiment spawns one process per rank by
+	// re-executing this binary; those copies divert into worker mode here.
+	mprun.MaybeWorker()
 	exp := flag.String("exp", "all", "experiment id (table1..table7, fig2..fig8, imbalance, ablation, scaling, convergence, csv, all)")
 	set := flag.String("set", "quick", "matrix set: quick (7 matrices) or full (39)")
 	arch := flag.String("arch", "", "override architecture (skylake, a64fx, zen2); default per experiment")
 	workers := flag.Int("workers", 0, "setup worker threads per simulated rank (0 = 1 per rank)")
 	cg := flag.String("cg", "classic", "distributed CG loop: classic, classic-overlap, fused or pipelined")
-	outPath := flag.String("out", "", "output file for -exp benchjson (default stdout)")
+	outPath := flag.String("out", "", "output file for -exp benchjson/transportjson (default stdout)")
+	transport := flag.String("transport", "both", "backends for -exp transportjson: sim, tcp or both")
 	flag.Parse()
 
-	if err := run(*exp, *set, *arch, *workers, *cg, *outPath, os.Stdout); err != nil {
+	if err := run(*exp, *set, *arch, *workers, *cg, *outPath, *transport, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "fsaibench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, set, archOverride string, workers int, cg, outPath string, out io.Writer) error {
+func run(exp, set, archOverride string, workers int, cg, outPath, transport string, out io.Writer) error {
 	variant, err := krylov.ParseCGVariant(cg)
 	if err != nil {
 		return err
@@ -272,6 +280,28 @@ func run(exp, set, archOverride string, workers int, cg, outPath string, out io.
 			}
 			if outPath != "" {
 				fmt.Fprintf(out, "wrote bench artifact to %s\n", outPath)
+			}
+			return nil
+		},
+		"transportjson": func() error {
+			backends, err := transportBackends(transport)
+			if err != nil {
+				return err
+			}
+			w := out
+			if outPath != "" {
+				f, err := os.Create(outPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := writeTransportJSON(w, backends); err != nil {
+				return err
+			}
+			if outPath != "" {
+				fmt.Fprintf(out, "wrote transport bench artifact to %s\n", outPath)
 			}
 			return nil
 		},

@@ -1,0 +1,120 @@
+// Command fsairank is the multi-process rank worker. It is normally not run
+// by hand: the mprun launcher re-executes whatever binary called it with the
+// worker environment set, and MaybeWorker takes over. Running fsairank
+// directly gives the self-check mode used by `make mp`:
+//
+//	fsairank -selfcheck [-ranks 4] [-matrix Dubcova2-sim]
+//
+// which solves the named catalog matrix once with in-process goroutine ranks
+// and once with one OS process per rank over the TCP mesh, then diffs the two
+// runs bit for bit — solution vector, iteration count, and per-rank metered
+// traffic in both phases.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fsaicomm/internal/core"
+	"fsaicomm/internal/krylov"
+	"fsaicomm/internal/mprun"
+	"fsaicomm/internal/simmpi"
+	"fsaicomm/internal/testsets"
+)
+
+func main() {
+	mprun.MaybeWorker()
+
+	selfcheck := flag.Bool("selfcheck", false, "run the sim-vs-multiprocess differential and exit")
+	ranks := flag.Int("ranks", 4, "world size for -selfcheck")
+	matrix := flag.String("matrix", "Dubcova2-sim", "catalog matrix for -selfcheck")
+	flag.Parse()
+
+	if !*selfcheck {
+		fmt.Fprintln(os.Stderr, "fsairank: worker environment not set and -selfcheck not given")
+		fmt.Fprintln(os.Stderr, "(this binary is normally spawned by the mprun launcher; see -h)")
+		os.Exit(2)
+	}
+	if err := runSelfcheck(*ranks, *matrix); err != nil {
+		fmt.Fprintln(os.Stderr, "FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("PASS")
+}
+
+func runSelfcheck(ranks int, matrix string) error {
+	sp, err := testsets.ByName(matrix)
+	if err != nil {
+		return err
+	}
+	a := sp.Generate()
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1 + float64(i%7)/7
+	}
+	offsets := make([]int, ranks+1)
+	for r := 0; r <= ranks; r++ {
+		offsets[r] = r * a.Rows / ranks
+	}
+	spec := &mprun.SolveSpec{
+		N: a.Rows, Ranks: ranks, Offsets: offsets, PA: a, PB: b,
+		Cfg: core.Config{Method: core.FSAIEComm, Filter: 0.01, LineBytes: 64},
+		Tol: 1e-8, MaxIter: 2000, Variant: krylov.CGClassic,
+	}
+	fmt.Printf("matrix %s: n=%d nnz=%d ranks=%d\n", matrix, a.Rows, a.NNZ(), ranks)
+
+	simOuts := make([]*mprun.RankOutcome, ranks)
+	t0 := time.Now()
+	if _, err := simmpi.Run(ranks, 60*time.Second, func(c *simmpi.Comm) error {
+		out, err := mprun.RunSolveRank(context.Background(), c, spec)
+		if err != nil {
+			return err
+		}
+		simOuts[c.Rank()] = out
+		return nil
+	}); err != nil {
+		return fmt.Errorf("sim backend: %w", err)
+	}
+	fmt.Printf("sim backend:  %d iterations in %v\n", simOuts[0].Iterations, time.Since(t0).Round(time.Millisecond))
+
+	job := &mprun.JobSpec{Solve: spec}
+	t1 := time.Now()
+	tcpOuts, err := mprun.Launch(context.Background(), ranks, 120*time.Second,
+		func(rank int) *mprun.JobSpec { return job })
+	if err != nil {
+		return fmt.Errorf("tcp backend: %w", err)
+	}
+	fmt.Printf("tcp backend:  %d iterations in %v (%d worker processes)\n",
+		tcpOuts[0].Iterations, time.Since(t1).Round(time.Millisecond), ranks)
+
+	for r := 0; r < ranks; r++ {
+		s, p := simOuts[r], tcpOuts[r]
+		if p == nil {
+			return fmt.Errorf("rank %d: no outcome from worker", r)
+		}
+		if s.Iterations != p.Iterations || s.Converged != p.Converged || s.RelResidual != p.RelResidual {
+			return fmt.Errorf("rank %d: stats diverge: sim (%d, %v, %g) vs tcp (%d, %v, %g)",
+				r, s.Iterations, s.Converged, s.RelResidual, p.Iterations, p.Converged, p.RelResidual)
+		}
+		if len(s.XLocal) != len(p.XLocal) {
+			return fmt.Errorf("rank %d: solution length diverges: %d vs %d", r, len(s.XLocal), len(p.XLocal))
+		}
+		for i := range s.XLocal {
+			if s.XLocal[i] != p.XLocal[i] {
+				return fmt.Errorf("rank %d: x[%d] diverges: %v vs %v", r, s.Lo+i, s.XLocal[i], p.XLocal[i])
+			}
+		}
+		if s.SetupComm != p.SetupComm || s.SolveComm != p.SolveComm {
+			return fmt.Errorf("rank %d: metered traffic diverges:\nsim setup %+v solve %+v\ntcp setup %+v solve %+v",
+				r, s.SetupComm, s.SolveComm, p.SetupComm, p.SolveComm)
+		}
+	}
+	if !simOuts[0].Converged {
+		return fmt.Errorf("solve did not converge (%d iterations)", simOuts[0].Iterations)
+	}
+	fmt.Printf("diff: x, iterations, and per-rank comm meters bit-identical across backends\n")
+	return nil
+}

@@ -8,7 +8,7 @@
 //
 //	fsaiserve [-addr :8097] [-max-inflight 4] [-max-queue 8]
 //	          [-cache-mb 256] [-matrix-cache-mb 256]
-//	          [-job-timeout 2m] [-drain-timeout 30s] [-v]
+//	          [-job-timeout 2m] [-drain-timeout 30s] [-transport sim] [-v]
 //	fsaiserve -probe http://localhost:8097/healthz
 //
 // The daemon runs until SIGINT/SIGTERM, then drains: the health check
@@ -30,10 +30,14 @@ import (
 	"syscall"
 	"time"
 
+	"fsaicomm/internal/mprun"
 	"fsaicomm/internal/serve"
 )
 
 func main() {
+	// Jobs solved over the "tcp" transport spawn one process per rank by
+	// re-executing this binary; those copies divert into worker mode here.
+	mprun.MaybeWorker()
 	var (
 		addr          = flag.String("addr", ":8097", "listen address")
 		maxInFlight   = flag.Int("max-inflight", 4, "maximum concurrently running solve jobs")
@@ -43,12 +47,17 @@ func main() {
 		jobTimeout    = flag.Duration("job-timeout", 2*time.Minute, "per-job deadline (setup + solve)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs")
 		verbose       = flag.Bool("v", false, "log each job")
+		transport     = flag.String("transport", "sim", "rank backend for requests that do not pick one: sim (goroutine ranks) or tcp (one OS process per rank)")
 		probe         = flag.String("probe", "", "probe the given URL (expect HTTP 200) and exit; no server is started")
 	)
 	flag.Parse()
 
 	if *probe != "" {
 		os.Exit(runProbe(*probe))
+	}
+	if *transport != "sim" && *transport != "tcp" {
+		fmt.Fprintf(os.Stderr, "fsaiserve: unknown transport %q (want sim or tcp)\n", *transport)
+		os.Exit(2)
 	}
 
 	cfg := serve.Config{
@@ -57,6 +66,7 @@ func main() {
 		CacheBytes:       *cacheMB << 20,
 		MatrixCacheBytes: *matrixCacheMB << 20,
 		JobTimeout:       *jobTimeout,
+		DefaultTransport: *transport,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

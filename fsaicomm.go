@@ -35,6 +35,7 @@ import (
 	"fsaicomm/internal/experiments"
 	"fsaicomm/internal/krylov"
 	"fsaicomm/internal/matgen"
+	"fsaicomm/internal/mprun"
 	"fsaicomm/internal/partition"
 	"fsaicomm/internal/simmpi"
 	"fsaicomm/internal/sparse"
@@ -203,6 +204,15 @@ type Options struct {
 	// instances at the price of extra halo traffic (no extra collectives).
 	// Zero disables replacement; other CG variants ignore it.
 	ResidualReplaceEvery int
+	// Transport selects the rank runtime for SolveDistributed: "sim" (the
+	// default; in-process goroutine ranks over metered channels) or "tcp"
+	// (one OS process per rank over a loopback TCP mesh, spawned by
+	// re-executing the current binary — its main or TestMain must call
+	// mprun.MaybeWorker, which cmd binaries and the facade tests do). Both
+	// backends run the identical rank job and produce bit-identical results
+	// and meters; "tcp" pays real process and socket overheads. Serial Solve
+	// ignores it.
+	Transport string
 }
 
 // ErrInvalidOptions is wrapped by the errors Validate returns for
@@ -264,6 +274,11 @@ func (o Options) Validate() error {
 	case CGClassic, CGClassicOverlap, CGFused, CGPipelined:
 	default:
 		return fail("unknown CG variant %d", int(o.CGVariant))
+	}
+	switch o.Transport {
+	case "", "sim", "tcp":
+	default:
+		return fail("unknown transport %q (want sim or tcp)", o.Transport)
 	}
 	if o.Arch != "" {
 		if _, err := archmodel.ByName(o.Arch); err != nil {
@@ -480,88 +495,110 @@ func SolveDistributedContext(ctx context.Context, a *Matrix, b []float64, opt Op
 	pa, layout, oldToNew := distmat.ApplyPartition(a, part, ranks)
 	pb := distmat.PermuteVec(b, oldToNew)
 
-	cfg := core.Config{
-		Method:       opt.Method,
-		Filter:       opt.Filter,
-		Strategy:     opt.Strategy,
-		LineBytes:    opt.LineBytes,
-		PatternLevel: opt.PatternLevel,
-		Threshold:    opt.Threshold,
-		Workers:      opt.Workers,
-		CGVariant:    opt.CGVariant,
+	spec := &mprun.SolveSpec{
+		N:       a.Rows,
+		Ranks:   ranks,
+		Offsets: layout.Offsets,
+		PA:      pa,
+		PB:      pb,
+		Cfg: core.Config{
+			Method:       opt.Method,
+			Filter:       opt.Filter,
+			Strategy:     opt.Strategy,
+			LineBytes:    opt.LineBytes,
+			PatternLevel: opt.PatternLevel,
+			Threshold:    opt.Threshold,
+			Workers:      opt.Workers,
+			CGVariant:    opt.CGVariant,
+		},
+		Tol:                  opt.Tol,
+		MaxIter:              opt.MaxIter,
+		Variant:              opt.CGVariant,
+		Trace:                opt.Trace,
+		ResidualReplaceEvery: opt.ResidualReplaceEvery,
+		Arch:                 opt.Arch,
 	}
-	var aOpts []distmat.OpOption
-	if opt.CGVariant != CGClassic {
-		aOpts = append(aOpts, distmat.WithOverlap())
+	outs, err := runRanks(ctx, opt.Transport, ranks, func(int) *mprun.JobSpec {
+		return &mprun.JobSpec{Solve: spec}
+	})
+	if err != nil {
+		return nil, err
 	}
-	res := &Result{Ranks: ranks}
-	px := make([]float64, a.Rows)
-	costs := make([]experiments.IterCostInputs, ranks)
-	t0 := time.Now()
-	var solveStart time.Time
-	var cancelErr error
-	world, err := simmpi.Run(ranks, time.Hour, func(c *simmpi.Comm) error {
-		lo, hi := layout.Range(c.Rank())
-		aRows := distmat.ExtractLocalRows(pa, lo, hi)
-		bd, err := core.BuildPrecond(c, layout, aRows, cfg)
+	return assembleDistResult(a.Rows, ranks, prof, opt.CGVariant, oldToNew, outs, 0, 0)
+}
+
+// runRanks executes one job per rank on the selected transport: "sim" (or
+// empty) runs goroutine ranks over the in-process metered channels, "tcp"
+// spawns one OS process per rank wired into a loopback socket mesh. Both
+// paths run the identical mprun rank job, which is what makes their results
+// and meters bit-identical.
+func runRanks(ctx context.Context, transport string, ranks int, jobFor func(rank int) *mprun.JobSpec) ([]*mprun.RankOutcome, error) {
+	if transport == "tcp" {
+		return mprun.Launch(ctx, ranks, time.Hour, jobFor)
+	}
+	outs := make([]*mprun.RankOutcome, ranks)
+	_, err := simmpi.Run(ranks, time.Hour, func(c *simmpi.Comm) error {
+		out, err := mprun.RunJob(ctx, c, jobFor(c.Rank()))
 		if err != nil {
 			return err
 		}
-		aOp := distmat.NewOp(c, layout, lo, hi, aRows, aOpts...)
-		costs[c.Rank()] = experiments.AssembleIterCost(prof, aOp, bd.GOp, bd.GTOp, hi-lo, ranks, opt.CGVariant)
-		c.Barrier()
-		if c.Rank() == 0 {
-			res.SetupTime = time.Since(t0)
-			c.Meter().Reset() // meter the solve phase only
-			solveStart = time.Now()
-		}
-		c.Barrier()
-		xl := make([]float64, hi-lo)
-		// Each rank gets its own Workspace (built inside the rank closure;
-		// workspaces must never be shared between concurrent solves).
-		st, err := krylov.DistCG(c, aOp, pb[lo:hi], xl,
-			krylov.NewDistSplit(bd.GOp, bd.GTOp),
-			krylov.Options{Tol: opt.Tol, MaxIter: opt.MaxIter,
-				Variant: opt.CGVariant, Work: &krylov.Workspace{},
-				Trace:                opt.Trace,
-				ResidualReplaceEvery: opt.ResidualReplaceEvery,
-				Ctx:                  ctx}, nil)
-		if err != nil && !errors.Is(err, krylov.ErrNoConvergence) && !errors.Is(err, krylov.ErrCanceled) {
-			return err
-		}
-		copy(px[lo:hi], xl)
-		if c.Rank() == 0 {
-			res.SolveTime = time.Since(solveStart)
-			res.Iterations = st.Iterations
-			res.Converged = st.Converged
-			res.RelResidual = st.RelResidual
-			res.PctNNZIncrease = bd.PctNNZIncrease
-			res.ImbalanceIndex = bd.ImbalanceIndex
-			res.Trace = st.Trace
-			if errors.Is(err, krylov.ErrCanceled) {
-				cancelErr = err
-			}
-		}
+		outs[c.Rank()] = out
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	res.CommBytes = world.Meter().TotalP2PBytes()
-	res.CollectiveCalls = world.Meter().TotalCollectiveCalls()
-	res.CollectiveBytes = world.Meter().TotalCollectiveBytes()
+	return outs, nil
+}
+
+// assembleDistResult folds the per-rank outcomes into the caller-facing
+// Result. Communication totals are the sum of the per-rank solve-phase
+// snapshot deltas — charged synchronously on each rank, so the totals are
+// deterministic and identical across transports. pct/imb override the rank-0
+// build metrics when the caller (the prepared path) already knows them.
+func assembleDistResult(n, ranks int, prof archmodel.Profile, variant CGVariant, oldToNew []int, outs []*mprun.RankOutcome, pct, imb float64) (*Result, error) {
+	root := outs[0]
+	res := &Result{
+		Ranks:          ranks,
+		Iterations:     root.Iterations,
+		Converged:      root.Converged,
+		RelResidual:    root.RelResidual,
+		PctNNZIncrease: root.Pct,
+		ImbalanceIndex: root.Imbalance,
+		SetupTime:      time.Duration(root.SetupNanos),
+		SolveTime:      time.Duration(root.SolveNanos),
+		Trace:          root.Trace,
+	}
+	if pct != 0 {
+		res.PctNNZIncrease = pct
+	}
+	if imb != 0 {
+		res.ImbalanceIndex = imb
+	}
+	costs := make([]experiments.IterCostInputs, ranks)
+	px := make([]float64, n)
+	for r, out := range outs {
+		if out == nil {
+			return nil, fmt.Errorf("fsaicomm: rank %d reported no outcome", r)
+		}
+		costs[r] = out.Cost
+		copy(px[out.Lo:out.Hi], out.XLocal)
+		res.CommBytes += out.SolveComm.P2PBytes
+		res.CollectiveCalls += out.SolveComm.CollectiveCalls
+		res.CollectiveBytes += out.SolveComm.CollectiveBytes
+	}
 	if res.Iterations > 0 {
 		res.CommBytesPerIteration = float64(res.CommBytes) / float64(res.Iterations)
 	}
-	res.ModeledSolveTime = experiments.ModeledSolveTime(prof, opt.CGVariant, res.Iterations, costs)
-	res.Phases = experiments.ModeledPhases(prof, opt.CGVariant, res.Iterations, costs)
+	res.ModeledSolveTime = experiments.ModeledSolveTime(prof, variant, res.Iterations, costs)
+	res.Phases = experiments.ModeledPhases(prof, variant, res.Iterations, costs)
 	// Un-permute the (possibly partial, under cancellation) solution.
-	res.X = make([]float64, a.Rows)
+	res.X = make([]float64, n)
 	for i := range res.X {
 		res.X[i] = px[oldToNew[i]]
 	}
-	if cancelErr != nil {
-		return res, cancelErr
+	if root.Canceled {
+		return res, fmt.Errorf("fsaicomm: %w at iteration %d", krylov.ErrCanceled, res.Iterations)
 	}
 	return res, nil
 }

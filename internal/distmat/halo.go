@@ -195,6 +195,27 @@ func BuildHaloPlan(c *simmpi.Comm, l *Layout, lz *Localized) *HaloPlan {
 	return plan
 }
 
+// NewHaloPlanFromSchedule rebuilds a plan from its immutable schedule — the
+// per-peer send/receive index lists — recomputing the derived peer-ID sets.
+// This is the deserialization constructor: a schedule shipped to a worker
+// process (plain exported slices, gob-friendly) comes back as a plan
+// equivalent to BuildHaloPlan's output without redoing the collective index
+// exchange. The lists are referenced, not copied, like Clone.
+func NewHaloPlanFromSchedule(sendPeers, recvPeers [][]int) *HaloPlan {
+	p := &HaloPlan{SendPeers: sendPeers, RecvPeers: recvPeers}
+	for peer := range sendPeers {
+		if len(sendPeers[peer]) > 0 {
+			p.sendPeerIDs = append(p.sendPeerIDs, peer)
+		}
+	}
+	for peer := range recvPeers {
+		if len(recvPeers[peer]) > 0 {
+			p.recvPeerIDs = append(p.recvPeerIDs, peer)
+		}
+	}
+	return p
+}
+
 // Clone returns a plan that shares this plan's immutable schedule (peer
 // sets and index lists, which no exchange mutates) but owns fresh send
 // buffers and async state. The per-rank schedule of a matrix is computed

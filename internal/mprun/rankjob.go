@@ -1,0 +1,158 @@
+package mprun
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"fsaicomm/internal/archmodel"
+	"fsaicomm/internal/core"
+	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/experiments"
+	"fsaicomm/internal/krylov"
+	"fsaicomm/internal/simmpi"
+)
+
+// RunJob dispatches a job envelope to its runner.
+func RunJob(ctx context.Context, c *simmpi.Comm, job *JobSpec) (*RankOutcome, error) {
+	switch {
+	case job.Solve != nil:
+		return RunSolveRank(ctx, c, job.Solve)
+	case job.Prepared != nil:
+		return RunPreparedRank(ctx, c, job.Prepared, nil)
+	default:
+		return nil, fmt.Errorf("mprun: empty job spec")
+	}
+}
+
+func profileFor(arch string) (archmodel.Profile, error) {
+	if arch == "" {
+		return archmodel.Skylake, nil
+	}
+	return archmodel.ByName(arch)
+}
+
+// RunSolveRank executes one rank of a full SolveDistributed: extract local
+// rows, build the preconditioner, assemble the operators, run distributed
+// CG. It is the single implementation behind both backends — the facade's
+// goroutine ranks and the fsairank worker processes call exactly this.
+//
+// ctx must be non-nil and the same "all ranks or none" choice on every rank:
+// the CG loop polls it through a per-iteration collective verdict, which is
+// itself a collective every rank must enter.
+func RunSolveRank(ctx context.Context, c *simmpi.Comm, spec *SolveSpec) (*RankOutcome, error) {
+	rank := c.Rank()
+	prof, err := profileFor(spec.Arch)
+	if err != nil {
+		return nil, err
+	}
+	layout := &distmat.Layout{N: spec.N, Offsets: spec.Offsets}
+	lo, hi := layout.Range(rank)
+	t0 := time.Now()
+	aRows := distmat.ExtractLocalRows(spec.PA, lo, hi)
+	bd, err := core.BuildPrecond(c, layout, aRows, spec.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	var aOpts []distmat.OpOption
+	if spec.Variant != krylov.CGClassic {
+		aOpts = append(aOpts, distmat.WithOverlap())
+	}
+	aOp := distmat.NewOp(c, layout, lo, hi, aRows, aOpts...)
+	cost := experiments.AssembleIterCost(prof, aOp, bd.GOp, bd.GTOp, hi-lo, spec.Ranks, spec.Variant)
+	// One barrier separates the phases: traffic up to and including it is
+	// "setup", everything after is "solve". Phase attribution needs no meter
+	// reset (and hence no cross-rank reset race): each rank's counters are
+	// charged synchronously on its own goroutine, so snapshot deltas are
+	// exact and deterministic on every backend.
+	c.Barrier()
+	setupComm := c.Meter().RankSnapshot(rank)
+	out := &RankOutcome{
+		Rank: rank, Lo: lo, Hi: hi,
+		Cost:       cost,
+		SetupComm:  setupComm,
+		SetupNanos: time.Since(t0).Nanoseconds(),
+	}
+	if rank == 0 {
+		out.Pct = bd.PctNNZIncrease
+		out.Imbalance = bd.ImbalanceIndex
+	}
+	t1 := time.Now()
+	xl := make([]float64, hi-lo)
+	// Each rank gets its own Workspace; workspaces must never be shared
+	// between concurrent solves.
+	st, err := krylov.DistCG(c, aOp, spec.PB[lo:hi], xl,
+		krylov.NewDistSplit(bd.GOp, bd.GTOp),
+		krylov.Options{Tol: spec.Tol, MaxIter: spec.MaxIter,
+			Variant: spec.Variant, Work: &krylov.Workspace{},
+			Trace:                spec.Trace,
+			ResidualReplaceEvery: spec.ResidualReplaceEvery,
+			Ctx:                  ctx}, nil)
+	canceled := errors.Is(err, krylov.ErrCanceled)
+	if err != nil && !errors.Is(err, krylov.ErrNoConvergence) && !canceled {
+		return nil, err
+	}
+	out.SolveNanos = time.Since(t1).Nanoseconds()
+	out.SolveComm = c.Meter().RankSnapshot(rank).Sub(setupComm)
+	out.XLocal = xl
+	out.Iterations = st.Iterations
+	out.Converged = st.Converged
+	out.RelResidual = st.RelResidual
+	out.Canceled = canceled
+	out.Trace = st.Trace
+	return out, nil
+}
+
+// RunPreparedRank executes one rank of a Prepared.Solve: the localized views
+// and halo schedules come ready-made in the spec, so the rank performs no
+// setup communication and pays only the Krylov loop. ws may carry a pooled
+// workspace (nil allocates a fresh one).
+func RunPreparedRank(ctx context.Context, c *simmpi.Comm, spec *PreparedRankSpec, ws *krylov.Workspace) (*RankOutcome, error) {
+	rank := c.Rank()
+	prof, err := profileFor(spec.Arch)
+	if err != nil {
+		return nil, err
+	}
+	var opOpts []distmat.OpOption
+	if spec.Variant != krylov.CGClassic {
+		opOpts = append(opOpts, distmat.WithOverlap())
+	}
+	aOp := distmat.NewOpFromParts(spec.ALZ, distmat.NewHaloPlanFromSchedule(spec.ASend, spec.ARecv), opOpts...)
+	gOp := distmat.NewOpFromParts(spec.GLZ, distmat.NewHaloPlanFromSchedule(spec.GSend, spec.GRecv), opOpts...)
+	gtOp := distmat.NewOpFromParts(spec.GTLZ, distmat.NewHaloPlanFromSchedule(spec.GTSend, spec.GTRecv), opOpts...)
+	cost := experiments.AssembleIterCost(prof, aOp, gOp, gtOp, spec.Hi-spec.Lo, spec.Ranks, spec.Variant)
+	setupComm := c.Meter().RankSnapshot(rank)
+	// SetupNanos stays 0: a prepared solve's contract is that setup was paid
+	// once in Prepare, and the facade reports SetupTime 0 accordingly.
+	out := &RankOutcome{
+		Rank: rank, Lo: spec.Lo, Hi: spec.Hi,
+		Cost:      cost,
+		SetupComm: setupComm,
+	}
+	if ws == nil {
+		ws = &krylov.Workspace{}
+	}
+	t1 := time.Now()
+	xl := make([]float64, spec.Hi-spec.Lo)
+	st, err := krylov.DistCG(c, aOp, spec.BLocal, xl,
+		krylov.NewDistSplit(gOp, gtOp),
+		krylov.Options{Tol: spec.Tol, MaxIter: spec.MaxIter,
+			Variant: spec.Variant, Work: ws,
+			Trace:                spec.Trace,
+			ResidualReplaceEvery: spec.ResidualReplaceEvery,
+			Ctx:                  ctx}, nil)
+	canceled := errors.Is(err, krylov.ErrCanceled)
+	if err != nil && !errors.Is(err, krylov.ErrNoConvergence) && !canceled {
+		return nil, err
+	}
+	out.SolveNanos = time.Since(t1).Nanoseconds()
+	out.SolveComm = c.Meter().RankSnapshot(rank).Sub(setupComm)
+	out.XLocal = xl
+	out.Iterations = st.Iterations
+	out.Converged = st.Converged
+	out.RelResidual = st.RelResidual
+	out.Canceled = canceled
+	out.Trace = st.Trace
+	return out, nil
+}

@@ -1,0 +1,110 @@
+// Package mprun runs one rank's share of a distributed solve — the "rank
+// job" — identically under both transport backends. The facade's in-process
+// path calls RunSolveRank/RunPreparedRank directly from goroutine ranks; the
+// multi-process path ships a gob-encoded spec to fsairank worker processes
+// (spawned by Launch, self-hosted by any binary that calls MaybeWorker)
+// whose TCP mesh communicator runs the very same function. One code path on
+// both sides is what makes the cross-backend differential tests meaningful:
+// any divergence in results or meter structure is the transport's fault, not
+// a drifted reimplementation of the solve.
+package mprun
+
+import (
+	"fsaicomm/internal/core"
+	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/experiments"
+	"fsaicomm/internal/krylov"
+	"fsaicomm/internal/simmpi"
+	"fsaicomm/internal/sparse"
+)
+
+// SolveSpec is the full-setup rank job: partitioned matrix in, solution
+// slice out. Every rank receives the same spec (the permuted matrix and
+// right-hand side are small at this reproduction's scale; each rank extracts
+// its own rows) — what varies per rank is only the rank itself.
+type SolveSpec struct {
+	// N is the system dimension; Ranks the world size; Offsets the layout
+	// row offsets (len Ranks+1).
+	N       int
+	Ranks   int
+	Offsets []int
+	// PA and PB are the partition-permuted matrix and right-hand side.
+	PA *sparse.CSR
+	PB []float64
+	// Cfg shapes the preconditioner build.
+	Cfg core.Config
+	// Solver knobs (krylov.Options subset; the workspace is per-rank local).
+	Tol                  float64
+	MaxIter              int
+	Variant              krylov.CGVariant
+	Trace                bool
+	ResidualReplaceEvery int
+	// Arch names the cost-model profile ("" = skylake).
+	Arch string
+}
+
+// PreparedRankSpec is the cached-setup rank job: the localized matrix and
+// factor views plus halo schedules built once by Prepare, shipped (or, in
+// process, shared) so the rank pays only the Krylov loop. Unlike SolveSpec
+// it is per-rank: each rank gets exactly its own share.
+type PreparedRankSpec struct {
+	N       int
+	Ranks   int
+	Offsets []int
+	Lo, Hi  int
+	// Localized views (read-only during solves).
+	ALZ, GLZ, GTLZ *distmat.Localized
+	// Halo-plan schedules as plain index lists (see
+	// distmat.NewHaloPlanFromSchedule).
+	ASend, ARecv   [][]int
+	GSend, GRecv   [][]int
+	GTSend, GTRecv [][]int
+	// BLocal is this rank's slice of the permuted right-hand side.
+	BLocal []float64
+	// Informational, for the result assembly.
+	Pct, Imbalance float64
+	// Solver knobs.
+	Tol                  float64
+	MaxIter              int
+	Variant              krylov.CGVariant
+	Trace                bool
+	ResidualReplaceEvery int
+	Arch                 string
+}
+
+// JobSpec is the envelope a worker process receives: exactly one of the
+// job kinds is set.
+type JobSpec struct {
+	Solve    *SolveSpec
+	Prepared *PreparedRankSpec
+}
+
+// RankOutcome is what one rank's job reports back. The facade assembles the
+// caller-facing Result from the full outcome set; the multi-process launcher
+// gob-ships outcomes from the workers.
+type RankOutcome struct {
+	Rank   int
+	Lo, Hi int
+	// XLocal is the rank's slice of the (possibly partial) solution.
+	XLocal []float64
+	// Solver statistics (meaningful on rank 0, which runs the canonical
+	// residual recurrence; other ranks agree by construction).
+	Iterations  int
+	Converged   bool
+	RelResidual float64
+	// Canceled reports that the CG loop stopped on a context verdict.
+	Canceled bool
+	// Pct and Imbalance are the build metrics (rank 0 only; zero for
+	// prepared jobs, whose metrics ride in the spec).
+	Pct, Imbalance float64
+	// Trace is the rank's telemetry when the spec asked for it (rank 0).
+	Trace *krylov.IterTrace
+	// Cost is the rank's modeled per-iteration cost inputs.
+	Cost experiments.IterCostInputs
+	// SetupComm and SolveComm are this rank's metered traffic in the two
+	// phases, taken as RankSnapshot deltas. Summed over ranks they give the
+	// deterministic world totals the differential tests compare bit-for-bit.
+	SetupComm, SolveComm simmpi.Snapshot
+	// SetupNanos and SolveNanos are the rank's wall-clock phase durations.
+	SetupNanos, SolveNanos int64
+}

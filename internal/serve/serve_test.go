@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,7 +16,15 @@ import (
 	"time"
 
 	"fsaicomm"
+	"fsaicomm/internal/mprun"
 )
+
+// TestMain lets this test binary self-host the rank worker processes that
+// solves with "transport": "tcp" spawn via re-execution.
+func TestMain(m *testing.M) {
+	mprun.MaybeWorker()
+	os.Exit(m.Run())
+}
 
 func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
@@ -169,6 +178,59 @@ func TestSolveAndCacheHit(t *testing.T) {
 	}
 	if m.Solve.CollectiveCalls <= 0 || m.Solve.CommBytes <= 0 {
 		t.Fatalf("aggregate comm totals missing: %+v", m.Solve)
+	}
+}
+
+// A request may pick its rank backend per solve: "transport": "tcp" routes
+// the same prepared system through one OS process per rank and must return
+// the bit-identical solution a sim solve does — served from the same cache
+// entry, because the factors are transport-independent.
+func TestSolveTransportTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	_, ts := testServer(t, Config{})
+	mr := uploadGen(t, ts.URL, "Dubcova2-sim")
+
+	req := solveRequest{Matrix: mr.Matrix, Ranks: 4, Filter: 0.01}
+	resp, body := postJSON(t, ts.URL+"/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sim solve: %d %s", resp.StatusCode, body)
+	}
+	var sim solveResponse
+	if err := json.Unmarshal(body, &sim); err != nil {
+		t.Fatal(err)
+	}
+
+	req.Transport = "tcp"
+	resp, body = postJSON(t, ts.URL+"/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tcp solve: %d %s", resp.StatusCode, body)
+	}
+	var tcp solveResponse
+	if err := json.Unmarshal(body, &tcp); err != nil {
+		t.Fatal(err)
+	}
+	if !tcp.CacheHit {
+		t.Fatal("tcp solve missed the prepared cache: transport leaked into the setup key")
+	}
+	if tcp.Iterations != sim.Iterations || tcp.Converged != sim.Converged {
+		t.Fatalf("stats diverge: tcp (%d, %v) vs sim (%d, %v)",
+			tcp.Iterations, tcp.Converged, sim.Iterations, sim.Converged)
+	}
+	if tcp.CommBytes != sim.CommBytes || tcp.Collectives != sim.Collectives {
+		t.Fatalf("meters diverge: tcp (%d, %d) vs sim (%d, %d)",
+			tcp.CommBytes, tcp.Collectives, sim.CommBytes, sim.Collectives)
+	}
+	for i := range sim.X {
+		if tcp.X[i] != sim.X[i] {
+			t.Fatalf("x[%d] diverges: tcp %v vs sim %v", i, tcp.X[i], sim.X[i])
+		}
+	}
+
+	resp, body = postJSON(t, ts.URL+"/solve", solveRequest{Matrix: mr.Matrix, Ranks: 4, Filter: 0.01, Transport: "carrier-pigeon"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown transport: %d %s", resp.StatusCode, body)
 	}
 }
 

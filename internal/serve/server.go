@@ -56,6 +56,12 @@ type Config struct {
 	// Logf, when set, receives one line per notable event (job done,
 	// rejection, shutdown). Silent by default.
 	Logf func(format string, args ...any)
+	// DefaultTransport is the rank backend for requests that do not pick
+	// one: "sim" (goroutine ranks, the default) or "tcp" (one OS process
+	// per rank; the serving binary's main must call mprun.MaybeWorker).
+	// Both produce bit-identical results, so the prepared cache is shared
+	// across transports.
+	DefaultTransport string
 }
 
 func (c Config) withDefaults() Config {
@@ -267,6 +273,7 @@ type solveRequest struct {
 	Arch                 string  `json:"arch,omitempty"`
 	Trace                bool    `json:"trace,omitempty"`
 	ResidualReplaceEvery int     `json:"residual_replace_every,omitempty"`
+	Transport            string  `json:"transport,omitempty"` // sim | tcp (rank backend; empty = server default)
 }
 
 // options maps the request onto the facade's option types.
@@ -303,6 +310,7 @@ func (q *solveRequest) options() (fsaicomm.Options, fsaicomm.SolveOptions, error
 		Arch:                 q.Arch,
 		Trace:                q.Trace,
 		ResidualReplaceEvery: q.ResidualReplaceEvery,
+		Transport:            q.Transport,
 	}
 	if err := opt.Validate(); err != nil {
 		return fsaicomm.Options{}, fsaicomm.SolveOptions{}, fail(http.StatusBadRequest, "%v", err)
@@ -314,6 +322,7 @@ func (q *solveRequest) options() (fsaicomm.Options, fsaicomm.SolveOptions, error
 		Arch:                 q.Arch,
 		Trace:                q.Trace,
 		ResidualReplaceEvery: q.ResidualReplaceEvery,
+		Transport:            q.Transport,
 	}
 	return opt, so, nil
 }
@@ -322,7 +331,9 @@ func (q *solveRequest) options() (fsaicomm.Options, fsaicomm.SolveOptions, error
 // that shapes the partition or the factors, canonicalized so spellings of
 // the same setup share an entry ("" and "multilevel", 0 and 64-byte lines,
 // automatic and explicit equal rank counts). Workers is deliberately
-// excluded: it parallelizes the build without changing its result.
+// excluded: it parallelizes the build without changing its result. So is
+// Transport: setup always runs in-process, and the two solve backends are
+// bit-identical, so a prepared system serves requests on either.
 func setupKey(fp string, o fsaicomm.Options, ranks int) string {
 	lb := o.LineBytes
 	if lb == 0 {
@@ -380,6 +391,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeErr(w, err)
 		return
+	}
+	if so.Transport == "" {
+		so.Transport = s.cfg.DefaultTransport
 	}
 	if q.Matrix == "" {
 		writeErr(w, fail(http.StatusBadRequest, "missing \"matrix\" (fingerprint from POST /matrix)"))

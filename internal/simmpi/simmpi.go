@@ -1,14 +1,19 @@
-// Package simmpi is an in-process message-passing runtime that stands in for
-// MPI in the FSAIE-Comm reproduction. Ranks run as goroutines inside one OS
-// process and exchange messages over Go channels.
+// Package simmpi is a message-passing runtime that stands in for MPI in the
+// FSAIE-Comm reproduction. A Comm is one rank's handle on a world of ranks;
+// beneath it sits a pluggable Transport (see transport.go). The default
+// backend in this package runs ranks as goroutines inside one OS process and
+// exchanges messages over Go channels; internal/tcpmpi provides a real
+// TCP/Unix-socket backend where each rank is an OS process.
 //
 // The runtime provides the subset of MPI the paper's solver needs —
-// point-to-point sends/receives with tags, and the collectives Barrier,
-// Allreduce, Allgather and Bcast — and, crucially, it meters every byte that
-// crosses rank boundaries. The paper's central communication claim (the
-// FSAIE-Comm pattern extension leaves the halo-exchange neighbour sets and
-// volumes untouched) is verified against this meter rather than against
-// wall-clock timings.
+// point-to-point sends/receives with tags, the collectives Barrier,
+// Allreduce, Allgather and Bcast, and nonblocking twins — and, crucially, it
+// meters every byte that crosses rank boundaries. The paper's central
+// communication claim (the FSAIE-Comm pattern extension leaves the
+// halo-exchange neighbour sets and volumes untouched) is verified against
+// this meter rather than against wall-clock timings. Metering happens in
+// Comm, above the Transport, so the counters are identical across backends
+// by construction.
 package simmpi
 
 import (
@@ -18,47 +23,49 @@ import (
 	"time"
 )
 
-// message is a tagged point-to-point payload. Exactly one of f64 and ints is
-// non-nil.
-type message struct {
-	src, tag int
-	f64      []float64
-	ints     []int
-}
-
-// World is a communication universe of Size ranks. Create one with NewWorld
-// and derive per-rank communicators with Comm.
+// World is an in-process communication universe of Size ranks: the channel
+// backend, and the semantic oracle the TCP backend is conformance-tested
+// against. Create one with NewWorld and derive per-rank communicators with
+// Comm.
 type World struct {
 	size    int
 	timeout time.Duration
 	meter   *Meter
 	// p2p[dst][src] carries messages from src to dst; per-pair channels keep
 	// message order deterministic per sender as MPI guarantees.
-	p2p [][]chan message
+	p2p [][]chan Payload
 	// Collective rendezvous: every rank sends its contribution to the root
 	// goroutine slot and receives the result back.
-	collUp   []chan collMsg
-	collDown []chan collMsg
-	// async holds each rank's nonblocking-operation chains (see Request).
-	// Entry r is touched only by rank r's goroutine, so no lock is needed.
-	async []asyncState
+	collUp   []chan CollPayload
+	collDown []chan CollPayload
+	// states holds each rank's Comm-level state (nonblocking chains and the
+	// self-send loopback queue). Entry r is touched only by rank r's
+	// goroutine, so no lock is needed.
+	states []rankState
 }
 
-// asyncState tracks the tails of a rank's nonblocking-operation chains.
-// Collectives, sends and receives each order independently: chaining sends
-// behind receives (or vice versa) would deadlock the post-recv-then-send
-// idiom that makes nonblocking halo exchanges useful in the first place.
-type asyncState struct {
+// rankState is the per-rank state a Comm needs above the transport: the
+// tails of the nonblocking-operation chains and the self-send loopback
+// queue. Collectives, sends and receives each order independently: chaining
+// sends behind receives (or vice versa) would deadlock the
+// post-recv-then-send idiom that makes nonblocking halo exchanges useful in
+// the first place.
+type rankState struct {
 	collTail *Request
 	sendTail *Request
 	recvTail *Request
+	// self carries rank→rank loopback messages (see Comm.SendFloats): a
+	// bounded FIFO so a runaway self-send loop fails loudly instead of
+	// consuming unbounded memory.
+	self chan Payload
 }
 
-type collMsg struct {
-	op   string
-	f64  []float64
-	i64  []int64
-	ints []int
+// selfQueueCap bounds the number of outstanding self-sends per rank. The
+// solver protocols post at most a handful before draining.
+const selfQueueCap = 256
+
+func newRankState() rankState {
+	return rankState{self: make(chan Payload, selfQueueCap)}
 }
 
 // NewWorld creates a world with the given number of ranks. timeout bounds
@@ -72,21 +79,22 @@ func NewWorld(size int, timeout time.Duration) *World {
 		size:     size,
 		timeout:  timeout,
 		meter:    NewMeter(size),
-		p2p:      make([][]chan message, size),
-		collUp:   make([]chan collMsg, size),
-		collDown: make([]chan collMsg, size),
-		async:    make([]asyncState, size),
+		p2p:      make([][]chan Payload, size),
+		collUp:   make([]chan CollPayload, size),
+		collDown: make([]chan CollPayload, size),
+		states:   make([]rankState, size),
 	}
 	for d := 0; d < size; d++ {
-		w.p2p[d] = make([]chan message, size)
+		w.p2p[d] = make([]chan Payload, size)
 		for s := 0; s < size; s++ {
 			// Each protocol phase posts at most a few messages per pair
 			// before draining; a small buffer keeps worlds cheap (they are
 			// created per solve in the experiment sweeps).
-			w.p2p[d][s] = make(chan message, 64)
+			w.p2p[d][s] = make(chan Payload, 64)
 		}
-		w.collUp[d] = make(chan collMsg, 1)
-		w.collDown[d] = make(chan collMsg, 1)
+		w.collUp[d] = make(chan CollPayload, 1)
+		w.collDown[d] = make(chan CollPayload, 1)
+		w.states[d] = newRankState()
 	}
 	return w
 }
@@ -102,7 +110,12 @@ func (w *World) Comm(rank int) *Comm {
 	if rank < 0 || rank >= w.size {
 		panic(fmt.Sprintf("simmpi: rank %d outside [0,%d)", rank, w.size))
 	}
-	return &Comm{w: w, rank: rank}
+	return &Comm{
+		t:       &simTransport{w: w, rank: rank},
+		meter:   w.meter,
+		timeout: w.timeout,
+		st:      &w.states[rank],
+	}
 }
 
 // Run spawns fn on every rank of a fresh world and waits for all of them.
@@ -134,64 +147,193 @@ func Run(size int, timeout time.Duration, fn func(c *Comm) error) (*World, error
 	return w, nil
 }
 
-// Comm is one rank's handle on a World. A Comm is confined to its rank's
-// goroutine; distinct Comms may be used concurrently.
-type Comm struct {
+// simTransport is the channel backend: one rank's view of a World.
+type simTransport struct {
 	w    *World
 	rank int
 }
 
-// Rank returns this communicator's rank.
-func (c *Comm) Rank() int { return c.rank }
+func (t *simTransport) Rank() int { return t.rank }
+func (t *simTransport) Size() int { return t.w.size }
 
-// Size returns the world size.
-func (c *Comm) Size() int { return c.w.size }
+func (t *simTransport) Send(dst int, p Payload) error {
+	t.w.p2p[dst][t.rank] <- p
+	return nil
+}
 
-// Meter returns the world's shared traffic meter.
-func (c *Comm) Meter() *Meter { return c.w.meter }
-
-func (c *Comm) checkPeer(peer int) {
-	if peer < 0 || peer >= c.w.size {
-		panic(fmt.Sprintf("simmpi: rank %d addressed invalid peer %d", c.rank, peer))
+func (t *simTransport) Recv(src int) (Payload, error) {
+	ch := t.w.p2p[t.rank][src]
+	if t.w.timeout > 0 {
+		select {
+		case m := <-ch:
+			return m, nil
+		case <-time.After(t.w.timeout):
+			return Payload{}, fmt.Errorf("timed out receiving from %d (deadlock?)", src)
+		}
 	}
-	if peer == c.rank {
-		panic(fmt.Sprintf("simmpi: rank %d attempted self-send", c.rank))
+	return <-ch, nil
+}
+
+// Collective performs a gather-to-root / broadcast rendezvous. All ranks
+// must call the same op in the same order; op mismatches are errors.
+func (t *simTransport) Collective(contrib CollPayload) (CollPayload, error) {
+	w := t.w
+	op := contrib.Op
+	if t.rank == 0 {
+		parts := make([]CollPayload, w.size)
+		parts[0] = contrib
+		for r := 1; r < w.size; r++ {
+			m, err := t.collRecv(w.collUp[r], op, r)
+			if err != nil {
+				return CollPayload{}, err
+			}
+			parts[r] = m
+		}
+		result, err := Reduce(op, parts)
+		if err != nil {
+			return CollPayload{}, err
+		}
+		for r := 1; r < w.size; r++ {
+			w.collDown[r] <- result
+		}
+		return result, nil
 	}
+	w.collUp[t.rank] <- contrib
+	return t.collRecv(w.collDown[t.rank], op, 0)
 }
 
-// SendFloats sends a copy of data to dst with the given tag.
-func (c *Comm) SendFloats(dst, tag int, data []float64) {
-	c.checkPeer(dst)
-	c.drain(&c.w.async[c.rank].sendTail)
-	payload := append([]float64(nil), data...)
-	c.w.meter.record(c.rank, dst, 8*len(data))
-	c.w.p2p[dst][c.rank] <- message{src: c.rank, tag: tag, f64: payload}
-}
-
-// SendInts sends a copy of data to dst with the given tag.
-func (c *Comm) SendInts(dst, tag int, data []int) {
-	c.checkPeer(dst)
-	c.drain(&c.w.async[c.rank].sendTail)
-	payload := append([]int(nil), data...)
-	c.w.meter.record(c.rank, dst, 8*len(data))
-	c.w.p2p[dst][c.rank] <- message{src: c.rank, tag: tag, ints: payload}
-}
-
-func (c *Comm) recv(src, tag int) message {
-	c.checkPeer(src)
-	ch := c.w.p2p[c.rank][src]
-	var m message
-	if c.w.timeout > 0 {
+func (t *simTransport) collRecv(ch chan CollPayload, op string, from int) (CollPayload, error) {
+	var m CollPayload
+	if t.w.timeout > 0 {
 		select {
 		case m = <-ch:
-		case <-time.After(c.w.timeout):
-			panic(fmt.Sprintf("simmpi: rank %d timed out receiving tag %d from %d (deadlock?)", c.rank, tag, src))
+		case <-time.After(t.w.timeout):
+			return CollPayload{}, fmt.Errorf("timed out in collective %q waiting for rank %d", op, from)
 		}
 	} else {
 		m = <-ch
 	}
-	if m.tag != tag {
-		panic(fmt.Sprintf("simmpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag))
+	if m.Op != op {
+		return CollPayload{}, fmt.Errorf("collective mismatch: in %q, rank %d sent %q", op, from, m.Op)
+	}
+	return m, nil
+}
+
+func (t *simTransport) Close() error { return nil }
+
+// Comm is one rank's handle on a world. A Comm is confined to its rank's
+// goroutine; distinct Comms may be used concurrently. All metering happens
+// here, above the Transport, so the meters of the channel and socket
+// backends agree by construction.
+type Comm struct {
+	t       Transport
+	meter   *Meter
+	timeout time.Duration
+	st      *rankState
+}
+
+// NewComm wraps a Transport endpoint in a communicator. meter must have the
+// world's size (it is this rank's view; in multi-process worlds each process
+// meters only its own rank's traffic). timeout bounds self-send loopback
+// receives; peer-facing timeouts are the transport's business. Used by
+// out-of-package backends; in-process worlds use World.Comm.
+func NewComm(t Transport, meter *Meter, timeout time.Duration) *Comm {
+	st := newRankState()
+	return &Comm{t: t, meter: meter, timeout: timeout, st: &st}
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.t.Rank() }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.t.Size() }
+
+// Meter returns the traffic meter (shared by all ranks of an in-process
+// world; per-process in multi-process worlds).
+func (c *Comm) Meter() *Meter { return c.meter }
+
+func (c *Comm) checkPeer(peer int) {
+	if peer < 0 || peer >= c.Size() {
+		panic(fmt.Sprintf("simmpi: rank %d addressed invalid peer %d", c.Rank(), peer))
+	}
+}
+
+// selfPush enqueues a rank→rank loopback message. The payload is NOT
+// copied: self-delivery is defined as handing the receiver the sender's
+// backing array (both live in the same goroutine's address space, and the
+// solver protocols never mutate a sent buffer before its matching receive).
+func (c *Comm) selfPush(p Payload) {
+	select {
+	case c.st.self <- p:
+	default:
+		panic(fmt.Sprintf("simmpi: rank %d exceeded %d outstanding self-sends", c.Rank(), selfQueueCap))
+	}
+}
+
+// selfPop dequeues the next loopback message, bounded by the timeout: a
+// self-receive with nothing enqueued (and no nonblocking self-send pending)
+// can never be satisfied, so it fails like any other would-be deadlock.
+func (c *Comm) selfPop() (Payload, error) {
+	if c.timeout > 0 {
+		select {
+		case m := <-c.st.self:
+			return m, nil
+		case <-time.After(c.timeout):
+			return Payload{}, fmt.Errorf("timed out on self-receive (nothing self-sent?)")
+		}
+	}
+	return <-c.st.self, nil
+}
+
+// SendFloats sends a copy of data to dst with the given tag. A send to the
+// rank itself is a defined no-copy loopback: the receiver gets data's
+// backing array directly, no bytes are metered (nothing crosses a rank
+// boundary), and no transport is involved — so halo plans and collectives
+// built on top need no self special-casing on any backend.
+func (c *Comm) SendFloats(dst, tag int, data []float64) {
+	c.checkPeer(dst)
+	c.drain(&c.st.sendTail)
+	if dst == c.Rank() {
+		c.selfPush(Payload{Src: dst, Tag: tag, F64: data})
+		return
+	}
+	payload := append([]float64(nil), data...)
+	c.meter.record(c.Rank(), dst, 8*len(data))
+	if err := c.t.Send(dst, Payload{Src: c.Rank(), Tag: tag, F64: payload}); err != nil {
+		panic(fmt.Sprintf("simmpi: rank %d sending tag %d to %d: %v", c.Rank(), tag, dst, err))
+	}
+}
+
+// SendInts sends a copy of data to dst with the given tag. Self-sends are a
+// no-copy loopback, as for SendFloats.
+func (c *Comm) SendInts(dst, tag int, data []int) {
+	c.checkPeer(dst)
+	c.drain(&c.st.sendTail)
+	if dst == c.Rank() {
+		c.selfPush(Payload{Src: dst, Tag: tag, Ints: data})
+		return
+	}
+	payload := append([]int(nil), data...)
+	c.meter.record(c.Rank(), dst, 8*len(data))
+	if err := c.t.Send(dst, Payload{Src: c.Rank(), Tag: tag, Ints: payload}); err != nil {
+		panic(fmt.Sprintf("simmpi: rank %d sending tag %d to %d: %v", c.Rank(), tag, dst, err))
+	}
+}
+
+func (c *Comm) recv(src, tag int) Payload {
+	c.checkPeer(src)
+	var m Payload
+	var err error
+	if src == c.Rank() {
+		m, err = c.selfPop()
+	} else {
+		m, err = c.t.Recv(src)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("simmpi: rank %d receiving tag %d from %d: %v", c.Rank(), tag, src, err))
+	}
+	if m.Tag != tag {
+		panic(fmt.Sprintf("simmpi: rank %d expected tag %d from %d, got %d", c.Rank(), tag, src, m.Tag))
 	}
 	return m
 }
@@ -200,182 +342,78 @@ func (c *Comm) recv(src, tag int) message {
 // from one sender arrive in send order; mismatched tags panic (the solver
 // uses strictly ordered phases, so a mismatch is a protocol bug).
 func (c *Comm) RecvFloats(src, tag int) []float64 {
-	c.drain(&c.w.async[c.rank].recvTail)
+	c.drain(&c.st.recvTail)
 	m := c.recv(src, tag)
-	if m.f64 == nil && m.ints != nil {
-		panic(fmt.Sprintf("simmpi: rank %d expected floats from %d tag %d, got ints", c.rank, src, tag))
+	if m.F64 == nil && m.Ints != nil {
+		panic(fmt.Sprintf("simmpi: rank %d expected floats from %d tag %d, got ints", c.Rank(), src, tag))
 	}
-	return m.f64
+	return m.F64
 }
 
 // RecvInts receives an int payload from src with the given tag.
 func (c *Comm) RecvInts(src, tag int) []int {
-	c.drain(&c.w.async[c.rank].recvTail)
+	c.drain(&c.st.recvTail)
 	m := c.recv(src, tag)
-	if m.ints == nil && m.f64 != nil {
-		panic(fmt.Sprintf("simmpi: rank %d expected ints from %d tag %d, got floats", c.rank, src, tag))
+	if m.Ints == nil && m.F64 != nil {
+		panic(fmt.Sprintf("simmpi: rank %d expected ints from %d tag %d, got floats", c.Rank(), src, tag))
 	}
-	return m.ints
-}
-
-// collective performs a gather-to-root / broadcast rendezvous. All ranks
-// must call the same op in the same order; op mismatches panic.
-func (c *Comm) collective(op string, contrib collMsg) collMsg {
-	contrib.op = op
-	w := c.w
-	if c.rank == 0 {
-		parts := make([]collMsg, w.size)
-		parts[0] = contrib
-		for r := 1; r < w.size; r++ {
-			parts[r] = c.collRecv(w.collUp[r], op, r)
-		}
-		result := reduceColl(op, parts)
-		for r := 1; r < w.size; r++ {
-			w.collDown[r] <- result
-		}
-		return result
-	}
-	w.collUp[c.rank] <- contrib
-	return c.collRecv(w.collDown[c.rank], op, 0)
-}
-
-func (c *Comm) collRecv(ch chan collMsg, op string, from int) collMsg {
-	var m collMsg
-	if c.w.timeout > 0 {
-		select {
-		case m = <-ch:
-		case <-time.After(c.w.timeout):
-			panic(fmt.Sprintf("simmpi: rank %d timed out in collective %q waiting for rank %d", c.rank, op, from))
-		}
-	} else {
-		m = <-ch
-	}
-	if m.op != op {
-		panic(fmt.Sprintf("simmpi: rank %d collective mismatch: in %q, rank %d sent %q", c.rank, op, from, m.op))
-	}
-	return m
-}
-
-func reduceColl(op string, parts []collMsg) collMsg {
-	out := collMsg{op: op}
-	switch op {
-	case "barrier":
-	case "allreduce-sum":
-		out.f64 = make([]float64, len(parts[0].f64))
-		for _, p := range parts {
-			for i, v := range p.f64 {
-				out.f64[i] += v
-			}
-		}
-	case "allreduce-max":
-		out.f64 = append([]float64(nil), parts[0].f64...)
-		for _, p := range parts[1:] {
-			for i, v := range p.f64 {
-				if v > out.f64[i] {
-					out.f64[i] = v
-				}
-			}
-		}
-	case "allreduce-min":
-		out.f64 = append([]float64(nil), parts[0].f64...)
-		for _, p := range parts[1:] {
-			for i, v := range p.f64 {
-				if v < out.f64[i] {
-					out.f64[i] = v
-				}
-			}
-		}
-	case "allreduce-sum-i64":
-		out.i64 = make([]int64, len(parts[0].i64))
-		for _, p := range parts {
-			for i, v := range p.i64 {
-				out.i64[i] += v
-			}
-		}
-	case "allreduce-max-i64":
-		out.i64 = append([]int64(nil), parts[0].i64...)
-		for _, p := range parts[1:] {
-			for i, v := range p.i64 {
-				if v > out.i64[i] {
-					out.i64[i] = v
-				}
-			}
-		}
-	case "allgather-i64":
-		for _, p := range parts {
-			out.i64 = append(out.i64, p.i64...)
-		}
-	case "allgather-f64":
-		for _, p := range parts {
-			out.f64 = append(out.f64, p.f64...)
-		}
-	case "allgather-int":
-		for _, p := range parts {
-			out.ints = append(out.ints, p.ints...)
-		}
-	case "bcast":
-		out = parts[0]
-		out.op = op
-	default:
-		panic("simmpi: unknown collective op " + op)
-	}
-	return out
+	return m.Ints
 }
 
 // Barrier blocks until every rank has entered it. It is metered as a
 // zero-byte collective call.
 func (c *Comm) Barrier() {
 	c.meterCollective(0)
-	c.syncCollective("barrier", collMsg{})
+	c.syncCollective("barrier", CollPayload{})
 }
 
 // AllreduceSum returns the element-wise sum of vals over all ranks.
 // The result slice is shared between ranks; callers must not mutate it.
 func (c *Comm) AllreduceSum(vals ...float64) []float64 {
 	c.meterCollective(8 * len(vals))
-	return c.syncCollective("allreduce-sum", collMsg{f64: vals}).f64
+	return c.syncCollective("allreduce-sum", CollPayload{F64: vals}).F64
 }
 
 // AllreduceMax returns the element-wise max of vals over all ranks.
 func (c *Comm) AllreduceMax(vals ...float64) []float64 {
 	c.meterCollective(8 * len(vals))
-	return c.syncCollective("allreduce-max", collMsg{f64: vals}).f64
+	return c.syncCollective("allreduce-max", CollPayload{F64: vals}).F64
 }
 
 // AllreduceMin returns the element-wise min of vals over all ranks.
 func (c *Comm) AllreduceMin(vals ...float64) []float64 {
 	c.meterCollective(8 * len(vals))
-	return c.syncCollective("allreduce-min", collMsg{f64: vals}).f64
+	return c.syncCollective("allreduce-min", CollPayload{F64: vals}).F64
 }
 
 // AllreduceSumInt64 returns the element-wise sum of vals over all ranks.
 func (c *Comm) AllreduceSumInt64(vals ...int64) []int64 {
 	c.meterCollective(8 * len(vals))
-	return c.syncCollective("allreduce-sum-i64", collMsg{i64: vals}).i64
+	return c.syncCollective("allreduce-sum-i64", CollPayload{I64: vals}).I64
 }
 
 // AllreduceMaxInt64 returns the element-wise max of vals over all ranks.
 func (c *Comm) AllreduceMaxInt64(vals ...int64) []int64 {
 	c.meterCollective(8 * len(vals))
-	return c.syncCollective("allreduce-max-i64", collMsg{i64: vals}).i64
+	return c.syncCollective("allreduce-max-i64", CollPayload{I64: vals}).I64
 }
 
 // AllgatherInt64 concatenates every rank's vals in rank order.
 func (c *Comm) AllgatherInt64(vals []int64) []int64 {
 	c.meterCollective(8 * len(vals))
-	return c.syncCollective("allgather-i64", collMsg{i64: vals}).i64
+	return c.syncCollective("allgather-i64", CollPayload{I64: vals}).I64
 }
 
 // AllgatherFloats concatenates every rank's vals in rank order.
 func (c *Comm) AllgatherFloats(vals []float64) []float64 {
 	c.meterCollective(8 * len(vals))
-	return c.syncCollective("allgather-f64", collMsg{f64: vals}).f64
+	return c.syncCollective("allgather-f64", CollPayload{F64: vals}).F64
 }
 
 // AllgatherInt concatenates every rank's vals in rank order.
 func (c *Comm) AllgatherInt(vals []int) []int {
 	c.meterCollective(8 * len(vals))
-	return c.syncCollective("allgather-int", collMsg{ints: vals}).ints
+	return c.syncCollective("allgather-int", CollPayload{Ints: vals}).Ints
 }
 
 // BcastFloats distributes root's vals to every rank. Non-root callers pass
@@ -386,29 +424,38 @@ func (c *Comm) BcastFloats(root int, vals []float64) []float64 {
 		panic("simmpi: BcastFloats currently supports root 0 only")
 	}
 	bytes := 0
-	if c.rank == root {
+	if c.Rank() == root {
 		// Only the root contributes payload; every rank still enters the
 		// collective, so every rank is charged a call.
 		bytes = 8 * len(vals)
 	}
 	c.meterCollective(bytes)
-	return c.syncCollective("bcast", collMsg{f64: vals}).f64
+	return c.syncCollective("bcast", CollPayload{F64: vals}).F64
 }
 
 // meterCollective charges a collective's payload as size-1 point-to-point
 // messages from this rank (a flat cost model; the experiments only compare
 // collective counts between methods, which are identical by construction).
 func (c *Comm) meterCollective(bytes int) {
-	c.w.meter.recordCollective(c.rank, bytes)
+	c.meter.recordCollective(c.Rank(), bytes)
 }
 
 // syncCollective is the blocking-collective entry point: it first waits out
 // this rank's outstanding nonblocking collectives so blocking and
 // nonblocking operations keep a single per-rank order (as MPI requires of
 // mixed collective streams), then performs the rendezvous.
-func (c *Comm) syncCollective(op string, contrib collMsg) collMsg {
-	c.drain(&c.w.async[c.rank].collTail)
+func (c *Comm) syncCollective(op string, contrib CollPayload) CollPayload {
+	c.drain(&c.st.collTail)
 	return c.collective(op, contrib)
+}
+
+func (c *Comm) collective(op string, contrib CollPayload) CollPayload {
+	contrib.Op = op
+	out, err := c.t.Collective(contrib)
+	if err != nil {
+		panic(fmt.Sprintf("simmpi: rank %d in collective %q: %v", c.Rank(), op, err))
+	}
+	return out
 }
 
 // ---- Nonblocking operations ----
@@ -474,6 +521,21 @@ func (c *Comm) drain(tail **Request) {
 	}
 }
 
+// Quiesce waits for every outstanding nonblocking chain on this rank —
+// sends, receives and collectives — to finish executing. An in-process
+// world never needs it (chain goroutines outlive the rank closures), but a
+// rank that owns its transport's lifetime must quiesce before tearing it
+// down: the solver's final iteration may have posted an async halo send a
+// peer is still waiting on, and exiting the process (or closing the
+// endpoint) first would turn that peer's receive into a spurious rank-lost
+// failure. Chain entries that panicked are already captured into their
+// handles; Quiesce only waits, it never re-raises.
+func (c *Comm) Quiesce() {
+	c.drain(&c.st.sendTail)
+	c.drain(&c.st.recvTail)
+	c.drain(&c.st.collTail)
+}
+
 // post enqueues fn on the chain whose tail is *tail and returns its
 // Request. fn runs on a background goroutine after the previous chain
 // entry completes; its panics are captured into the handle.
@@ -510,21 +572,29 @@ func (c *Comm) post(kind string, tail **Request, fn func(r *Request)) *Request {
 func (c *Comm) IallreduceSum(vals ...float64) *Request {
 	c.meterCollective(8 * len(vals))
 	payload := append([]float64(nil), vals...)
-	return c.post("iallreduce-sum", &c.w.async[c.rank].collTail, func(r *Request) {
-		r.f64 = c.collective("allreduce-sum", collMsg{f64: payload}).f64
+	return c.post("iallreduce-sum", &c.st.collTail, func(r *Request) {
+		r.f64 = c.collective("allreduce-sum", CollPayload{F64: payload}).F64
 	})
 }
 
 // IsendFloats posts a copy of data to dst with the given tag and returns
 // immediately; Wait yields (nil, nil) once the payload is handed to the
 // transport. Metered at post time exactly like SendFloats, so the per-pair
-// byte and message counts are independent of which flavor is used.
+// byte and message counts are independent of which flavor is used. Posted
+// self-sends enter the loopback queue in chain order, without copying.
 func (c *Comm) IsendFloats(dst, tag int, data []float64) *Request {
 	c.checkPeer(dst)
+	if dst == c.Rank() {
+		return c.post("isend", &c.st.sendTail, func(r *Request) {
+			c.selfPush(Payload{Src: dst, Tag: tag, F64: data})
+		})
+	}
 	payload := append([]float64(nil), data...)
-	c.w.meter.record(c.rank, dst, 8*len(data))
-	return c.post("isend", &c.w.async[c.rank].sendTail, func(r *Request) {
-		c.w.p2p[dst][c.rank] <- message{src: c.rank, tag: tag, f64: payload}
+	c.meter.record(c.Rank(), dst, 8*len(data))
+	return c.post("isend", &c.st.sendTail, func(r *Request) {
+		if err := c.t.Send(dst, Payload{Src: c.Rank(), Tag: tag, F64: payload}); err != nil {
+			panic(fmt.Sprintf("simmpi: rank %d sending tag %d to %d: %v", c.Rank(), tag, dst, err))
+		}
 	})
 }
 
@@ -533,12 +603,12 @@ func (c *Comm) IsendFloats(dst, tag int, data []float64) *Request {
 // so the per-sender FIFO delivery of the blocking twin is preserved.
 func (c *Comm) IrecvFloats(src, tag int) *Request {
 	c.checkPeer(src)
-	return c.post("irecv", &c.w.async[c.rank].recvTail, func(r *Request) {
+	return c.post("irecv", &c.st.recvTail, func(r *Request) {
 		m := c.recv(src, tag)
-		if m.f64 == nil && m.ints != nil {
-			panic(fmt.Sprintf("simmpi: rank %d expected floats from %d tag %d, got ints", c.rank, src, tag))
+		if m.F64 == nil && m.Ints != nil {
+			panic(fmt.Sprintf("simmpi: rank %d expected floats from %d tag %d, got ints", c.Rank(), src, tag))
 		}
-		r.f64 = m.f64
+		r.f64 = m.F64
 	})
 }
 
@@ -596,6 +666,26 @@ func (m *Meter) Reset() {
 	}
 }
 
+// Merge adds o's counters into m. The multi-process launcher uses it to
+// fold per-worker meters (each holding one rank's row) into a world view.
+func (m *Meter) Merge(o *Meter) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if o.size != m.size {
+		panic(fmt.Sprintf("simmpi: merging meter of size %d into %d", o.size, m.size))
+	}
+	for i := 0; i < m.size; i++ {
+		for j := 0; j < m.size; j++ {
+			m.pairBytes[i][j] += o.pairBytes[i][j]
+			m.pairMsgs[i][j] += o.pairMsgs[i][j]
+		}
+		m.collBytes[i] += o.collBytes[i]
+		m.collOps[i] += o.collOps[i]
+	}
+}
+
 // TotalP2PBytes returns the total point-to-point bytes sent.
 func (m *Meter) TotalP2PBytes() int64 {
 	m.mu.Lock()
@@ -627,6 +717,14 @@ func (m *Meter) PairBytes(src, dst int) int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.pairBytes[src][dst]
+}
+
+// PairRow returns a copy of rank's outgoing per-destination byte counts.
+// The transport differential tests compare these rows across backends.
+func (m *Meter) PairRow(rank int) []int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]int64(nil), m.pairBytes[rank]...)
 }
 
 // CollectiveBytes returns the collective payload bytes charged to rank.

@@ -248,13 +248,49 @@ func TestPayloadTypeMismatchPanics(t *testing.T) {
 	}
 }
 
-func TestSelfSendPanics(t *testing.T) {
-	_, err := Run(1, testTimeout, func(c *Comm) error {
-		c.SendFloats(0, 0, []float64{1})
+func TestSelfSendLoopback(t *testing.T) {
+	w, err := Run(1, testTimeout, func(c *Comm) error {
+		sent := []float64{1, 2, 3}
+		c.SendFloats(0, 7, sent)
+		got := c.RecvFloats(0, 7)
+		if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+			return fmt.Errorf("loopback payload = %v", got)
+		}
+		// Self-delivery is defined as no-copy: the receiver shares the
+		// sender's backing array.
+		if &got[0] != &sent[0] {
+			return fmt.Errorf("loopback copied the payload")
+		}
+		c.SendInts(0, 8, []int{4, 5})
+		if ints := c.RecvInts(0, 8); len(ints) != 2 || ints[1] != 5 {
+			return fmt.Errorf("loopback ints = %v", ints)
+		}
+		// Posted self-sends join the same loopback queue in chain order.
+		r := c.IsendFloats(0, 9, []float64{6})
+		if got := c.RecvFloats(0, 9); len(got) != 1 || got[0] != 6 {
+			return fmt.Errorf("posted loopback payload = %v", got)
+		}
+		if _, err := r.Wait(); err != nil {
+			return err
+		}
 		return nil
 	})
-	if err == nil || !strings.Contains(err.Error(), "self-send") {
-		t.Fatalf("self-send not detected: %v", err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loopback traffic crosses no rank boundary and is not metered.
+	if n := w.Meter().TotalP2PMessages(); n != 0 {
+		t.Fatalf("self-sends metered: %d messages", n)
+	}
+}
+
+func TestSelfRecvWithoutSendTimesOut(t *testing.T) {
+	_, err := Run(1, 50*time.Millisecond, func(c *Comm) error {
+		c.RecvFloats(0, 0)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("bare self-receive not detected: %v", err)
 	}
 }
 

@@ -1,0 +1,29 @@
+package tcpmpi_test
+
+import (
+	"testing"
+	"time"
+
+	"fsaicomm/internal/commtest"
+	"fsaicomm/internal/simmpi"
+	"fsaicomm/internal/tcpmpi"
+)
+
+// The socket backend must pass the oracle's conformance corpus verbatim,
+// over both socket families.
+func TestConformanceTCP(t *testing.T) {
+	runConformance(t, "tcp")
+}
+
+func TestConformanceUnix(t *testing.T) {
+	runConformance(t, "unix")
+}
+
+func runConformance(t *testing.T, network string) {
+	commtest.RunConformance(t, commtest.Harness{
+		Name: network,
+		Run: func(size int, timeout time.Duration, fn func(c *simmpi.Comm) error) (*simmpi.Meter, error) {
+			return tcpmpi.RunLocal(size, tcpmpi.Config{Network: network, Timeout: timeout}, fn)
+		},
+	})
+}

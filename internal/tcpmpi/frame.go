@@ -1,0 +1,226 @@
+// Package tcpmpi is the socket backend of the simmpi Transport interface:
+// ranks are OS processes (or goroutines in tests) exchanging length-prefixed
+// frames over TCP loopback or Unix-domain sockets. Semantics are pinned to
+// the in-process channel backend by the conformance suite in
+// internal/commtest; the differential tests in the root package additionally
+// assert bit-identical solver results across backends.
+package tcpmpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"fsaicomm/internal/simmpi"
+)
+
+// Frame kinds. Every frame on a mesh connection is
+//
+//	u32 length (of everything after this field) | u8 kind | body
+//
+// with all integers little-endian and floats as IEEE-754 bit patterns.
+const (
+	kindHello byte = 1 // body: u32 rank — sent by the dialing (higher) rank
+	kindP2P   byte = 2 // body: p2p payload (see encodeP2P)
+	kindColl  byte = 3 // body: collective payload (see encodeColl)
+)
+
+// maxFrameBytes bounds a decoded frame; anything larger means a corrupt or
+// hostile stream, not solver traffic.
+const maxFrameBytes = 1 << 30
+
+func writeFrame(w io.Writer, kind byte, body []byte) error {
+	// One buffer, one Write: frames must not interleave when several
+	// goroutines share a connection under the per-conn write mutex.
+	buf := make([]byte, 5+len(body))
+	binary.LittleEndian.PutUint32(buf, uint32(1+len(body)))
+	buf[4] = kind
+	copy(buf[5:], body)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame works on any reader (the mesh handshake reads the raw
+// connection: buffering there would read ahead into the next frame, whose
+// bytes would be lost when the per-peer reader loop takes over with its own
+// buffer).
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > maxFrameBytes {
+		return 0, nil, fmt.Errorf("tcpmpi: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// Payload type tags inside p2p frames. Empty payloads are typeless on the
+// wire, mirroring the channel backend where copying an empty slice yields
+// nil and the receiver-side type check accepts either accessor.
+const (
+	typNone byte = 0
+	typF64  byte = 1
+	typInts byte = 2
+)
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func encodeP2P(p simmpi.Payload) []byte {
+	typ, n := typNone, 0
+	switch {
+	case len(p.F64) > 0:
+		typ, n = typF64, len(p.F64)
+	case len(p.Ints) > 0:
+		typ, n = typInts, len(p.Ints)
+	}
+	b := make([]byte, 0, 9+1+4+8*n)
+	b = appendU32(b, uint32(p.Src))
+	b = appendU32(b, uint32(p.Tag))
+	b = append(b, typ)
+	b = appendU32(b, uint32(n))
+	switch typ {
+	case typF64:
+		for _, v := range p.F64 {
+			b = appendU64(b, math.Float64bits(v))
+		}
+	case typInts:
+		for _, v := range p.Ints {
+			b = appendU64(b, uint64(v))
+		}
+	}
+	return b
+}
+
+func decodeP2P(body []byte) (simmpi.Payload, error) {
+	if len(body) < 13 {
+		return simmpi.Payload{}, fmt.Errorf("tcpmpi: p2p frame %d bytes, want >= 13", len(body))
+	}
+	p := simmpi.Payload{
+		Src: int(int32(binary.LittleEndian.Uint32(body))),
+		Tag: int(int32(binary.LittleEndian.Uint32(body[4:]))),
+	}
+	typ := body[8]
+	n := int(binary.LittleEndian.Uint32(body[9:]))
+	data := body[13:]
+	if len(data) != 8*n {
+		return simmpi.Payload{}, fmt.Errorf("tcpmpi: p2p frame payload %d bytes, want %d", len(data), 8*n)
+	}
+	switch typ {
+	case typNone:
+		// n==0: both slices stay nil, matching the channel backend's copy of
+		// an empty payload.
+	case typF64:
+		p.F64 = make([]float64, n)
+		for i := range p.F64 {
+			p.F64[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+		}
+	case typInts:
+		p.Ints = make([]int, n)
+		for i := range p.Ints {
+			p.Ints[i] = int(int64(binary.LittleEndian.Uint64(data[8*i:])))
+		}
+	default:
+		return simmpi.Payload{}, fmt.Errorf("tcpmpi: p2p frame type %d", typ)
+	}
+	return p, nil
+}
+
+func encodeColl(p simmpi.CollPayload) []byte {
+	if len(p.Op) > 255 {
+		panic(fmt.Sprintf("tcpmpi: collective op %q too long", p.Op))
+	}
+	b := make([]byte, 0, 1+len(p.Op)+12+8*(len(p.F64)+len(p.I64)+len(p.Ints)))
+	b = append(b, byte(len(p.Op)))
+	b = append(b, p.Op...)
+	b = appendU32(b, uint32(len(p.F64)))
+	for _, v := range p.F64 {
+		b = appendU64(b, math.Float64bits(v))
+	}
+	b = appendU32(b, uint32(len(p.I64)))
+	for _, v := range p.I64 {
+		b = appendU64(b, uint64(v))
+	}
+	b = appendU32(b, uint32(len(p.Ints)))
+	for _, v := range p.Ints {
+		b = appendU64(b, uint64(v))
+	}
+	return b
+}
+
+func decodeColl(body []byte) (simmpi.CollPayload, error) {
+	bad := func() (simmpi.CollPayload, error) {
+		return simmpi.CollPayload{}, fmt.Errorf("tcpmpi: truncated collective frame (%d bytes)", len(body))
+	}
+	if len(body) < 1 {
+		return bad()
+	}
+	opLen := int(body[0])
+	body = body[1:]
+	if len(body) < opLen {
+		return bad()
+	}
+	p := simmpi.CollPayload{Op: string(body[:opLen])}
+	body = body[opLen:]
+	vec := func() ([]uint64, bool) {
+		if len(body) < 4 {
+			return nil, false
+		}
+		n := int(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+		if n > maxFrameBytes/8 || len(body) < 8*n {
+			return nil, false
+		}
+		out := make([]uint64, n)
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint64(body[8*i:])
+		}
+		body = body[8*n:]
+		return out, true
+	}
+	f64, ok := vec()
+	if !ok {
+		return bad()
+	}
+	i64, ok := vec()
+	if !ok {
+		return bad()
+	}
+	ints, ok := vec()
+	if !ok {
+		return bad()
+	}
+	// Mirror the channel backend's nil-for-empty contributions so reduced
+	// results round-trip identically.
+	if len(f64) > 0 {
+		p.F64 = make([]float64, len(f64))
+		for i, v := range f64 {
+			p.F64[i] = math.Float64frombits(v)
+		}
+	}
+	if len(i64) > 0 {
+		p.I64 = make([]int64, len(i64))
+		for i, v := range i64 {
+			p.I64[i] = int64(v)
+		}
+	}
+	if len(ints) > 0 {
+		p.Ints = make([]int, len(ints))
+		for i, v := range ints {
+			p.Ints[i] = int(int64(v))
+		}
+	}
+	return p, nil
+}

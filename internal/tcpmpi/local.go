@@ -1,0 +1,118 @@
+package tcpmpi
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"fsaicomm/internal/simmpi"
+)
+
+// listenAll opens one listener per rank and returns their addresses plus a
+// cleanup for any on-disk socket directory. Listeners all exist before any
+// address is returned, so mesh dials cannot race listener creation.
+func listenAll(cfg Config, size int) ([]net.Listener, []string, func(), error) {
+	cleanup := func() {}
+	var dir string
+	if cfg.Network == "unix" {
+		var err error
+		dir, err = os.MkdirTemp("", "tcpmpi-")
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("tcpmpi: socket dir: %w", err)
+		}
+		cleanup = func() { os.RemoveAll(dir) }
+	}
+	lns := make([]net.Listener, size)
+	addrs := make([]string, size)
+	for r := 0; r < size; r++ {
+		var (
+			ln  net.Listener
+			err error
+		)
+		switch cfg.Network {
+		case "unix":
+			ln, err = net.Listen("unix", filepath.Join(dir, fmt.Sprintf("rank%d.sock", r)))
+		case "tcp":
+			ln, err = ListenTCP()
+		default:
+			err = fmt.Errorf("unknown network %q", cfg.Network)
+		}
+		if err != nil {
+			for _, l := range lns[:r] {
+				l.Close()
+			}
+			cleanup()
+			return nil, nil, nil, fmt.Errorf("tcpmpi: rank %d listen: %w", r, err)
+		}
+		lns[r] = ln
+		addrs[r] = ln.Addr().String()
+	}
+	return lns, addrs, cleanup, nil
+}
+
+// RunLocal spawns fn on every rank of a fresh socket mesh, one goroutine per
+// rank, each over its own Endpoint — the full wire path (framing, mesh
+// handshake, reader demultiplexing) without the process-spawn cost. Panics
+// inside a rank are recovered into errors; the first non-nil error in rank
+// order wins. Each rank meters its own traffic (as the multi-process workers
+// do); the returned meter is the per-rank meters merged, comparable to an
+// in-process World's.
+func RunLocal(size int, cfg Config, fn func(c *simmpi.Comm) error) (*simmpi.Meter, error) {
+	cfg = cfg.withDefaults()
+	if size < 1 {
+		return nil, fmt.Errorf("tcpmpi: world size %d < 1", size)
+	}
+	lns, addrs, cleanup, err := listenAll(cfg, size)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	meters := make([]*simmpi.Meter, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("simmpi: rank %d panicked: %v", rank, p)
+				}
+			}()
+			ep, err := Connect(rank, lns[rank], addrs, cfg)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer ep.Close()
+			var t simmpi.Transport = ep
+			if cfg.Wrap != nil {
+				t = cfg.Wrap(rank, t)
+			}
+			meters[rank] = simmpi.NewMeter(size)
+			c := simmpi.NewComm(t, meters[rank], cfg.Timeout)
+			errs[rank] = fn(c)
+			if errs[rank] == nil {
+				// Flush outstanding nonblocking chains before the deferred
+				// endpoint Close: a peer may still be waiting on an async
+				// send fn posted on its way out.
+				c.Quiesce()
+			}
+		}(r)
+	}
+	wg.Wait()
+	merged := simmpi.NewMeter(size)
+	for _, m := range meters {
+		if m != nil {
+			merged.Merge(m)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return merged, err
+		}
+	}
+	return merged, nil
+}

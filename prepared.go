@@ -2,7 +2,6 @@ package fsaicomm
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -10,8 +9,8 @@ import (
 	"fsaicomm/internal/archmodel"
 	"fsaicomm/internal/core"
 	"fsaicomm/internal/distmat"
-	"fsaicomm/internal/experiments"
 	"fsaicomm/internal/krylov"
+	"fsaicomm/internal/mprun"
 	"fsaicomm/internal/simmpi"
 )
 
@@ -35,6 +34,11 @@ type SolveOptions struct {
 	// ResidualReplaceEvery periodically recomputes the true residual in the
 	// pipelined loop (see Options.ResidualReplaceEvery).
 	ResidualReplaceEvery int
+	// Transport selects the rank runtime: "sim" (default) or "tcp" (one OS
+	// process per rank; the localized factors and halo schedules are shipped
+	// to the workers, so the solve still pays no setup communication). See
+	// Options.Transport.
+	Transport string
 }
 
 // Validate rejects nonsensical per-solve options, reusing the facade's
@@ -47,6 +51,7 @@ func (o SolveOptions) Validate() error {
 		CGVariant:            o.CGVariant,
 		Arch:                 o.Arch,
 		ResidualReplaceEvery: o.ResidualReplaceEvery,
+		Transport:            o.Transport,
 	}.Validate()
 }
 
@@ -228,70 +233,56 @@ func (p *Prepared) Solve(ctx context.Context, b []float64, so SolveOptions) (*Re
 			return nil, fmt.Errorf("fsaicomm: %w", err)
 		}
 	}
-	var opOpts []distmat.OpOption
-	if so.CGVariant != CGClassic {
-		opOpts = append(opOpts, distmat.WithOverlap())
-	}
 
 	pb := distmat.PermuteVec(b, p.oldToNew)
-	px := make([]float64, p.n)
-	costs := make([]experiments.IterCostInputs, p.ranks)
-	res := &Result{
-		Ranks:          p.ranks,
-		PctNNZIncrease: p.pct,
-		ImbalanceIndex: p.imbalance,
+	specs := make([]*mprun.PreparedRankSpec, p.ranks)
+	for r := range specs {
+		pr := &p.parts[r]
+		specs[r] = &mprun.PreparedRankSpec{
+			N: p.n, Ranks: p.ranks, Offsets: p.layout.Offsets,
+			Lo: pr.lo, Hi: pr.hi,
+			ALZ: pr.aLZ, GLZ: pr.gLZ, GTLZ: pr.gtLZ,
+			// The schedules are read-only [][]int views; the rank job wraps
+			// them in a fresh HaloPlan with private send buffers, which is
+			// what Clone used to provide.
+			ASend: pr.aPlan.SendPeers, ARecv: pr.aPlan.RecvPeers,
+			GSend: pr.gPlan.SendPeers, GRecv: pr.gPlan.RecvPeers,
+			GTSend: pr.gtPlan.SendPeers, GTRecv: pr.gtPlan.RecvPeers,
+			BLocal:               pb[pr.lo:pr.hi],
+			Pct:                  p.pct,
+			Imbalance:            p.imbalance,
+			Tol:                  so.Tol,
+			MaxIter:              so.MaxIter,
+			Variant:              so.CGVariant,
+			Trace:                so.Trace,
+			ResidualReplaceEvery: so.ResidualReplaceEvery,
+			Arch:                 so.Arch,
+		}
 	}
-	var cancelErr error
-	t0 := time.Now()
-	world, err := simmpi.Run(p.ranks, time.Hour, func(c *simmpi.Comm) error {
-		r := &p.parts[c.Rank()]
-		aOp := distmat.NewOpFromParts(r.aLZ, r.aPlan.Clone(), opOpts...)
-		gOp := distmat.NewOpFromParts(r.gLZ, r.gPlan.Clone(), opOpts...)
-		gtOp := distmat.NewOpFromParts(r.gtLZ, r.gtPlan.Clone(), opOpts...)
-		costs[c.Rank()] = experiments.AssembleIterCost(prof, aOp, gOp, gtOp, r.hi-r.lo, p.ranks, so.CGVariant)
-		xl := make([]float64, r.hi-r.lo)
-		ws := p.pools[c.Rank()].Get().(*krylov.Workspace)
-		defer p.pools[c.Rank()].Put(ws)
-		st, err := krylov.DistCG(c, aOp, pb[r.lo:r.hi], xl,
-			krylov.NewDistSplit(gOp, gtOp),
-			krylov.Options{Tol: so.Tol, MaxIter: so.MaxIter,
-				Variant: so.CGVariant, Work: ws,
-				Trace:                so.Trace,
-				ResidualReplaceEvery: so.ResidualReplaceEvery,
-				Ctx:                  ctx}, nil)
-		if err != nil && !errors.Is(err, krylov.ErrNoConvergence) && !errors.Is(err, krylov.ErrCanceled) {
-			return err
-		}
-		copy(px[r.lo:r.hi], xl)
-		if c.Rank() == 0 {
-			res.Iterations = st.Iterations
-			res.Converged = st.Converged
-			res.RelResidual = st.RelResidual
-			res.Trace = st.Trace
-			if errors.Is(err, krylov.ErrCanceled) {
-				cancelErr = err
+
+	var outs []*mprun.RankOutcome
+	var err error
+	if so.Transport == "tcp" {
+		// The worker processes receive the localized factors over the wire;
+		// their workspaces are fresh per process, so the pools stay local.
+		outs, err = mprun.Launch(ctx, p.ranks, time.Hour, func(rank int) *mprun.JobSpec {
+			return &mprun.JobSpec{Prepared: specs[rank]}
+		})
+	} else {
+		outs = make([]*mprun.RankOutcome, p.ranks)
+		_, err = simmpi.Run(p.ranks, time.Hour, func(c *simmpi.Comm) error {
+			ws := p.pools[c.Rank()].Get().(*krylov.Workspace)
+			defer p.pools[c.Rank()].Put(ws)
+			out, err := mprun.RunPreparedRank(ctx, c, specs[c.Rank()], ws)
+			if err != nil {
+				return err
 			}
-		}
-		return nil
-	})
+			outs[c.Rank()] = out
+			return nil
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
-	res.SolveTime = time.Since(t0)
-	res.CommBytes = world.Meter().TotalP2PBytes()
-	res.CollectiveCalls = world.Meter().TotalCollectiveCalls()
-	res.CollectiveBytes = world.Meter().TotalCollectiveBytes()
-	if res.Iterations > 0 {
-		res.CommBytesPerIteration = float64(res.CommBytes) / float64(res.Iterations)
-	}
-	res.ModeledSolveTime = experiments.ModeledSolveTime(prof, so.CGVariant, res.Iterations, costs)
-	res.Phases = experiments.ModeledPhases(prof, so.CGVariant, res.Iterations, costs)
-	res.X = make([]float64, p.n)
-	for i := range res.X {
-		res.X[i] = px[p.oldToNew[i]]
-	}
-	if cancelErr != nil {
-		return res, cancelErr
-	}
-	return res, nil
+	return assembleDistResult(p.n, p.ranks, prof, so.CGVariant, p.oldToNew, outs, p.pct, p.imbalance)
 }

@@ -1,0 +1,168 @@
+package fsaicomm
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"fsaicomm/internal/mprun"
+	"fsaicomm/internal/testsets"
+)
+
+// TestMain lets this test binary self-host the rank worker processes the
+// "tcp" transport spawns: mprun.Launch re-executes the current binary, and
+// MaybeWorker diverts those copies into worker mode before any test runs.
+func TestMain(m *testing.M) {
+	mprun.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// TestSolveDistributedTransportDifferential is the end-to-end cross-backend
+// check of the issue: the same solve through goroutine ranks and through one
+// OS process per rank must agree bit for bit — solution vector, iteration
+// count, and the metered communication structure.
+func TestSolveDistributedTransportDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	for _, name := range []string{"Dubcova2-sim", "gyro-sim"} {
+		t.Run(name, func(t *testing.T) {
+			sp, err := testsets.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := sp.Generate()
+			b := GenerateRHS(a, 11)
+			opt := Options{Method: FSAIEComm, Filter: 0.01, Ranks: 4}
+
+			sim, err := SolveDistributed(a, b, opt)
+			if err != nil {
+				t.Fatalf("sim: %v", err)
+			}
+			if !sim.Converged {
+				t.Fatalf("sim did not converge in %d iterations", sim.Iterations)
+			}
+			opt.Transport = "tcp"
+			tcp, err := SolveDistributed(a, b, opt)
+			if err != nil {
+				t.Fatalf("tcp: %v", err)
+			}
+
+			if tcp.Iterations != sim.Iterations || tcp.Converged != sim.Converged ||
+				tcp.RelResidual != sim.RelResidual {
+				t.Errorf("stats diverge: tcp (%d, %v, %g) vs sim (%d, %v, %g)",
+					tcp.Iterations, tcp.Converged, tcp.RelResidual,
+					sim.Iterations, sim.Converged, sim.RelResidual)
+			}
+			for i := range sim.X {
+				if tcp.X[i] != sim.X[i] {
+					t.Fatalf("x[%d] diverges: tcp %v vs sim %v", i, tcp.X[i], sim.X[i])
+				}
+			}
+			if tcp.CommBytes != sim.CommBytes ||
+				tcp.CollectiveCalls != sim.CollectiveCalls ||
+				tcp.CollectiveBytes != sim.CollectiveBytes {
+				t.Errorf("meter structure diverges: tcp (p2p %d, coll %d calls / %d bytes) vs sim (p2p %d, coll %d calls / %d bytes)",
+					tcp.CommBytes, tcp.CollectiveCalls, tcp.CollectiveBytes,
+					sim.CommBytes, sim.CollectiveCalls, sim.CollectiveBytes)
+			}
+			if tcp.PctNNZIncrease != sim.PctNNZIncrease || tcp.ImbalanceIndex != sim.ImbalanceIndex {
+				t.Errorf("build metrics diverge: tcp (%g, %g) vs sim (%g, %g)",
+					tcp.PctNNZIncrease, tcp.ImbalanceIndex, sim.PctNNZIncrease, sim.ImbalanceIndex)
+			}
+			if tcp.ModeledSolveTime != sim.ModeledSolveTime {
+				t.Errorf("modeled time diverges: tcp %g vs sim %g", tcp.ModeledSolveTime, sim.ModeledSolveTime)
+			}
+		})
+	}
+}
+
+// TestPreparedSolveTransportDifferential ships the cached factors to worker
+// processes and demands the same bit-identity a fresh solve gets; the
+// prepared path must also stay free of setup traffic on the wire.
+func TestPreparedSolveTransportDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	a := GeneratePoisson2D(24, 24)
+	b := GenerateRHS(a, 5)
+	p, err := Prepare(a, Options{Method: FSAIEComm, Filter: 0.01, Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []CGVariant{CGClassic, CGFused, CGPipelined} {
+		sim, err := p.Solve(context.Background(), b, SolveOptions{CGVariant: v})
+		if err != nil {
+			t.Fatalf("%v sim: %v", v, err)
+		}
+		tcp, err := p.Solve(context.Background(), b, SolveOptions{CGVariant: v, Transport: "tcp"})
+		if err != nil {
+			t.Fatalf("%v tcp: %v", v, err)
+		}
+		if tcp.Iterations != sim.Iterations || tcp.RelResidual != sim.RelResidual {
+			t.Fatalf("%v: stats diverge: tcp (%d, %g) vs sim (%d, %g)",
+				v, tcp.Iterations, tcp.RelResidual, sim.Iterations, sim.RelResidual)
+		}
+		for i := range sim.X {
+			if tcp.X[i] != sim.X[i] {
+				t.Fatalf("%v: x[%d] diverges: tcp %v vs sim %v", v, i, tcp.X[i], sim.X[i])
+			}
+		}
+		if tcp.CommBytes != sim.CommBytes || tcp.CollectiveCalls != sim.CollectiveCalls {
+			t.Fatalf("%v: meters diverge: tcp (%d, %d) vs sim (%d, %d)",
+				v, tcp.CommBytes, tcp.CollectiveCalls, sim.CommBytes, sim.CollectiveCalls)
+		}
+		if tcp.SetupTime != 0 {
+			t.Fatalf("%v: prepared tcp solve reports setup time %v", v, tcp.SetupTime)
+		}
+	}
+}
+
+// TestPreparedSolveTCPCancel cancels a multi-process prepared solve
+// mid-flight: the workers must wind down within the kill grace, and the
+// caller gets the partial Result with an ErrCanceled-wrapped error — the
+// same contract the in-process backend honors.
+func TestPreparedSolveTCPCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	// The tiny (but positive: zero means "default") tolerance cannot be met
+	// until the recurrence residual underflows to exactly zero, which on
+	// this fixture takes ~1.5s of multi-process solving (measured; the
+	// underflow bounds how long ANY tiny-tolerance run can last, so "run
+	// forever" is not an option). The cancel is timed well inside that
+	// window: the solve is underway within ~0.1s of Solve being called.
+	a := GeneratePoisson2D(96, 96)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1 + float64(i%7)/7
+	}
+	p, err := Prepare(a, Options{Method: FSAIEComm, Filter: 0.01, Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 600*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := p.Solve(ctx, b, SolveOptions{Tol: 1e-300, MaxIter: 1 << 30, Transport: "tcp"})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got error %v, want ErrCanceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancel took %v to wind down", elapsed)
+	}
+	if res == nil {
+		t.Fatal("no partial result alongside ErrCanceled")
+	}
+	if len(res.X) != a.Rows {
+		t.Fatalf("partial X length %d, want %d", len(res.X), a.Rows)
+	}
+	if res.Converged {
+		t.Fatal("Converged = true on a canceled solve")
+	}
+	if res.Iterations == 0 {
+		t.Fatal("Iterations = 0: cancel landed before the solve started?")
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 tier2 bench fuzz trace serve mp cover
+.PHONY: all tier1 tier2 bench fuzz trace serve mp batch cover
 
 all: tier1
 
@@ -15,21 +15,26 @@ tier1:
 
 # tier2: race-detector pass over the concurrency-bearing packages (the
 # simulated MPI runtime, the socket transport and the multi-process rank
-# runner, the worker pool, the row-parallel FSAI builds, the distributed
-# solver/operator layers, the HTTP serving layer with its concurrent cached
-# solves, and the root facade's cross-backend transport suite).
+# runner, the worker pool, the row-parallel FSAI builds, the batched SpMM
+# and block vector kernels, the distributed solver/operator layers, the
+# HTTP serving layer with its concurrent cached solves and job coalescing,
+# and the root facade's cross-backend transport suite).
 tier2:
 	$(GO) build ./...
-	$(GO) test -race ./internal/simmpi/... ./internal/tcpmpi/... ./internal/mprun/... ./internal/fsai/... ./internal/parallel/... ./internal/krylov/... ./internal/distmat/... ./internal/serve/... ./cmd/fsaiserve/... .
+	$(GO) test -race ./internal/simmpi/... ./internal/tcpmpi/... ./internal/mprun/... ./internal/fsai/... ./internal/parallel/... ./internal/sparse/... ./internal/vecops/... ./internal/krylov/... ./internal/distmat/... ./internal/serve/... ./cmd/fsaiserve/... .
 
 # bench: the serial-vs-parallel kernel pairs plus the CG-variant
-# (classic/overlap/fused/pipelined) and blocking-vs-overlap SpMV comparisons
-# on the ~50k-row case, and the BENCH_pipelined.json artifact with per-variant
-# iterations, wall time, modeled time and meter totals.
+# (classic/overlap/fused/pipelined), blocking-vs-overlap SpMV, and
+# batched-vs-looped multi-RHS comparisons on the ~50k-row case, and three
+# JSON artifacts: per-variant iterations/wall/modeled/meter totals
+# (BENCH_pipelined.json), per-backend solve times (BENCH_transport.json),
+# and batched-vs-looped ns/RHS with the ~k× per-RHS communication drop
+# (BENCH_batch.json + BENCH_batch.csv).
 bench:
 	$(GO) test -run xxx -bench '50k' -benchmem .
 	$(GO) run ./cmd/fsaibench -exp benchjson -out BENCH_pipelined.json
 	$(GO) run ./cmd/fsaibench -exp transportjson -out BENCH_transport.json
+	$(GO) run ./cmd/fsaibench -exp batchjson -out BENCH_batch.json -csv BENCH_batch.csv
 
 # trace: emit a sample per-iteration telemetry artifact — the consph-sim
 # catalog instance solved with pipelined CG on 4 ranks, per-iteration
@@ -55,6 +60,25 @@ serve:
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	if [ $$ok -ne 0 ]; then echo "fsaiserve smoke test failed"; exit 1; fi; \
 	echo "fsaiserve smoke test passed"
+
+# batch: job-coalescing smoke test — start the daemon with a 500ms
+# enrollment window, wait for /healthz, then run the binary's own
+# -batch-probe client: three concurrent same-system solves that must merge
+# into one batched solve (verified through the responses and /metrics).
+batch:
+	$(GO) build -o bin/fsaiserve ./cmd/fsaiserve
+	@./bin/fsaiserve -addr 127.0.0.1:8098 -batch-window 500ms -batch-max 3 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	ok=1; for i in 1 2 3 4 5 6 7 8 9 10; do \
+		sleep 0.3; \
+		if ./bin/fsaiserve -probe http://127.0.0.1:8098/healthz; then ok=0; break; fi; \
+	done; \
+	if [ $$ok -eq 0 ]; then \
+		if ./bin/fsaiserve -batch-probe http://127.0.0.1:8098; then ok=0; else ok=1; fi; \
+	fi; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	if [ $$ok -ne 0 ]; then echo "fsaiserve batch smoke test failed"; exit 1; fi; \
+	echo "fsaiserve batch smoke test passed"
 
 # mp: multi-process smoke test — build the rank worker binary and run its
 # selfcheck, which solves one catalog instance on 4 goroutine ranks and

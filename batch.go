@@ -1,0 +1,299 @@
+package fsaicomm
+
+// Batched (multi-RHS) facade entry points. A batched solve runs one
+// distributed CG loop over k right-hand sides at once: every halo update
+// sends one coalesced message per neighbour (k× fewer messages than k
+// scalar solves, the same bytes) and every reduction point is one k-wide
+// collective (k× fewer collective calls). Per column the arithmetic is
+// bit-identical to the scalar solve of that column alone — the batch buys
+// throughput, never answers.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fsaicomm/internal/archmodel"
+	"fsaicomm/internal/core"
+	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/krylov"
+	"fsaicomm/internal/mprun"
+	"fsaicomm/internal/vecops"
+)
+
+// ErrBatchVariant is wrapped by the error batched solves return when the
+// selected CG variant has no batched loop (only CGClassic and CGFused do;
+// the overlap and pipelined schedules exist to hide latency the batch
+// already amortizes).
+var ErrBatchVariant = krylov.ErrBatchVariant
+
+// ColResult is one column's outcome of a batched solve.
+type ColResult struct {
+	// X is the column's solution vector (original row order).
+	X []float64
+	// Iterations, Converged and RelResidual report the column's own CG
+	// recurrence: a column freezes the moment it converges, so columns
+	// generally stop at different iteration counts.
+	Iterations  int
+	Converged   bool
+	RelResidual float64
+	// Broken reports a per-column breakdown (indefinite system, NaN): the
+	// column froze without converging while its batch mates continued.
+	Broken bool
+}
+
+// BatchResult reports a batched multi-RHS solve.
+type BatchResult struct {
+	// Cols holds the per-column outcomes, in the caller's RHS order.
+	Cols []ColResult
+	// Iterations is the batch loop's iteration count — the maximum over
+	// columns, which is what the communication schedule paid for.
+	Iterations int
+	// Ranks is the number of processes used.
+	Ranks int
+	// PctNNZIncrease and ImbalanceIndex are the build metrics (see Result).
+	PctNNZIncrease float64
+	ImbalanceIndex float64
+	// CommBytes, CommMessages, CollectiveCalls and CollectiveBytes are the
+	// aggregate solve-phase communication totals over all ranks. Divide by
+	// len(Cols) for the per-RHS amortized cost the batch exists to shrink.
+	CommBytes       int64
+	CommMessages    int64
+	CollectiveCalls int64
+	CollectiveBytes int64
+	// SetupTime and SolveTime are wall-clock phase durations (SetupTime is
+	// 0 for Prepared.SolveBatch, whose setup was paid in Prepare).
+	SetupTime, SolveTime time.Duration
+}
+
+// AllConverged reports whether every column converged.
+func (r *BatchResult) AllConverged() bool {
+	for i := range r.Cols {
+		if !r.Cols[i].Converged {
+			return false
+		}
+	}
+	return true
+}
+
+// checkBatchRHS validates the RHS block shape shared by the batched entry
+// points.
+func checkBatchRHS(rhs [][]float64, n int) error {
+	if len(rhs) < 1 {
+		return fmt.Errorf("fsaicomm: batch needs at least 1 right-hand side")
+	}
+	for c := range rhs {
+		if len(rhs[c]) != n {
+			return fmt.Errorf("fsaicomm: rhs column %d length %d, want %d", c, len(rhs[c]), n)
+		}
+	}
+	return nil
+}
+
+func checkBatchVariant(v CGVariant) error {
+	switch v {
+	case CGClassic, CGFused:
+		return nil
+	default:
+		return fmt.Errorf("%w: variant %d (batched solves support classic and fused)", ErrBatchVariant, int(v))
+	}
+}
+
+// packPermuted interleaves the RHS columns row-major in partition order:
+// pb[p*k+c] = rhs[c][old row of permuted row p].
+func packPermuted(rhs [][]float64, oldToNew []int, n int) []float64 {
+	k := len(rhs)
+	pb := make([]float64, n*k)
+	for c := range rhs {
+		col := distmat.PermuteVec(rhs[c], oldToNew)
+		vecops.PackColumn(pb, col, k, c)
+	}
+	return pb
+}
+
+// SolveBatch runs one distributed CG solve for A·x_c = b_c over all columns
+// of rhs at once, with full setup (partition + preconditioner build). See
+// Prepared.SolveBatch for the cached-setup path and the batching semantics.
+func SolveBatch(a *Matrix, rhs [][]float64, opt Options) (*BatchResult, error) {
+	return SolveBatchContext(context.Background(), a, rhs, opt)
+}
+
+// SolveBatchContext is SolveBatch with cancellation: every rank checks ctx
+// once per batch iteration through a collective verdict, so all ranks stop
+// at the same iteration boundary and the partial per-column results come
+// back with an ErrCanceled-wrapped error.
+func SolveBatchContext(ctx context.Context, a *Matrix, rhs [][]float64, opt Options) (*BatchResult, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkBatchVariant(opt.CGVariant); err != nil {
+		return nil, err
+	}
+	if len(rhs) < 1 {
+		return nil, checkBatchRHS(rhs, a.Rows)
+	}
+	if err := checkInput(a, rhs[0]); err != nil {
+		return nil, err
+	}
+	if err := checkBatchRHS(rhs, a.Rows); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults(a.Rows)
+	ranks := AutoRanks(a, opt.Ranks)
+	if ranks < 1 {
+		return nil, fmt.Errorf("fsaicomm: ranks %d < 1", ranks)
+	}
+	part, err := partitionRows(a, opt, ranks)
+	if err != nil {
+		return nil, err
+	}
+	pa, layout, oldToNew := distmat.ApplyPartition(a, part, ranks)
+	k := len(rhs)
+	spec := &mprun.SolveBatchSpec{
+		N:       a.Rows,
+		Ranks:   ranks,
+		Offsets: layout.Offsets,
+		PA:      pa,
+		K:       k,
+		PB:      packPermuted(rhs, oldToNew, a.Rows),
+		Cfg: core.Config{
+			Method:       opt.Method,
+			Filter:       opt.Filter,
+			Strategy:     opt.Strategy,
+			LineBytes:    opt.LineBytes,
+			PatternLevel: opt.PatternLevel,
+			Threshold:    opt.Threshold,
+			Workers:      opt.Workers,
+			CGVariant:    opt.CGVariant,
+		},
+		Tol:     opt.Tol,
+		MaxIter: opt.MaxIter,
+		Variant: opt.CGVariant,
+		Arch:    opt.Arch,
+	}
+	outs, err := runRanks(ctx, opt.Transport, ranks, func(int) *mprun.JobSpec {
+		return &mprun.JobSpec{SolveBatch: spec}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assembleBatchResult(a.Rows, ranks, k, oldToNew, outs, 0, 0)
+}
+
+// SolveBatch runs one batched distributed CG solve over all columns of rhs
+// on the prepared system, paying the halo and collective schedule once for
+// the whole batch instead of once per column. Per column the result is
+// bit-identical to Prepared.Solve on that column alone. Only the classic
+// and fused CG variants have batched loops (ErrBatchVariant otherwise).
+// Safe for concurrent use like Solve. Cancellation stops all columns at
+// the same batch iteration and returns the partial per-column results with
+// an ErrCanceled-wrapped error.
+func (p *Prepared) SolveBatch(ctx context.Context, rhs [][]float64, so SolveOptions) (*BatchResult, error) {
+	if err := so.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkBatchVariant(so.CGVariant); err != nil {
+		return nil, err
+	}
+	if err := checkBatchRHS(rhs, p.n); err != nil {
+		return nil, err
+	}
+	if so.Tol == 0 {
+		so.Tol = 1e-8
+	}
+	if so.MaxIter == 0 {
+		so.MaxIter = 10 * p.n
+		if so.MaxIter < 100 {
+			so.MaxIter = 100
+		}
+	}
+	if so.Arch != "" {
+		if _, err := archmodel.ByName(so.Arch); err != nil {
+			return nil, fmt.Errorf("fsaicomm: %w", err)
+		}
+	}
+
+	k := len(rhs)
+	pb := packPermuted(rhs, p.oldToNew, p.n)
+	specs := make([]*mprun.PreparedBatchSpec, p.ranks)
+	for r := range specs {
+		pr := &p.parts[r]
+		specs[r] = &mprun.PreparedBatchSpec{
+			Prepared: &mprun.PreparedRankSpec{
+				N: p.n, Ranks: p.ranks, Offsets: p.layout.Offsets,
+				Lo: pr.lo, Hi: pr.hi,
+				ALZ: pr.aLZ, GLZ: pr.gLZ, GTLZ: pr.gtLZ,
+				ASend: pr.aPlan.SendPeers, ARecv: pr.aPlan.RecvPeers,
+				GSend: pr.gPlan.SendPeers, GRecv: pr.gPlan.RecvPeers,
+				GTSend: pr.gtPlan.SendPeers, GTRecv: pr.gtPlan.RecvPeers,
+				Pct:       p.pct,
+				Imbalance: p.imbalance,
+				Tol:       so.Tol,
+				MaxIter:   so.MaxIter,
+				Variant:   so.CGVariant,
+				Arch:      so.Arch,
+			},
+			K:      k,
+			BLocal: pb[pr.lo*k : pr.hi*k],
+		}
+	}
+	outs, err := runRanks(ctx, so.Transport, p.ranks, func(rank int) *mprun.JobSpec {
+		return &mprun.JobSpec{PreparedBatch: specs[rank]}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assembleBatchResult(p.n, p.ranks, k, p.oldToNew, outs, p.pct, p.imbalance)
+}
+
+// assembleBatchResult folds the per-rank batched outcomes into the
+// caller-facing BatchResult, un-permuting each column of the interleaved
+// solution blocks.
+func assembleBatchResult(n, ranks, k int, oldToNew []int, outs []*mprun.RankOutcome, pct, imb float64) (*BatchResult, error) {
+	root := outs[0]
+	if root == nil || root.Batch == nil {
+		return nil, fmt.Errorf("fsaicomm: rank 0 reported no batch outcome")
+	}
+	res := &BatchResult{
+		Cols:           make([]ColResult, k),
+		Iterations:     root.Iterations,
+		Ranks:          ranks,
+		PctNNZIncrease: root.Pct,
+		ImbalanceIndex: root.Imbalance,
+		SetupTime:      time.Duration(root.SetupNanos),
+		SolveTime:      time.Duration(root.SolveNanos),
+	}
+	if pct != 0 {
+		res.PctNNZIncrease = pct
+	}
+	if imb != 0 {
+		res.ImbalanceIndex = imb
+	}
+	px := make([]float64, n*k)
+	for r, out := range outs {
+		if out == nil || out.Batch == nil {
+			return nil, fmt.Errorf("fsaicomm: rank %d reported no batch outcome", r)
+		}
+		copy(px[out.Lo*k:out.Hi*k], out.XLocal)
+		res.CommBytes += out.SolveComm.P2PBytes
+		res.CommMessages += out.SolveComm.P2PMessages
+		res.CollectiveCalls += out.SolveComm.CollectiveCalls
+		res.CollectiveBytes += out.SolveComm.CollectiveBytes
+	}
+	bo := root.Batch
+	for c := 0; c < k; c++ {
+		col := &res.Cols[c]
+		col.X = make([]float64, n)
+		for i := range col.X {
+			col.X[i] = px[oldToNew[i]*k+c]
+		}
+		col.Iterations = bo.Iterations[c]
+		col.Converged = bo.Converged[c]
+		col.RelResidual = bo.RelResidual[c]
+		col.Broken = bo.Broken[c]
+	}
+	if root.Canceled {
+		return res, fmt.Errorf("fsaicomm: %w at iteration %d", krylov.ErrCanceled, res.Iterations)
+	}
+	return res, nil
+}

@@ -8,6 +8,7 @@ package fsaicomm
 // measured numbers for both.
 
 import (
+	"context"
 	"io"
 	"testing"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"fsaicomm/internal/simmpi"
 	"fsaicomm/internal/sparse"
 	"fsaicomm/internal/testsets"
+	"fsaicomm/internal/vecops"
 )
 
 // quick returns the class-representative subset used by the benches.
@@ -496,6 +498,86 @@ func benchDistSpMV50k(b *testing.B, overlap bool) {
 
 func BenchmarkDistSpMV50kBlocking(b *testing.B) { benchDistSpMV50k(b, false) }
 func BenchmarkDistSpMV50kOverlap(b *testing.B)  { benchDistSpMV50k(b, true) }
+
+// ---- Batched multi-RHS benchmarks ----
+//
+// SpMM vs k independent SpMVs, and the batched prepared solve vs a loop of
+// scalar solves, on the same ~50k-row Poisson3D case. The SpMM kernel
+// streams the matrix once for all k columns where the SpMV loop reads it k
+// times, and the batched solve pays one k-wide halo/reduction schedule
+// where the loop pays k narrow ones. Names contain "50k" so `make bench`
+// picks them up.
+
+func benchSpMMvsLoop(b *testing.B, k int, batched bool) {
+	a := matgen.Poisson3D(37, 37, 37)
+	n := a.Rows
+	x := make([]float64, n*k)
+	y := make([]float64, n*k)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	xc := make([]float64, n)
+	yc := make([]float64, n)
+	b.SetBytes(int64(k * 12 * a.NNZ()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batched {
+			a.MulMat(x, y, k)
+		} else {
+			for c := 0; c < k; c++ {
+				vecops.UnpackColumn(xc, x, k, c)
+				a.MulVec(xc, yc)
+				vecops.PackColumn(y, yc, k, c)
+			}
+		}
+	}
+}
+
+func BenchmarkSpMM50kx4(b *testing.B)  { benchSpMMvsLoop(b, 4, true) }
+func BenchmarkSpMV50kx4(b *testing.B)  { benchSpMMvsLoop(b, 4, false) }
+func BenchmarkSpMM50kx16(b *testing.B) { benchSpMMvsLoop(b, 16, true) }
+func BenchmarkSpMV50kx16(b *testing.B) { benchSpMMvsLoop(b, 16, false) }
+
+func benchSolveBatch50k(b *testing.B, batched bool) {
+	const k = 8
+	a := matgen.Poisson3D(37, 37, 37)
+	p, err := Prepare(a, Options{Method: FSAI, Ranks: 4, Partitioner: "block"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([][]float64, k)
+	for c := range rhs {
+		rhs[c] = matgen.RandomRHS(a.Rows, int64(11+c), a.MaxNorm())
+	}
+	so := SolveOptions{CGVariant: CGClassic}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batched {
+			br, err := p.SolveBatch(ctx, rhs, so)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !br.AllConverged() {
+				b.Fatal("not converged")
+			}
+		} else {
+			for c := range rhs {
+				res, err := p.Solve(ctx, rhs[c], so)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Converged {
+					b.Fatal("not converged")
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/rhs")
+}
+
+func BenchmarkPreparedSolveBatch50k(b *testing.B)  { benchSolveBatch50k(b, true) }
+func BenchmarkPreparedSolveLooped50k(b *testing.B) { benchSolveBatch50k(b, false) }
 
 // BenchmarkSpMVSymmetric measures the half-storage symmetric kernel against
 // BenchmarkSpMVPoisson3D's full-CSR baseline (same matrix).

@@ -11,10 +11,14 @@
 // plus interaction (filter × CG-variant × ranks study), phases (the
 // per-window exposed/hidden breakdown of the modeled solve time per CG
 // variant and rank count), benchjson (the BENCH_pipelined.json artifact
-// of `make bench`; -out selects the file, default stdout) and transportjson
+// of `make bench`; -out selects the file, default stdout), transportjson
 // (the BENCH_transport.json artifact: measured ns/solve for the classic,
 // fused and pipelined variants at 4 and 8 ranks on the in-process and the
-// multi-process TCP backends; -transport narrows the backends measured).
+// multi-process TCP backends; -transport narrows the backends measured)
+// and batchjson (the BENCH_batch.json artifact: batched multi-RHS
+// Prepared.SolveBatch versus k looped solves — ns/RHS, and the ~k× drop in
+// per-RHS halo messages and collective calls; -csv additionally emits the
+// rows as CSV).
 // The quick set (default) is a 7-matrix class-representative subset of
 // Table 1; -set full runs the whole 39-matrix catalog (minutes, not
 // seconds).
@@ -44,17 +48,18 @@ func main() {
 	arch := flag.String("arch", "", "override architecture (skylake, a64fx, zen2); default per experiment")
 	workers := flag.Int("workers", 0, "setup worker threads per simulated rank (0 = 1 per rank)")
 	cg := flag.String("cg", "classic", "distributed CG loop: classic, classic-overlap, fused or pipelined")
-	outPath := flag.String("out", "", "output file for -exp benchjson/transportjson (default stdout)")
-	transport := flag.String("transport", "both", "backends for -exp transportjson: sim, tcp or both")
+	outPath := flag.String("out", "", "output file for -exp benchjson/transportjson/batchjson (default stdout)")
+	transport := flag.String("transport", "both", "backends for -exp transportjson/batchjson: sim, tcp or both")
+	csvPath := flag.String("csv", "", "also write -exp batchjson rows as CSV to this file")
 	flag.Parse()
 
-	if err := run(*exp, *set, *arch, *workers, *cg, *outPath, *transport, os.Stdout); err != nil {
+	if err := run(*exp, *set, *arch, *workers, *cg, *outPath, *transport, *csvPath, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "fsaibench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, set, archOverride string, workers int, cg, outPath, transport string, out io.Writer) error {
+func run(exp, set, archOverride string, workers int, cg, outPath, transport, csvPath string, out io.Writer) error {
 	variant, err := krylov.ParseCGVariant(cg)
 	if err != nil {
 		return err
@@ -302,6 +307,31 @@ func run(exp, set, archOverride string, workers int, cg, outPath, transport stri
 			}
 			if outPath != "" {
 				fmt.Fprintf(out, "wrote transport bench artifact to %s\n", outPath)
+			}
+			return nil
+		},
+		"batchjson": func() error {
+			backends, err := transportBackends(transport)
+			if err != nil {
+				return err
+			}
+			w := out
+			if outPath != "" {
+				f, err := os.Create(outPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := writeBatchJSON(w, csvPath, backends); err != nil {
+				return err
+			}
+			if outPath != "" {
+				fmt.Fprintf(out, "wrote batch bench artifact to %s\n", outPath)
+			}
+			if csvPath != "" {
+				fmt.Fprintf(out, "wrote batch bench CSV to %s\n", csvPath)
 			}
 			return nil
 		},

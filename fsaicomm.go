@@ -319,8 +319,10 @@ type Result struct {
 	// Ranks is the number of simulated processes used (1 for Solve).
 	Ranks int
 	// CommBytes is the total point-to-point traffic during the solve phase
-	// (0 for serial solves); CommBytesPerIteration the per-iteration volume.
+	// (0 for serial solves); CommMessages the point-to-point message count;
+	// CommBytesPerIteration the per-iteration volume.
 	CommBytes             int64
+	CommMessages          int64
 	CommBytesPerIteration float64
 	// CollectiveCalls and CollectiveBytes are the aggregate collective
 	// totals over all ranks of the solve phase, from the simulated runtime's
@@ -584,6 +586,7 @@ func assembleDistResult(n, ranks int, prof archmodel.Profile, variant CGVariant,
 		costs[r] = out.Cost
 		copy(px[out.Lo:out.Hi], out.XLocal)
 		res.CommBytes += out.SolveComm.P2PBytes
+		res.CommMessages += out.SolveComm.P2PMessages
 		res.CollectiveCalls += out.SolveComm.CollectiveCalls
 		res.CollectiveBytes += out.SolveComm.CollectiveBytes
 	}

@@ -1,0 +1,144 @@
+package mprun
+
+// Batched (multi-RHS) rank jobs. Like their scalar counterparts they are
+// the single implementation behind both transport backends: the facade's
+// goroutine ranks call RunSolveBatchRank/RunPreparedBatchRank directly and
+// the fsairank worker processes reach them through the same gob-shipped
+// JobSpec envelope.
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"fsaicomm/internal/core"
+	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/krylov"
+	"fsaicomm/internal/simmpi"
+	"fsaicomm/internal/sparse"
+)
+
+// SolveBatchSpec is the full-setup batched rank job: the partitioned
+// matrix plus K permuted right-hand sides, interleaved row-major
+// (PB[i*K+c] = component i of column c).
+type SolveBatchSpec struct {
+	N       int
+	Ranks   int
+	Offsets []int
+	PA      *sparse.CSR
+	K       int
+	PB      []float64
+	Cfg     core.Config
+	Tol     float64
+	MaxIter int
+	Variant krylov.CGVariant
+	Arch    string
+}
+
+// PreparedBatchSpec is the cached-setup batched rank job: the scalar
+// prepared spec carries the localized views, halo schedules and solver
+// knobs (its BLocal is nil); BLocal here is the rank's interleaved
+// right-hand-side block of K columns.
+type PreparedBatchSpec struct {
+	Prepared *PreparedRankSpec
+	K        int
+	BLocal   []float64
+}
+
+// BatchOutcome is the per-column solver outcome of a batched rank job.
+type BatchOutcome struct {
+	K           int
+	Iterations  []int
+	Converged   []bool
+	RelResidual []float64
+	Broken      []bool
+}
+
+func newBatchOutcome(bs krylov.BatchStats) *BatchOutcome {
+	o := &BatchOutcome{
+		K:           bs.K,
+		Iterations:  make([]int, bs.K),
+		Converged:   make([]bool, bs.K),
+		RelResidual: make([]float64, bs.K),
+		Broken:      append([]bool(nil), bs.Broken...),
+	}
+	for c := range bs.Cols {
+		o.Iterations[c] = bs.Cols[c].Iterations
+		o.Converged[c] = bs.Cols[c].Converged
+		o.RelResidual[c] = bs.Cols[c].RelResidual
+	}
+	return o
+}
+
+// RunSolveBatchRank executes one rank of a full batched solve: extract
+// local rows, build the preconditioner, run the batched distributed CG on
+// all K columns at once. XLocal in the outcome is the rank's interleaved
+// (hi−lo)×K solution block.
+func RunSolveBatchRank(ctx context.Context, c *simmpi.Comm, spec *SolveBatchSpec) (*RankOutcome, error) {
+	rank := c.Rank()
+	layout := &distmat.Layout{N: spec.N, Offsets: spec.Offsets}
+	lo, hi := layout.Range(rank)
+	t0 := time.Now()
+	aRows := distmat.ExtractLocalRows(spec.PA, lo, hi)
+	bd, err := core.BuildPrecond(c, layout, aRows, spec.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The batched loops use the blocking SpMM schedule only; no overlap view.
+	aOp := distmat.NewOp(c, layout, lo, hi, aRows)
+	c.Barrier()
+	setupComm := c.Meter().RankSnapshot(rank)
+	out := &RankOutcome{
+		Rank: rank, Lo: lo, Hi: hi,
+		SetupComm:  setupComm,
+		SetupNanos: time.Since(t0).Nanoseconds(),
+	}
+	if rank == 0 {
+		out.Pct = bd.PctNNZIncrease
+		out.Imbalance = bd.ImbalanceIndex
+	}
+	return finishBatchRank(ctx, c, out, aOp, bd.GOp, bd.GTOp, spec.PB[lo*spec.K:hi*spec.K], spec.K,
+		krylov.Options{Tol: spec.Tol, MaxIter: spec.MaxIter, Variant: spec.Variant, Ctx: ctx})
+}
+
+// RunPreparedBatchRank executes one rank of a Prepared.SolveBatch: the
+// localized views and halo schedules come ready-made, so the rank pays
+// only the batched Krylov loop.
+func RunPreparedBatchRank(ctx context.Context, c *simmpi.Comm, spec *PreparedBatchSpec) (*RankOutcome, error) {
+	rank := c.Rank()
+	ps := spec.Prepared
+	aOp := distmat.NewOpFromParts(ps.ALZ, distmat.NewHaloPlanFromSchedule(ps.ASend, ps.ARecv))
+	gOp := distmat.NewOpFromParts(ps.GLZ, distmat.NewHaloPlanFromSchedule(ps.GSend, ps.GRecv))
+	gtOp := distmat.NewOpFromParts(ps.GTLZ, distmat.NewHaloPlanFromSchedule(ps.GTSend, ps.GTRecv))
+	setupComm := c.Meter().RankSnapshot(rank)
+	out := &RankOutcome{
+		Rank: rank, Lo: ps.Lo, Hi: ps.Hi,
+		SetupComm: setupComm,
+	}
+	if rank == 0 {
+		out.Pct = ps.Pct
+		out.Imbalance = ps.Imbalance
+	}
+	return finishBatchRank(ctx, c, out, aOp, gOp, gtOp, spec.BLocal, spec.K,
+		krylov.Options{Tol: ps.Tol, MaxIter: ps.MaxIter, Variant: ps.Variant, Ctx: ctx})
+}
+
+// finishBatchRank runs the batched CG loop and folds its outcome into out.
+func finishBatchRank(ctx context.Context, c *simmpi.Comm, out *RankOutcome, aOp, gOp, gtOp *distmat.Op, bLocal []float64, k int, opt krylov.Options) (*RankOutcome, error) {
+	t1 := time.Now()
+	nl := out.Hi - out.Lo
+	xl := make([]float64, nl*k)
+	bs, err := krylov.DistCGBatch(c, aOp, bLocal, xl,
+		krylov.NewDistSplitBatch(gOp, gtOp, k), k, opt, nil)
+	canceled := errors.Is(err, krylov.ErrCanceled)
+	if err != nil && !errors.Is(err, krylov.ErrNoConvergence) && !canceled {
+		return nil, err
+	}
+	out.SolveNanos = time.Since(t1).Nanoseconds()
+	out.SolveComm = c.Meter().RankSnapshot(out.Rank).Sub(out.SetupComm)
+	out.XLocal = xl
+	out.Iterations = bs.Iterations
+	out.Canceled = canceled
+	out.Batch = newBatchOutcome(bs)
+	return out, nil
+}

@@ -21,6 +21,10 @@ func RunJob(ctx context.Context, c *simmpi.Comm, job *JobSpec) (*RankOutcome, er
 		return RunSolveRank(ctx, c, job.Solve)
 	case job.Prepared != nil:
 		return RunPreparedRank(ctx, c, job.Prepared, nil)
+	case job.SolveBatch != nil:
+		return RunSolveBatchRank(ctx, c, job.SolveBatch)
+	case job.PreparedBatch != nil:
+		return RunPreparedBatchRank(ctx, c, job.PreparedBatch)
 	default:
 		return nil, fmt.Errorf("mprun: empty job spec")
 	}

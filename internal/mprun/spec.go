@@ -75,8 +75,10 @@ type PreparedRankSpec struct {
 // JobSpec is the envelope a worker process receives: exactly one of the
 // job kinds is set.
 type JobSpec struct {
-	Solve    *SolveSpec
-	Prepared *PreparedRankSpec
+	Solve         *SolveSpec
+	Prepared      *PreparedRankSpec
+	SolveBatch    *SolveBatchSpec
+	PreparedBatch *PreparedBatchSpec
 }
 
 // RankOutcome is what one rank's job reports back. The facade assembles the
@@ -99,6 +101,11 @@ type RankOutcome struct {
 	Pct, Imbalance float64
 	// Trace is the rank's telemetry when the spec asked for it (rank 0).
 	Trace *krylov.IterTrace
+	// Batch carries the per-column outcomes of a batched job (nil for
+	// scalar jobs). For batched jobs XLocal is the rank's interleaved
+	// (Hi−Lo)×K solution block and Iterations the batch loop's iteration
+	// count (the maximum over columns).
+	Batch *BatchOutcome
 	// Cost is the rank's modeled per-iteration cost inputs.
 	Cost experiments.IterCostInputs
 	// SetupComm and SolveComm are this rank's metered traffic in the two

@@ -59,6 +59,55 @@ type histogramSnapshot struct {
 	Buckets map[string]int64 `json:"le_ms"`
 }
 
+// occupancyBuckets are the upper bounds of the batch-occupancy histogram:
+// how many jobs each coalescing batch actually merged.
+var occupancyBuckets = []int{1, 2, 4, 8, 16, 32}
+
+// occupancyHist counts batch sizes, cumulative Prometheus-style.
+type occupancyHist struct {
+	counts []atomic.Int64 // len(occupancyBuckets)+1; last is +Inf
+	count  atomic.Int64
+	sum    atomic.Int64 // total jobs over all batches
+}
+
+func newOccupancyHist() *occupancyHist {
+	return &occupancyHist{counts: make([]atomic.Int64, len(occupancyBuckets)+1)}
+}
+
+func (h *occupancyHist) observe(k int) {
+	i := 0
+	for i < len(occupancyBuckets) && k > occupancyBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(k))
+}
+
+func (h *occupancyHist) snapshot() occupancySnapshot {
+	s := occupancySnapshot{
+		Count:   h.count.Load(),
+		SumJobs: h.sum.Load(),
+		Buckets: make(map[string]int64, len(h.counts)),
+	}
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		label := "+Inf"
+		if i < len(occupancyBuckets) {
+			label = fmt.Sprintf("%d", occupancyBuckets[i])
+		}
+		s.Buckets[label] = cum
+	}
+	return s
+}
+
+type occupancySnapshot struct {
+	Count   int64            `json:"count"`    // batches observed
+	SumJobs int64            `json:"sum_jobs"` // jobs over all batches
+	Buckets map[string]int64 `json:"le"`
+}
+
 // metrics is the server's counter set. Everything is atomic so handlers
 // never serialize on telemetry; /metrics reads a consistent-enough snapshot.
 type metrics struct {
@@ -80,11 +129,15 @@ type metrics struct {
 	collectiveCalls atomic.Int64
 	collectiveBytes atomic.Int64
 
-	latency *histogram
+	batchesTotal  atomic.Int64 // batched solves executed (any occupancy)
+	coalescedJobs atomic.Int64 // jobs that rode another job's batch
+
+	latency   *histogram
+	occupancy *occupancyHist
 }
 
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), latency: newHistogram()}
+	return &metrics{start: time.Now(), latency: newHistogram(), occupancy: newOccupancyHist()}
 }
 
 type cacheSnapshot struct {
@@ -117,6 +170,11 @@ type metricsSnapshot struct {
 		CollectiveCalls int64 `json:"collective_calls_total"`
 		CollectiveBytes int64 `json:"collective_bytes_total"`
 	} `json:"solve"`
+	Batch struct {
+		BatchesTotal  int64             `json:"batches_total"`
+		CoalescedJobs int64             `json:"coalesced_jobs"`
+		Occupancy     occupancySnapshot `json:"occupancy"`
+	} `json:"batch"`
 	LatencyMs histogramSnapshot `json:"solve_latency_ms"`
 }
 
@@ -145,6 +203,9 @@ func (m *metrics) snapshot(prepared, matrices *lru) ([]byte, error) {
 	s.Solve.CommBytes = m.commBytes.Load()
 	s.Solve.CollectiveCalls = m.collectiveCalls.Load()
 	s.Solve.CollectiveBytes = m.collectiveBytes.Load()
+	s.Batch.BatchesTotal = m.batchesTotal.Load()
+	s.Batch.CoalescedJobs = m.coalescedJobs.Load()
+	s.Batch.Occupancy = m.occupancy.snapshot()
 	s.LatencyMs = m.latency.snapshot()
 	return json.MarshalIndent(&s, "", "  ")
 }

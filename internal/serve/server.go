@@ -62,6 +62,15 @@ type Config struct {
 	// Both produce bit-identical results, so the prepared cache is shared
 	// across transports.
 	DefaultTransport string
+	// BatchMax and BatchWindow enable job coalescing (see batch.go): /solve
+	// requests sharing a prepared system and solver options that arrive
+	// within BatchWindow of the first are merged — up to BatchMax of them —
+	// into one batched multi-RHS solve holding a single admission slot.
+	// Coalescing is off unless BatchMax > 1 AND BatchWindow > 0 (the
+	// defaults). The merged batch delays its leader by up to BatchWindow,
+	// so keep the window well under typical solve time.
+	BatchMax    int
+	BatchWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +107,10 @@ type Server struct {
 	prepared *lru // fingerprint + setup options -> *fsaicomm.Prepared
 	sem      chan struct{}
 
+	// batMu guards open, the enrolling coalescing batches by batch key.
+	batMu sync.Mutex
+	open  map[string]*openBatch
+
 	mu       sync.Mutex
 	draining bool
 	jobs     sync.WaitGroup
@@ -114,6 +127,7 @@ func New(cfg Config) *Server {
 		matrices: newLRU(cfg.MatrixCacheBytes, &met.matrixHits, &met.matrixMisses, &met.matrixEvictions),
 		prepared: newLRU(cfg.CacheBytes, &met.preparedHits, &met.preparedMisses, &met.preparedEvictions),
 		sem:      make(chan struct{}, cfg.MaxInFlight),
+		open:     make(map[string]*openBatch),
 	}
 	s.mux.HandleFunc("POST /matrix", s.handleMatrix)
 	s.mux.HandleFunc("POST /solve", s.handleSolve)
@@ -369,6 +383,14 @@ type solveResponse struct {
 	PctNNZ      float64   `json:"pct_nnz_increase"`
 	X           []float64 `json:"x"`
 
+	// Batched reports how many jobs the serving batch solved together (0
+	// when the job ran alone on the scalar path); Coalesced marks a job
+	// that rode another job's batch instead of opening its own. For
+	// batched jobs CommBytes and Collectives are the per-RHS amortized
+	// shares of the batch totals, and ModeledSec is not computed.
+	Batched   int  `json:"batched,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+
 	Trace *fsaicomm.IterTrace `json:"trace,omitempty"`
 }
 
@@ -414,6 +436,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		rhs = fsaicomm.GenerateRHS(a, seed)
 	} else if len(rhs) != a.Rows {
 		writeErr(w, fail(http.StatusBadRequest, "rhs length %d, want %d", len(rhs), a.Rows))
+		return
+	}
+
+	// Coalescing: an eligible request routes through the batching path,
+	// which merges it with concurrent same-system jobs into one batched
+	// solve under a single admission slot.
+	if s.batchEligible(so) {
+		s.solveBatched(w, r, &q, a, rhs, opt, so)
 		return
 	}
 

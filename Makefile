@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 tier2 bench fuzz trace serve mp batch cover
+.PHONY: all tier1 tier2 bench fuzz trace serve mp batch nodeaware cover
 
 all: tier1
 
@@ -16,25 +16,32 @@ tier1:
 # tier2: race-detector pass over the concurrency-bearing packages (the
 # simulated MPI runtime, the socket transport and the multi-process rank
 # runner, the worker pool, the row-parallel FSAI builds, the batched SpMM
-# and block vector kernels, the distributed solver/operator layers, the
-# HTTP serving layer with its concurrent cached solves and job coalescing,
-# and the root facade's cross-backend transport suite).
+# and block vector kernels, the distributed solver/operator layers with the
+# node-aware halo relay, the hierarchical cost model and experiment sweeps,
+# the HTTP serving layer with its concurrent cached solves and job
+# coalescing, the topology-carrying CLI, and the root facade's
+# cross-backend transport suite).
 tier2:
 	$(GO) build ./...
-	$(GO) test -race ./internal/simmpi/... ./internal/tcpmpi/... ./internal/mprun/... ./internal/fsai/... ./internal/parallel/... ./internal/sparse/... ./internal/vecops/... ./internal/krylov/... ./internal/distmat/... ./internal/serve/... ./cmd/fsaiserve/... .
+	$(GO) test -race ./internal/simmpi/... ./internal/tcpmpi/... ./internal/mprun/... ./internal/fsai/... ./internal/parallel/... ./internal/sparse/... ./internal/vecops/... ./internal/krylov/... ./internal/distmat/... ./internal/archmodel/... ./internal/experiments/... ./internal/serve/... ./cmd/fsaiserve/... ./cmd/mmsolve/... .
 
 # bench: the serial-vs-parallel kernel pairs plus the CG-variant
 # (classic/overlap/fused/pipelined), blocking-vs-overlap SpMV, and
 # batched-vs-looped multi-RHS comparisons on the ~50k-row case, and three
 # JSON artifacts: per-variant iterations/wall/modeled/meter totals
 # (BENCH_pipelined.json), per-backend solve times (BENCH_transport.json),
-# and batched-vs-looped ns/RHS with the ~k× per-RHS communication drop
-# (BENCH_batch.json + BENCH_batch.csv).
+# batched-vs-looped ns/RHS with the ~k× per-RHS communication drop
+# (BENCH_batch.json + BENCH_batch.csv), and flat-vs-node-aware halo
+# aggregation under a 2-node × 4-rank topology (BENCH_nodeaware.json).
+# The nodeaware writer enforces its own structural gates — bit-identical
+# solutions, unchanged inter-node bytes, strictly fewer inter-node
+# messages, never-worse modeled time — so a regression fails this target.
 bench:
 	$(GO) test -run xxx -bench '50k' -benchmem .
 	$(GO) run ./cmd/fsaibench -exp benchjson -out BENCH_pipelined.json
 	$(GO) run ./cmd/fsaibench -exp transportjson -out BENCH_transport.json
 	$(GO) run ./cmd/fsaibench -exp batchjson -out BENCH_batch.json -csv BENCH_batch.csv
+	$(GO) run ./cmd/fsaibench -exp nodeawarejson -out BENCH_nodeaware.json
 
 # trace: emit a sample per-iteration telemetry artifact — the consph-sim
 # catalog instance solved with pipelined CG on 4 ranks, per-iteration
@@ -79,6 +86,23 @@ batch:
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	if [ $$ok -ne 0 ]; then echo "fsaiserve batch smoke test failed"; exit 1; fi; \
 	echo "fsaiserve batch smoke test passed"
+
+# nodeaware: node-aware aggregation smoke test — solve one catalog instance
+# on 4 ranks with the flat schedule and again under a 2-node × 2-rank
+# topology (which prints the intra/inter meter split), then diff the two
+# solution files: aggregation must not change a single bit of the answer.
+nodeaware:
+	$(GO) run ./cmd/matgen -name consph-sim -o /tmp/fsaicomm-nodeaware.mtx
+	$(GO) run ./cmd/mmsolve -matrix /tmp/fsaicomm-nodeaware.mtx -ranks 4 \
+		-cg pipelined -out /tmp/fsaicomm-nodeaware-flat.txt
+	$(GO) run ./cmd/mmsolve -matrix /tmp/fsaicomm-nodeaware.mtx -ranks 4 \
+		-cg pipelined -nodes 2 -ranks-per-node 2 -out /tmp/fsaicomm-nodeaware-nap.txt
+	@if cmp -s /tmp/fsaicomm-nodeaware-flat.txt /tmp/fsaicomm-nodeaware-nap.txt; then \
+		echo "node-aware smoke test passed: solutions bit-identical"; \
+	else \
+		echo "node-aware smoke test failed: solutions differ"; exit 1; \
+	fi
+	@rm -f /tmp/fsaicomm-nodeaware.mtx /tmp/fsaicomm-nodeaware-flat.txt /tmp/fsaicomm-nodeaware-nap.txt
 
 # mp: multi-process smoke test — build the rank worker binary and run its
 # selfcheck, which solves one catalog instance on 4 goroutine ranks and

@@ -61,6 +61,13 @@ type BatchResult struct {
 	CommMessages    int64
 	CollectiveCalls int64
 	CollectiveBytes int64
+	// IntraNodeBytes/IntraNodeMessages and InterNodeBytes/InterNodeMessages
+	// split the point-to-point totals by the two-level topology (see
+	// Result); zero under the flat default except InterNode* == Comm*.
+	IntraNodeBytes    int64
+	IntraNodeMessages int64
+	InterNodeBytes    int64
+	InterNodeMessages int64
 	// SetupTime and SolveTime are wall-clock phase durations (SetupTime is
 	// 0 for Prepared.SolveBatch, whose setup was paid in Prepare).
 	SetupTime, SolveTime time.Duration
@@ -143,6 +150,10 @@ func SolveBatchContext(ctx context.Context, a *Matrix, rhs [][]float64, opt Opti
 	if ranks < 1 {
 		return nil, fmt.Errorf("fsaicomm: ranks %d < 1", ranks)
 	}
+	topo, err := resolveTopology(ranks, opt.Nodes, opt.RanksPerNode)
+	if err != nil {
+		return nil, err
+	}
 	part, err := partitionRows(a, opt, ranks)
 	if err != nil {
 		return nil, err
@@ -166,12 +177,15 @@ func SolveBatchContext(ctx context.Context, a *Matrix, rhs [][]float64, opt Opti
 			Workers:      opt.Workers,
 			CGVariant:    opt.CGVariant,
 		},
-		Tol:     opt.Tol,
-		MaxIter: opt.MaxIter,
-		Variant: opt.CGVariant,
-		Arch:    opt.Arch,
+		Tol:               opt.Tol,
+		MaxIter:           opt.MaxIter,
+		Variant:           opt.CGVariant,
+		Arch:              opt.Arch,
+		Nodes:             topo.Nodes,
+		RanksPerNode:      topo.RanksPerNode,
+		NoNodeAggregation: opt.NoNodeAggregation,
 	}
-	outs, err := runRanks(ctx, opt.Transport, ranks, func(int) *mprun.JobSpec {
+	outs, err := runRanks(ctx, opt.Transport, ranks, topo, func(int) *mprun.JobSpec {
 		return &mprun.JobSpec{SolveBatch: spec}
 	})
 	if err != nil {
@@ -213,6 +227,11 @@ func (p *Prepared) SolveBatch(ctx context.Context, rhs [][]float64, so SolveOpti
 		}
 	}
 
+	topo, err := resolveTopology(p.ranks, so.Nodes, so.RanksPerNode)
+	if err != nil {
+		return nil, err
+	}
+
 	k := len(rhs)
 	pb := packPermuted(rhs, p.oldToNew, p.n)
 	specs := make([]*mprun.PreparedBatchSpec, p.ranks)
@@ -226,18 +245,23 @@ func (p *Prepared) SolveBatch(ctx context.Context, rhs [][]float64, so SolveOpti
 				ASend: pr.aPlan.SendPeers, ARecv: pr.aPlan.RecvPeers,
 				GSend: pr.gPlan.SendPeers, GRecv: pr.gPlan.RecvPeers,
 				GTSend: pr.gtPlan.SendPeers, GTRecv: pr.gtPlan.RecvPeers,
-				Pct:       p.pct,
-				Imbalance: p.imbalance,
-				Tol:       so.Tol,
-				MaxIter:   so.MaxIter,
-				Variant:   so.CGVariant,
-				Arch:      so.Arch,
+				ACounts: pr.aPlan.NeedCounts(), GCounts: pr.gPlan.NeedCounts(),
+				GTCounts:          pr.gtPlan.NeedCounts(),
+				Pct:               p.pct,
+				Imbalance:         p.imbalance,
+				Tol:               so.Tol,
+				MaxIter:           so.MaxIter,
+				Variant:           so.CGVariant,
+				Arch:              so.Arch,
+				Nodes:             topo.Nodes,
+				RanksPerNode:      topo.RanksPerNode,
+				NoNodeAggregation: so.NoNodeAggregation,
 			},
 			K:      k,
 			BLocal: pb[pr.lo*k : pr.hi*k],
 		}
 	}
-	outs, err := runRanks(ctx, so.Transport, p.ranks, func(rank int) *mprun.JobSpec {
+	outs, err := runRanks(ctx, so.Transport, p.ranks, topo, func(rank int) *mprun.JobSpec {
 		return &mprun.JobSpec{PreparedBatch: specs[rank]}
 	})
 	if err != nil {
@@ -277,6 +301,10 @@ func assembleBatchResult(n, ranks, k int, oldToNew []int, outs []*mprun.RankOutc
 		copy(px[out.Lo*k:out.Hi*k], out.XLocal)
 		res.CommBytes += out.SolveComm.P2PBytes
 		res.CommMessages += out.SolveComm.P2PMessages
+		res.IntraNodeBytes += out.SolveComm.IntraP2PBytes
+		res.IntraNodeMessages += out.SolveComm.IntraP2PMessages
+		res.InterNodeBytes += out.SolveComm.InterP2PBytes
+		res.InterNodeMessages += out.SolveComm.InterP2PMessages
 		res.CollectiveCalls += out.SolveComm.CollectiveCalls
 		res.CollectiveBytes += out.SolveComm.CollectiveBytes
 	}

@@ -15,10 +15,13 @@
 // (the BENCH_transport.json artifact: measured ns/solve for the classic,
 // fused and pipelined variants at 4 and 8 ranks on the in-process and the
 // multi-process TCP backends; -transport narrows the backends measured)
-// and batchjson (the BENCH_batch.json artifact: batched multi-RHS
+// batchjson (the BENCH_batch.json artifact: batched multi-RHS
 // Prepared.SolveBatch versus k looped solves — ns/RHS, and the ~k× drop in
 // per-RHS halo messages and collective calls; -csv additionally emits the
-// rows as CSV).
+// rows as CSV) and nodeawarejson (the BENCH_nodeaware.json artifact:
+// node-aware halo aggregation under a 2-node × 4-rank topology versus the
+// flat per-rank schedule, asserting bit-identical solutions and the
+// inter-node message-count reduction).
 // The quick set (default) is a 7-matrix class-representative subset of
 // Table 1; -set full runs the whole 39-matrix catalog (minutes, not
 // seconds).
@@ -307,6 +310,24 @@ func run(exp, set, archOverride string, workers int, cg, outPath, transport, csv
 			}
 			if outPath != "" {
 				fmt.Fprintf(out, "wrote transport bench artifact to %s\n", outPath)
+			}
+			return nil
+		},
+		"nodeawarejson": func() error {
+			w := out
+			if outPath != "" {
+				f, err := os.Create(outPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := writeNodeAwareJSON(w); err != nil {
+				return err
+			}
+			if outPath != "" {
+				fmt.Fprintf(out, "wrote node-aware bench artifact to %s\n", outPath)
 			}
 			return nil
 		},

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"fsaicomm"
+	"fsaicomm/internal/experiments"
+)
+
+// nodeAwareRecord is one row of the BENCH_nodeaware.json artifact emitted by
+// `make bench`: the same prepared solve under the same declared two-level
+// topology, once with the flat per-rank halo schedule ("flat" mode, the
+// NoNodeAggregation baseline) and once with node-aware aggregation
+// ("node-aware" mode: cross-node values combined into one message per node
+// pair through per-node leader ranks). The writer asserts — and the Makefile
+// bench gate therefore enforces — that per variant the two modes produce
+// bit-identical solutions, move identical inter-node byte volumes, and that
+// aggregation strictly reduces the inter-node message count without ever
+// increasing the modeled solve time.
+type nodeAwareRecord struct {
+	Matrix       string `json:"matrix"`
+	Rows         int    `json:"rows"`
+	NNZ          int    `json:"nnz"`
+	Variant      string `json:"variant"`
+	Ranks        int    `json:"ranks"`
+	Nodes        int    `json:"nodes"`
+	RanksPerNode int    `json:"ranks_per_node"`
+	Mode         string `json:"mode"` // flat | node-aware
+
+	Iterations int  `json:"iterations"`
+	Converged  bool `json:"converged"`
+
+	NsPerOp         int64   `json:"ns_per_op"`        // wall time of one prepared solve
+	ModeledSolveSec float64 `json:"modeled_solve_s"`  // hierarchical α–β model time
+	CommBytes       int64   `json:"comm_bytes"`       // all point-to-point traffic
+	IntraNodeMsgs   int64   `json:"intra_node_msgs"`  // same-node point-to-point
+	IntraNodeBytes  int64   `json:"intra_node_bytes"` //
+	InterNodeMsgs   int64   `json:"inter_node_msgs"`  // node-crossing point-to-point
+	InterNodeBytes  int64   `json:"inter_node_bytes"` //
+}
+
+// writeNodeAwareJSON benchmarks node-aware halo aggregation against the flat
+// per-rank schedule on the 50k-row bench instance at 8 ranks grouped as
+// 2 nodes x 4 ranks, for the classic and pipelined CG variants. Setup is paid
+// once via Prepare; each mode is a per-solve topology on the cached system.
+// It returns an error (failing `make bench`) if any structural win is absent.
+func writeNodeAwareJSON(w io.Writer) error {
+	const (
+		ranks        = 8
+		nodes        = 2
+		ranksPerNode = 4
+	)
+	spec := experiments.BenchSpec()
+	a := spec.Generate()
+	b := fsaicomm.GenerateRHS(a, 11)
+	variants := []fsaicomm.CGVariant{fsaicomm.CGClassic, fsaicomm.CGPipelined}
+
+	p, err := fsaicomm.Prepare(a, fsaicomm.Options{
+		Method: fsaicomm.FSAI, Ranks: ranks,
+	})
+	if err != nil {
+		return fmt.Errorf("prepare at %d ranks: %w", ranks, err)
+	}
+
+	var recs []nodeAwareRecord
+	for _, v := range variants {
+		var xs [2][]float64
+		var pair [2]nodeAwareRecord
+		for i, mode := range []string{"flat", "node-aware"} {
+			so := fsaicomm.SolveOptions{
+				CGVariant:         v,
+				Nodes:             nodes,
+				RanksPerNode:      ranksPerNode,
+				NoNodeAggregation: mode == "flat",
+			}
+			start := time.Now()
+			res, err := p.Solve(context.Background(), b, so)
+			elapsed := time.Since(start)
+			if err != nil {
+				return fmt.Errorf("%s %v: %w", mode, v, err)
+			}
+			xs[i] = res.X
+			pair[i] = nodeAwareRecord{
+				Matrix: spec.Name, Rows: a.Rows, NNZ: a.NNZ(),
+				Variant: v.String(), Ranks: ranks,
+				Nodes: nodes, RanksPerNode: ranksPerNode, Mode: mode,
+				Iterations: res.Iterations, Converged: res.Converged,
+				NsPerOp:         elapsed.Nanoseconds(),
+				ModeledSolveSec: res.ModeledSolveTime,
+				CommBytes:       res.CommBytes,
+				IntraNodeMsgs:   res.IntraNodeMessages,
+				IntraNodeBytes:  res.IntraNodeBytes,
+				InterNodeMsgs:   res.InterNodeMessages,
+				InterNodeBytes:  res.InterNodeBytes,
+			}
+		}
+		flat, nap := pair[0], pair[1]
+		// Structural proof, enforced: aggregation must not change the math,
+		// must not move extra bytes across nodes, and must strictly shrink
+		// the inter-node message count and the modeled time.
+		if len(xs[0]) != len(xs[1]) {
+			return fmt.Errorf("%v: solution lengths differ (%d vs %d)", v, len(xs[0]), len(xs[1]))
+		}
+		for j := range xs[0] {
+			if xs[0][j] != xs[1][j] {
+				return fmt.Errorf("%v: node-aware solution diverges from flat at component %d (%g vs %g)",
+					v, j, xs[0][j], xs[1][j])
+			}
+		}
+		if flat.Iterations != nap.Iterations {
+			return fmt.Errorf("%v: iteration counts differ (flat %d, node-aware %d)",
+				v, flat.Iterations, nap.Iterations)
+		}
+		if nap.InterNodeBytes != flat.InterNodeBytes {
+			return fmt.Errorf("%v: inter-node bytes changed under aggregation (flat %d, node-aware %d)",
+				v, flat.InterNodeBytes, nap.InterNodeBytes)
+		}
+		if nap.InterNodeMsgs >= flat.InterNodeMsgs {
+			return fmt.Errorf("%v: node-aware did not reduce inter-node messages (flat %d, node-aware %d)",
+				v, flat.InterNodeMsgs, nap.InterNodeMsgs)
+		}
+		// The modeled time must never lose; it ties (rather than wins) when
+		// the variant's overlap schedule already hides the whole halo window,
+		// as the pipelined loop does.
+		if nap.ModeledSolveSec > flat.ModeledSolveSec {
+			return fmt.Errorf("%v: node-aware increased the modeled solve time (flat %g s, node-aware %g s)",
+				v, flat.ModeledSolveSec, nap.ModeledSolveSec)
+		}
+		recs = append(recs, flat, nap)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}

@@ -213,6 +213,24 @@ type Options struct {
 	// and meters; "tcp" pays real process and socket overheads. Serial Solve
 	// ignores it.
 	Transport string
+	// Nodes and RanksPerNode declare a two-level topology over the ranks:
+	// Nodes contiguous blocks of RanksPerNode ranks each (mpirun's block
+	// mapping). Setting either (the other is derived; both must multiply to
+	// the rank count) splits the communication meters into intra-node vs
+	// inter-node traffic and switches the halo exchange to node-aware
+	// aggregation: cross-node values are combined into one message per node
+	// pair through per-node leader ranks, collapsing the inter-node message
+	// count from per-rank-pair to per-node-pair with bit-identical received
+	// values. Zero/zero (the default) is the historical flat world — every
+	// rank its own node, all point-to-point traffic counted inter-node.
+	Nodes int
+	// RanksPerNode is the number of ranks per node (see Nodes).
+	RanksPerNode int
+	// NoNodeAggregation keeps the flat per-rank halo schedule under a
+	// declared topology: the meters still split intra vs inter traffic but
+	// nothing is aggregated. This is the baseline the node-aware benchmarks
+	// compare against; it has no effect on a flat topology.
+	NoNodeAggregation bool
 }
 
 // ErrInvalidOptions is wrapped by the errors Validate returns for
@@ -254,6 +272,12 @@ func (o Options) Validate() error {
 	}
 	if o.ResidualReplaceEvery < 0 {
 		return fail("ResidualReplaceEvery %d is negative (0 disables replacement)", o.ResidualReplaceEvery)
+	}
+	if o.Nodes < 0 {
+		return fail("Nodes %d is negative (0 means flat: one rank per node)", o.Nodes)
+	}
+	if o.RanksPerNode < 0 {
+		return fail("RanksPerNode %d is negative (0 means flat: one rank per node)", o.RanksPerNode)
 	}
 	switch o.Method {
 	case FSAI, FSAIE, FSAIEComm:
@@ -324,6 +348,17 @@ type Result struct {
 	CommBytes             int64
 	CommMessages          int64
 	CommBytesPerIteration float64
+	// IntraNodeBytes/IntraNodeMessages and InterNodeBytes/InterNodeMessages
+	// split the point-to-point totals by the two-level topology
+	// (Options.Nodes/RanksPerNode): traffic between ranks on the same node vs
+	// ranks on different nodes. Under the flat default every rank is its own
+	// node, so all traffic is inter-node (Intra* stay 0) and
+	// InterNodeBytes == CommBytes. The invariant
+	// IntraNodeBytes+InterNodeBytes == CommBytes holds always.
+	IntraNodeBytes    int64
+	IntraNodeMessages int64
+	InterNodeBytes    int64
+	InterNodeMessages int64
 	// CollectiveCalls and CollectiveBytes are the aggregate collective
 	// totals over all ranks of the solve phase, from the simulated runtime's
 	// meter (0 for serial solves). The serving layer accumulates these into
@@ -482,6 +517,10 @@ func SolveDistributedContext(ctx context.Context, a *Matrix, b []float64, opt Op
 	if ranks < 1 {
 		return nil, fmt.Errorf("fsaicomm: ranks %d < 1", ranks)
 	}
+	topo, err := resolveTopology(ranks, opt.Nodes, opt.RanksPerNode)
+	if err != nil {
+		return nil, err
+	}
 	prof := archmodel.Skylake
 	if opt.Arch != "" {
 		var err error
@@ -519,8 +558,11 @@ func SolveDistributedContext(ctx context.Context, a *Matrix, b []float64, opt Op
 		Trace:                opt.Trace,
 		ResidualReplaceEvery: opt.ResidualReplaceEvery,
 		Arch:                 opt.Arch,
+		Nodes:                topo.Nodes,
+		RanksPerNode:         topo.RanksPerNode,
+		NoNodeAggregation:    opt.NoNodeAggregation,
 	}
-	outs, err := runRanks(ctx, opt.Transport, ranks, func(int) *mprun.JobSpec {
+	outs, err := runRanks(ctx, opt.Transport, ranks, topo, func(int) *mprun.JobSpec {
 		return &mprun.JobSpec{Solve: spec}
 	})
 	if err != nil {
@@ -529,17 +571,34 @@ func SolveDistributedContext(ctx context.Context, a *Matrix, b []float64, opt Op
 	return assembleDistResult(a.Rows, ranks, prof, opt.CGVariant, oldToNew, outs, 0, 0)
 }
 
+// resolveTopology maps a requested node grouping onto the resolved rank
+// count. Both fields zero is the flat world; otherwise the missing side is
+// derived and rank counts not divisible by the declared ranks-per-node are
+// rejected with a descriptive error.
+func resolveTopology(ranks, nodes, ranksPerNode int) (simmpi.Topology, error) {
+	if nodes == 0 && ranksPerNode == 0 {
+		return simmpi.Topology{}, nil
+	}
+	topo, err := simmpi.ResolveTopology(ranks, nodes, ranksPerNode)
+	if err != nil {
+		return simmpi.Topology{}, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+	}
+	return topo, nil
+}
+
 // runRanks executes one job per rank on the selected transport: "sim" (or
 // empty) runs goroutine ranks over the in-process metered channels, "tcp"
 // spawns one OS process per rank wired into a loopback socket mesh. Both
 // paths run the identical mprun rank job, which is what makes their results
-// and meters bit-identical.
-func runRanks(ctx context.Context, transport string, ranks int, jobFor func(rank int) *mprun.JobSpec) ([]*mprun.RankOutcome, error) {
+// and meters bit-identical. topo attaches the two-level node grouping to the
+// sim world's meters; the tcp workers derive the same topology from the job
+// spec itself.
+func runRanks(ctx context.Context, transport string, ranks int, topo simmpi.Topology, jobFor func(rank int) *mprun.JobSpec) ([]*mprun.RankOutcome, error) {
 	if transport == "tcp" {
 		return mprun.Launch(ctx, ranks, time.Hour, jobFor)
 	}
 	outs := make([]*mprun.RankOutcome, ranks)
-	_, err := simmpi.Run(ranks, time.Hour, func(c *simmpi.Comm) error {
+	_, err := simmpi.RunTopo(ranks, time.Hour, topo, func(c *simmpi.Comm) error {
 		out, err := mprun.RunJob(ctx, c, jobFor(c.Rank()))
 		if err != nil {
 			return err
@@ -587,6 +646,10 @@ func assembleDistResult(n, ranks int, prof archmodel.Profile, variant CGVariant,
 		copy(px[out.Lo:out.Hi], out.XLocal)
 		res.CommBytes += out.SolveComm.P2PBytes
 		res.CommMessages += out.SolveComm.P2PMessages
+		res.IntraNodeBytes += out.SolveComm.IntraP2PBytes
+		res.IntraNodeMessages += out.SolveComm.IntraP2PMessages
+		res.InterNodeBytes += out.SolveComm.InterP2PBytes
+		res.InterNodeMessages += out.SolveComm.InterP2PMessages
 		res.CollectiveCalls += out.SolveComm.CollectiveCalls
 		res.CollectiveBytes += out.SolveComm.CollectiveBytes
 	}

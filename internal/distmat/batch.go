@@ -51,6 +51,14 @@ func (v *BatchDistVec) Local() []float64 { return v.Ext[:v.NLocal*v.K] }
 // width is fixed at k, which keeps the schedule independent of the
 // convergence mask and the per-neighbour message count exactly 1.
 func (p *HaloPlan) ExchangeBatch(c *simmpi.Comm, xExt []float64, nLocal, k int) {
+	if p.napActive() {
+		// Node-aware and k-wide batching compose: the aggregated envelope is
+		// width-agnostic, so a batch still costs one message per neighbour
+		// (now per node pair for the inter-node leg) carrying k columns.
+		p.napPostSends(c, xExt, k, false)
+		p.napCompleteRecvs(c, xExt, nLocal, k)
+		return
+	}
 	if p.sendBuf == nil {
 		p.sendBuf = make([][]float64, len(p.SendPeers))
 	}

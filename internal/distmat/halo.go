@@ -17,6 +17,9 @@ const (
 	tagRowCols  = 104 // remote row gather: column indices
 	tagRowVals  = 105 // remote row gather: values
 	tagTransp   = 106 // distributed transpose payloads
+	tagNAPUp    = 107 // node-aware exchange: member → node leader gather
+	tagNAPInter = 108 // node-aware exchange: leader → leader combined message
+	tagNAPDown  = 109 // node-aware exchange: node leader → member scatter
 )
 
 // Localized is the kernel-ready view of a rank's rows: column indices are
@@ -100,11 +103,31 @@ type HaloPlan struct {
 	SendPeers                [][]int // [peer] -> local row indices (0-based within rank) to send
 	RecvPeers                [][]int // [peer] -> halo slot indices to fill
 	sendPeerIDs, recvPeerIDs []int
+	// Node-aware routing state (see nodeaware.go). rank is the owning rank,
+	// topo the two-level topology the plan was built under, and needCounts
+	// the full size×size need matrix (needCounts[d*size+s] = values rank d
+	// receives from rank s per exchange) captured for free from
+	// BuildHaloPlan's allgather — everything the NAP relay schedule is
+	// derived from, with zero extra communication. nodeAware selects the
+	// aggregated protocol; it defaults to on whenever the topology has
+	// multi-rank nodes and can be toggled with SetNodeAware for flat-plan
+	// baselines under the same topology.
+	rank       int
+	topo       simmpi.Topology
+	needCounts []int64
+	nodeAware  bool
+	nap        *napSched
 	// sendBuf holds per-peer gather buffers, lazily sized and reused across
 	// updates so the per-iteration halo exchange allocates nothing on the
 	// send side (simmpi copies payloads on Send). A plan is confined to its
 	// rank's goroutine, like the Comm it is used with.
 	sendBuf [][]float64
+	// Node-aware exchange workspaces, reused across updates like sendBuf:
+	// the up-gather buffer, the leader's combined outbound and per-member
+	// down buffers, and the received up/inter payload lists.
+	napUpBuf                []float64
+	napOutBufs, napDownBufs [][]float64
+	napUpVals, napInVals    [][]float64
 	// async is the reusable handle for StartExchange (one outstanding
 	// nonblocking exchange per plan at a time).
 	async ExchangeHandle
@@ -146,7 +169,10 @@ func BuildHaloPlan(c *simmpi.Comm, l *Layout, lz *Localized) *HaloPlan {
 	plan := &HaloPlan{
 		SendPeers: make([][]int, size),
 		RecvPeers: make([][]int, size),
+		rank:      rank,
+		topo:      c.Topology(),
 	}
+	plan.nodeAware = !plan.topo.Flat()
 	// Group my needed globals by owner.
 	needByOwner := make([][]int, size)
 	for slotIdx, g := range lz.Halo {
@@ -163,6 +189,7 @@ func BuildHaloPlan(c *simmpi.Comm, l *Layout, lz *Localized) *HaloPlan {
 		counts[p] = int64(len(needByOwner[p]))
 	}
 	all := c.AllgatherInt64(counts) // all[r*size+p] = count rank r needs from p
+	plan.needCounts = all
 	// Send my request lists to owners.
 	for p := 0; p < size; p++ {
 		if p != rank && len(needByOwner[p]) > 0 {
@@ -216,6 +243,46 @@ func NewHaloPlanFromSchedule(sendPeers, recvPeers [][]int) *HaloPlan {
 	return p
 }
 
+// NewHaloPlanFromScheduleTopo is NewHaloPlanFromSchedule with a two-level
+// topology re-attached: needCounts is the need matrix BuildHaloPlan captured
+// (see NeedCounts) and rank the owning rank. Node-aware routing is enabled
+// whenever topo has multi-rank nodes, exactly as BuildHaloPlan under a
+// topology-carrying Comm would — so a prepared system serialized once can be
+// solved under any per-request topology without redoing the setup exchange.
+func NewHaloPlanFromScheduleTopo(sendPeers, recvPeers [][]int, needCounts []int64, rank int, topo simmpi.Topology) *HaloPlan {
+	p := NewHaloPlanFromSchedule(sendPeers, recvPeers)
+	p.rank = rank
+	p.topo = topo
+	p.needCounts = needCounts
+	p.nodeAware = !topo.Flat()
+	return p
+}
+
+// NeedCounts returns the plan's need matrix (needCounts[d*size+s] = values
+// rank d receives from rank s per exchange), or nil for schedule-built plans
+// that never captured one. Shared slice; callers must not mutate.
+func (p *HaloPlan) NeedCounts() []int64 { return p.needCounts }
+
+// Topology returns the topology the plan was built under.
+func (p *HaloPlan) Topology() simmpi.Topology { return p.topo }
+
+// NodeAware reports whether exchanges currently route through the
+// node-aware aggregated protocol.
+func (p *HaloPlan) NodeAware() bool { return p.napActive() }
+
+// SetNodeAware toggles node-aware routing. Enabling it on a plan without a
+// multi-rank topology or a need matrix panics: silently falling back to the
+// flat schedule would fake the metered structural claims built on the
+// toggle. Disabling keeps the topology attached (the meter still classifies
+// intra vs inter), which is exactly the flat-plan baseline the node-aware
+// benchmarks compare against.
+func (p *HaloPlan) SetNodeAware(on bool) {
+	if on && (p.topo.Flat() || p.needCounts == nil) {
+		panic("distmat: SetNodeAware(true) needs a multi-rank topology and a need matrix (build with BuildHaloPlan under a topology Comm or NewHaloPlanFromScheduleTopo)")
+	}
+	p.nodeAware = on
+}
+
 // Clone returns a plan that shares this plan's immutable schedule (peer
 // sets and index lists, which no exchange mutates) but owns fresh send
 // buffers and async state. The per-rank schedule of a matrix is computed
@@ -229,7 +296,24 @@ func (p *HaloPlan) Clone() *HaloPlan {
 		RecvPeers:   p.RecvPeers,
 		sendPeerIDs: p.sendPeerIDs,
 		recvPeerIDs: p.recvPeerIDs,
+		rank:        p.rank,
+		topo:        p.topo,
+		needCounts:  p.needCounts,
+		nodeAware:   p.nodeAware,
+		nap:         p.nap, // immutable once derived; buffers are NOT shared
 	}
+}
+
+// CloneTopo clones the plan with a different topology attached (node-aware
+// routing on iff topo has multi-rank nodes) — how a cached prepared system
+// serves solves under per-request topologies. The derived node schedule is
+// rebuilt lazily for the new topology.
+func (p *HaloPlan) CloneTopo(topo simmpi.Topology) *HaloPlan {
+	c := p.Clone()
+	c.topo = topo
+	c.nodeAware = !topo.Flat()
+	c.nap = nil
+	return c
 }
 
 // Exchange performs one halo update: xExt must have length
@@ -246,6 +330,10 @@ func (p *HaloPlan) Exchange(c *simmpi.Comm, xExt []float64, nLocal int) {
 // filled by the caller). The overlap schedule calls it before computing
 // interior rows so the values travel while local work proceeds.
 func (p *HaloPlan) PostSends(c *simmpi.Comm, xExt []float64) {
+	if p.napActive() {
+		p.napPostSends(c, xExt, 1, false)
+		return
+	}
 	if p.sendBuf == nil {
 		p.sendBuf = make([][]float64, len(p.SendPeers))
 	}
@@ -266,6 +354,10 @@ func (p *HaloPlan) PostSends(c *simmpi.Comm, xExt []float64) {
 // CompleteRecvs drains this rank's halo receives into the halo slots of
 // xExt, completing an update started with PostSends.
 func (p *HaloPlan) CompleteRecvs(c *simmpi.Comm, xExt []float64, nLocal int) {
+	if p.napActive() {
+		p.napCompleteRecvs(c, xExt, nLocal, 1)
+		return
+	}
 	for _, peer := range p.recvPeerIDs {
 		slots := p.RecvPeers[peer]
 		vals := c.RecvFloats(peer, tagHaloData)
@@ -288,6 +380,18 @@ func (p *HaloPlan) CompleteRecvs(c *simmpi.Comm, xExt []float64, nLocal int) {
 // request slices are reused across calls (one outstanding exchange per
 // plan at a time, like the send buffers).
 func (p *HaloPlan) StartExchange(c *simmpi.Comm, xExt []float64) *ExchangeHandle {
+	if p.napActive() {
+		// The aggregated protocol keeps its receives ordered per sender
+		// (ups before directs before downs), so the handle defers all of
+		// them to Complete; the sends still go out nonblocking here, which
+		// is what overlaps them with the caller's interior compute. Metering
+		// is charged at post time either way.
+		p.async.plan = p
+		p.async.nap = true
+		p.napPostSends(c, xExt, 1, true)
+		return &p.async
+	}
+	p.async.nap = false
 	if p.async.recvs == nil {
 		p.async.recvs = make([]*simmpi.Request, 0, len(p.recvPeerIDs))
 	}
@@ -320,11 +424,16 @@ func (p *HaloPlan) StartExchange(c *simmpi.Comm, xExt []float64) *ExchangeHandle
 type ExchangeHandle struct {
 	plan  *HaloPlan
 	recvs []*simmpi.Request
+	nap   bool // node-aware exchange: receives deferred to Complete
 }
 
 // Complete waits the posted receives and scatters their values into the
 // halo slots of xExt, finishing the update.
 func (h *ExchangeHandle) Complete(c *simmpi.Comm, xExt []float64, nLocal int) {
+	if h.nap {
+		h.plan.napCompleteRecvs(c, xExt, nLocal, 1)
+		return
+	}
 	p := h.plan
 	for i, peer := range p.recvPeerIDs {
 		slots := p.RecvPeers[peer]

@@ -42,8 +42,17 @@ func reductionsFor(variant krylov.CGVariant) int64 {
 // window, so no flop is credited twice (conservative: the real schedule
 // overlaps the reduction with the whole SpMV phase).
 func overlapCostFor(variant krylov.CGVariant, rc archmodel.RankCost, intNNZ, totNNZ, logP int64) archmodel.OverlapCost {
+	// Reductions are log₂-tree traffic between processes picked across the
+	// whole machine, so they are priced at the inter-node level; the halo
+	// window carries both levels of the exchange (all of the rank's
+	// intra-node traffic is halo traffic), so a node-aware plan's cheap
+	// up/down legs are credited against the same interior-compute window the
+	// expensive inter-node leg hides behind.
 	red := archmodel.RankCost{CommMsgs: reductionsFor(variant) * logP, CommBytes: 24 * logP}
-	halo := archmodel.RankCost{CommMsgs: rc.CommMsgs - red.CommMsgs, CommBytes: rc.CommBytes}
+	halo := archmodel.RankCost{
+		CommMsgs: rc.CommMsgs - red.CommMsgs, CommBytes: rc.CommBytes,
+		IntraCommMsgs: rc.IntraCommMsgs, IntraCommBytes: rc.IntraCommBytes,
+	}
 	var haloHide, redHide archmodel.RankCost
 	switch variant {
 	case krylov.CGClassic:
@@ -77,14 +86,29 @@ func AssembleIterCost(arch archmodel.Profile, aOp, gOp, gtOp *distmat.Op, nl, ra
 	missPre := cache.TracePrecondProduct(gOp.LZ.M, gtOp.LZ.M, sim)
 	logP := int64(math.Ceil(math.Log2(float64(ranks + 1))))
 	totNNZ := int64(aOp.LZ.M.NNZ() + gOp.LZ.M.NNZ() + gtOp.LZ.M.NNZ())
+	// Each operator's halo traffic is whatever ONE exchange under the plan's
+	// current routing charges this rank's meter, split by topology level:
+	// under a flat plan all of it is inter-node with the historical per-peer
+	// counts; under node-aware routing the inter level collapses to one
+	// message per peer node while the up/down legs land on the cheap intra
+	// level. Reductions are log₂-tree inter-node messages as before.
+	var intraMsgs, intraBytes, interMsgs, interBytes int64
+	for _, plan := range []*distmat.HaloPlan{aOp.Plan, gOp.Plan, gtOp.Plan} {
+		im, ib, xm, xb := plan.ExchangeCounts(1)
+		intraMsgs += im
+		intraBytes += ib
+		interMsgs += xm
+		interBytes += xb
+	}
 	out := IterCostInputs{
 		Rank: archmodel.RankCost{
-			Flops:       2*totNNZ + 12*int64(nl),
-			StreamBytes: 12*totNNZ + 80*int64(nl),
-			CacheMisses: missA + missPre,
-			CommBytes:   int64(8 * (aOp.Plan.SendCount() + gOp.Plan.SendCount() + gtOp.Plan.SendCount())),
-			CommMsgs: int64(len(aOp.Plan.SendPeerIDs())+len(gOp.Plan.SendPeerIDs())+
-				len(gtOp.Plan.SendPeerIDs())) + reductionsFor(variant)*logP,
+			Flops:          2*totNNZ + 12*int64(nl),
+			StreamBytes:    12*totNNZ + 80*int64(nl),
+			CacheMisses:    missA + missPre,
+			CommBytes:      interBytes,
+			CommMsgs:       interMsgs + reductionsFor(variant)*logP,
+			IntraCommBytes: intraBytes,
+			IntraCommMsgs:  intraMsgs,
 		},
 		PrecondMisses: missPre,
 	}

@@ -33,6 +33,9 @@ type SolveBatchSpec struct {
 	MaxIter int
 	Variant krylov.CGVariant
 	Arch    string
+	// Per-solve topology (see SolveSpec).
+	Nodes, RanksPerNode int
+	NoNodeAggregation   bool
 }
 
 // PreparedBatchSpec is the cached-setup batched rank job: the scalar
@@ -86,6 +89,11 @@ func RunSolveBatchRank(ctx context.Context, c *simmpi.Comm, spec *SolveBatchSpec
 	}
 	// The batched loops use the blocking SpMM schedule only; no overlap view.
 	aOp := distmat.NewOp(c, layout, lo, hi, aRows)
+	if spec.NoNodeAggregation {
+		aOp.Plan.SetNodeAware(false)
+		bd.GOp.Plan.SetNodeAware(false)
+		bd.GTOp.Plan.SetNodeAware(false)
+	}
 	c.Barrier()
 	setupComm := c.Meter().RankSnapshot(rank)
 	out := &RankOutcome{
@@ -107,9 +115,9 @@ func RunSolveBatchRank(ctx context.Context, c *simmpi.Comm, spec *SolveBatchSpec
 func RunPreparedBatchRank(ctx context.Context, c *simmpi.Comm, spec *PreparedBatchSpec) (*RankOutcome, error) {
 	rank := c.Rank()
 	ps := spec.Prepared
-	aOp := distmat.NewOpFromParts(ps.ALZ, distmat.NewHaloPlanFromSchedule(ps.ASend, ps.ARecv))
-	gOp := distmat.NewOpFromParts(ps.GLZ, distmat.NewHaloPlanFromSchedule(ps.GSend, ps.GRecv))
-	gtOp := distmat.NewOpFromParts(ps.GTLZ, distmat.NewHaloPlanFromSchedule(ps.GTSend, ps.GTRecv))
+	aOp := distmat.NewOpFromParts(ps.ALZ, preparedPlan(c, ps, ps.ASend, ps.ARecv, ps.ACounts))
+	gOp := distmat.NewOpFromParts(ps.GLZ, preparedPlan(c, ps, ps.GSend, ps.GRecv, ps.GCounts))
+	gtOp := distmat.NewOpFromParts(ps.GTLZ, preparedPlan(c, ps, ps.GTSend, ps.GTRecv, ps.GTCounts))
 	setupComm := c.Meter().RankSnapshot(rank)
 	out := &RankOutcome{
 		Rank: rank, Lo: ps.Lo, Hi: ps.Hi,

@@ -37,6 +37,23 @@ func profileFor(arch string) (archmodel.Profile, error) {
 	return archmodel.ByName(arch)
 }
 
+// preparedPlan rebuilds a halo plan from a prepared schedule under the
+// communicator's topology: flat worlds (or schedules predating need-count
+// capture) get the historical flat plan; topology worlds get a node-aware
+// plan derived from the shipped need counts, downgraded to the flat baseline
+// when the spec asks for no aggregation.
+func preparedPlan(c *simmpi.Comm, spec *PreparedRankSpec, send, recv [][]int, counts []int64) *distmat.HaloPlan {
+	topo := c.Topology()
+	if topo.Flat() || counts == nil {
+		return distmat.NewHaloPlanFromSchedule(send, recv)
+	}
+	p := distmat.NewHaloPlanFromScheduleTopo(send, recv, counts, c.Rank(), topo)
+	if spec.NoNodeAggregation {
+		p.SetNodeAware(false)
+	}
+	return p
+}
+
 // RunSolveRank executes one rank of a full SolveDistributed: extract local
 // rows, build the preconditioner, assemble the operators, run distributed
 // CG. It is the single implementation behind both backends — the facade's
@@ -64,6 +81,14 @@ func RunSolveRank(ctx context.Context, c *simmpi.Comm, spec *SolveSpec) (*RankOu
 		aOpts = append(aOpts, distmat.WithOverlap())
 	}
 	aOp := distmat.NewOp(c, layout, lo, hi, aRows, aOpts...)
+	if spec.NoNodeAggregation {
+		// Baseline mode: keep the flat per-rank schedule under the declared
+		// topology, so the meter still classifies intra vs inter traffic but
+		// nothing is aggregated — the comparison plan for BENCH_nodeaware.
+		aOp.Plan.SetNodeAware(false)
+		bd.GOp.Plan.SetNodeAware(false)
+		bd.GTOp.Plan.SetNodeAware(false)
+	}
 	cost := experiments.AssembleIterCost(prof, aOp, bd.GOp, bd.GTOp, hi-lo, spec.Ranks, spec.Variant)
 	// One barrier separates the phases: traffic up to and including it is
 	// "setup", everything after is "solve". Phase attribution needs no meter
@@ -122,9 +147,9 @@ func RunPreparedRank(ctx context.Context, c *simmpi.Comm, spec *PreparedRankSpec
 	if spec.Variant != krylov.CGClassic {
 		opOpts = append(opOpts, distmat.WithOverlap())
 	}
-	aOp := distmat.NewOpFromParts(spec.ALZ, distmat.NewHaloPlanFromSchedule(spec.ASend, spec.ARecv), opOpts...)
-	gOp := distmat.NewOpFromParts(spec.GLZ, distmat.NewHaloPlanFromSchedule(spec.GSend, spec.GRecv), opOpts...)
-	gtOp := distmat.NewOpFromParts(spec.GTLZ, distmat.NewHaloPlanFromSchedule(spec.GTSend, spec.GTRecv), opOpts...)
+	aOp := distmat.NewOpFromParts(spec.ALZ, preparedPlan(c, spec, spec.ASend, spec.ARecv, spec.ACounts), opOpts...)
+	gOp := distmat.NewOpFromParts(spec.GLZ, preparedPlan(c, spec, spec.GSend, spec.GRecv, spec.GCounts), opOpts...)
+	gtOp := distmat.NewOpFromParts(spec.GTLZ, preparedPlan(c, spec, spec.GTSend, spec.GTRecv, spec.GTCounts), opOpts...)
 	cost := experiments.AssembleIterCost(prof, aOp, gOp, gtOp, spec.Hi-spec.Lo, spec.Ranks, spec.Variant)
 	setupComm := c.Meter().RankSnapshot(rank)
 	// SetupNanos stays 0: a prepared solve's contract is that setup was paid

@@ -41,6 +41,12 @@ type SolveSpec struct {
 	ResidualReplaceEvery int
 	// Arch names the cost-model profile ("" = skylake).
 	Arch string
+	// Nodes/RanksPerNode declare the two-level topology (0/0 = flat); when a
+	// multi-rank topology is in play the halo plans aggregate cross-node
+	// traffic per node pair unless NoNodeAggregation keeps the flat per-rank
+	// schedule (the metered baseline the node-aware benchmarks compare to).
+	Nodes, RanksPerNode int
+	NoNodeAggregation   bool
 }
 
 // PreparedRankSpec is the cached-setup rank job: the localized matrix and
@@ -55,10 +61,15 @@ type PreparedRankSpec struct {
 	// Localized views (read-only during solves).
 	ALZ, GLZ, GTLZ *distmat.Localized
 	// Halo-plan schedules as plain index lists (see
-	// distmat.NewHaloPlanFromSchedule).
+	// distmat.NewHaloPlanFromSchedule) plus the need-count matrices captured
+	// at Prepare time, from which a per-solve topology's node-aware relay
+	// schedule is derived with zero extra communication.
 	ASend, ARecv   [][]int
 	GSend, GRecv   [][]int
 	GTSend, GTRecv [][]int
+	ACounts        []int64
+	GCounts        []int64
+	GTCounts       []int64
 	// BLocal is this rank's slice of the permuted right-hand side.
 	BLocal []float64
 	// Informational, for the result assembly.
@@ -70,6 +81,10 @@ type PreparedRankSpec struct {
 	Trace                bool
 	ResidualReplaceEvery int
 	Arch                 string
+	// Per-solve topology (see SolveSpec): a cached prepared system can be
+	// solved under any node grouping without redoing the setup exchange.
+	Nodes, RanksPerNode int
+	NoNodeAggregation   bool
 }
 
 // JobSpec is the envelope a worker process receives: exactly one of the
@@ -79,6 +94,27 @@ type JobSpec struct {
 	Prepared      *PreparedRankSpec
 	SolveBatch    *SolveBatchSpec
 	PreparedBatch *PreparedBatchSpec
+}
+
+// Topology resolves the job's declared node grouping against the world
+// size. The zero declaration yields the zero (flat) topology, keeping every
+// pre-topology meter reading bit-identical.
+func (j *JobSpec) Topology(size int) (simmpi.Topology, error) {
+	var nodes, rpn int
+	switch {
+	case j.Solve != nil:
+		nodes, rpn = j.Solve.Nodes, j.Solve.RanksPerNode
+	case j.Prepared != nil:
+		nodes, rpn = j.Prepared.Nodes, j.Prepared.RanksPerNode
+	case j.SolveBatch != nil:
+		nodes, rpn = j.SolveBatch.Nodes, j.SolveBatch.RanksPerNode
+	case j.PreparedBatch != nil && j.PreparedBatch.Prepared != nil:
+		nodes, rpn = j.PreparedBatch.Prepared.Nodes, j.PreparedBatch.Prepared.RanksPerNode
+	}
+	if nodes == 0 && rpn == 0 {
+		return simmpi.Topology{}, nil
+	}
+	return simmpi.ResolveTopology(size, nodes, rpn)
 }
 
 // RankOutcome is what one rank's job reports back. The facade assembles the

@@ -125,8 +125,14 @@ func workerMain() error {
 	}
 	defer ep.Close()
 	// Each worker meters its own rank's traffic; the launcher merges the
-	// per-rank outcomes.
-	c := simmpi.NewComm(ep, simmpi.NewMeter(size), start.Timeout)
+	// per-rank outcomes. The meter carries the job's declared topology so
+	// the intra/inter split is identical to the in-process backend's.
+	topo, err := start.Job.Topology(size)
+	if err != nil {
+		enc.Encode(doneMsg{Err: err.Error()})
+		return err
+	}
+	c := simmpi.NewComm(ep, simmpi.NewMeterTopo(size, topo), start.Timeout)
 	out, jobErr := RunJob(ctx, c, start.Job)
 	if jobErr == nil {
 		// The job's final iteration may have posted nonblocking sends whose

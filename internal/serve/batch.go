@@ -53,8 +53,9 @@ func (s *Server) batchEligible(so fsaicomm.SolveOptions) bool {
 // batchKey extends the prepared-cache key with every per-solve option, so
 // only jobs whose batched solves are interchangeable ever merge.
 func batchKey(skey string, so fsaicomm.SolveOptions) string {
-	return fmt.Sprintf("%s|tol%g|mi%d|cg%d|arch%s|rre%d|tr%s",
-		skey, so.Tol, so.MaxIter, so.CGVariant, so.Arch, so.ResidualReplaceEvery, so.Transport)
+	return fmt.Sprintf("%s|tol%g|mi%d|cg%d|arch%s|rre%d|tr%s|n%d|rpn%d|nna%v",
+		skey, so.Tol, so.MaxIter, so.CGVariant, so.Arch, so.ResidualReplaceEvery, so.Transport,
+		so.Nodes, so.RanksPerNode, so.NoNodeAggregation)
 }
 
 // solveBatched runs the coalescing /solve path. The caller has already
@@ -192,6 +193,10 @@ func (s *Server) solveBatched(w http.ResponseWriter, r *http.Request, q *solveRe
 	if br != nil {
 		s.met.iterations.Add(int64(br.Iterations))
 		s.met.commBytes.Add(br.CommBytes)
+		s.met.intraNodeBytes.Add(br.IntraNodeBytes)
+		s.met.intraNodeMessages.Add(br.IntraNodeMessages)
+		s.met.interNodeBytes.Add(br.InterNodeBytes)
+		s.met.interNodeMessages.Add(br.InterNodeMessages)
 		s.met.collectiveCalls.Add(br.CollectiveCalls)
 		s.met.collectiveBytes.Add(br.CollectiveBytes)
 	}

@@ -129,6 +129,14 @@ type metrics struct {
 	collectiveCalls atomic.Int64
 	collectiveBytes atomic.Int64
 
+	// Two-level topology split of the point-to-point totals: traffic between
+	// ranks on the same node vs different nodes (flat solves count everything
+	// inter-node, so intra stays 0 and inter == commBytes).
+	intraNodeBytes    atomic.Int64
+	intraNodeMessages atomic.Int64
+	interNodeBytes    atomic.Int64
+	interNodeMessages atomic.Int64
+
 	batchesTotal  atomic.Int64 // batched solves executed (any occupancy)
 	coalescedJobs atomic.Int64 // jobs that rode another job's batch
 
@@ -165,10 +173,14 @@ type metricsSnapshot struct {
 		Matrices cacheSnapshot `json:"matrices"`
 	} `json:"cache"`
 	Solve struct {
-		Iterations      int64 `json:"iterations_total"`
-		CommBytes       int64 `json:"comm_bytes_total"`
-		CollectiveCalls int64 `json:"collective_calls_total"`
-		CollectiveBytes int64 `json:"collective_bytes_total"`
+		Iterations        int64 `json:"iterations_total"`
+		CommBytes         int64 `json:"comm_bytes_total"`
+		IntraNodeBytes    int64 `json:"intra_node_bytes_total"`
+		IntraNodeMessages int64 `json:"intra_node_messages_total"`
+		InterNodeBytes    int64 `json:"inter_node_bytes_total"`
+		InterNodeMessages int64 `json:"inter_node_messages_total"`
+		CollectiveCalls   int64 `json:"collective_calls_total"`
+		CollectiveBytes   int64 `json:"collective_bytes_total"`
 	} `json:"solve"`
 	Batch struct {
 		BatchesTotal  int64             `json:"batches_total"`
@@ -201,6 +213,10 @@ func (m *metrics) snapshot(prepared, matrices *lru) ([]byte, error) {
 	}
 	s.Solve.Iterations = m.iterations.Load()
 	s.Solve.CommBytes = m.commBytes.Load()
+	s.Solve.IntraNodeBytes = m.intraNodeBytes.Load()
+	s.Solve.IntraNodeMessages = m.intraNodeMessages.Load()
+	s.Solve.InterNodeBytes = m.interNodeBytes.Load()
+	s.Solve.InterNodeMessages = m.interNodeMessages.Load()
 	s.Solve.CollectiveCalls = m.collectiveCalls.Load()
 	s.Solve.CollectiveBytes = m.collectiveBytes.Load()
 	s.Batch.BatchesTotal = m.batchesTotal.Load()

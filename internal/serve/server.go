@@ -288,6 +288,14 @@ type solveRequest struct {
 	Trace                bool    `json:"trace,omitempty"`
 	ResidualReplaceEvery int     `json:"residual_replace_every,omitempty"`
 	Transport            string  `json:"transport,omitempty"` // sim | tcp (rank backend; empty = server default)
+	// Nodes/RanksPerNode declare a per-solve two-level topology; the halo
+	// exchange aggregates cross-node traffic per node pair unless
+	// NoNodeAggregation keeps the flat schedule (see fsaicomm.Options.Nodes).
+	// Deliberately NOT part of the prepared-cache key: one cached system
+	// serves any node grouping, the relay schedule is derived locally.
+	Nodes             int  `json:"nodes,omitempty"`
+	RanksPerNode      int  `json:"ranks_per_node,omitempty"`
+	NoNodeAggregation bool `json:"no_node_aggregation,omitempty"`
 }
 
 // options maps the request onto the facade's option types.
@@ -325,6 +333,9 @@ func (q *solveRequest) options() (fsaicomm.Options, fsaicomm.SolveOptions, error
 		Trace:                q.Trace,
 		ResidualReplaceEvery: q.ResidualReplaceEvery,
 		Transport:            q.Transport,
+		Nodes:                q.Nodes,
+		RanksPerNode:         q.RanksPerNode,
+		NoNodeAggregation:    q.NoNodeAggregation,
 	}
 	if err := opt.Validate(); err != nil {
 		return fsaicomm.Options{}, fsaicomm.SolveOptions{}, fail(http.StatusBadRequest, "%v", err)
@@ -337,6 +348,9 @@ func (q *solveRequest) options() (fsaicomm.Options, fsaicomm.SolveOptions, error
 		Trace:                q.Trace,
 		ResidualReplaceEvery: q.ResidualReplaceEvery,
 		Transport:            q.Transport,
+		Nodes:                q.Nodes,
+		RanksPerNode:         q.RanksPerNode,
+		NoNodeAggregation:    q.NoNodeAggregation,
 	}
 	return opt, so, nil
 }
@@ -508,6 +522,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.iterations.Add(int64(res.Iterations))
 	s.met.commBytes.Add(res.CommBytes)
+	s.met.intraNodeBytes.Add(res.IntraNodeBytes)
+	s.met.intraNodeMessages.Add(res.IntraNodeMessages)
+	s.met.interNodeBytes.Add(res.InterNodeBytes)
+	s.met.interNodeMessages.Add(res.InterNodeMessages)
 	s.met.collectiveCalls.Add(res.CollectiveCalls)
 	s.met.collectiveBytes.Add(res.CollectiveBytes)
 	if err != nil { // canceled: deadline or client disconnect

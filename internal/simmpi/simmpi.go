@@ -72,13 +72,25 @@ func newRankState() rankState {
 // every blocking receive and collective; zero means block forever. A small
 // timeout turns would-be deadlocks into explicit panics in tests.
 func NewWorld(size int, timeout time.Duration) *World {
+	return NewWorldTopo(size, timeout, Topology{})
+}
+
+// NewWorldTopo creates a world whose meter classifies traffic against the
+// given two-level topology (see Topology). The zero topology gives NewWorld's
+// historical flat behavior. An invalid topology panics: a world silently
+// misattributing intra vs inter traffic would corrupt every metered claim
+// built on it.
+func NewWorldTopo(size int, timeout time.Duration, topo Topology) *World {
 	if size < 1 {
 		panic(fmt.Sprintf("simmpi: world size %d < 1", size))
+	}
+	if err := topo.Validate(size); err != nil {
+		panic(err.Error())
 	}
 	w := &World{
 		size:     size,
 		timeout:  timeout,
-		meter:    NewMeter(size),
+		meter:    NewMeterTopo(size, topo),
 		p2p:      make([][]chan Payload, size),
 		collUp:   make([]chan CollPayload, size),
 		collDown: make([]chan CollPayload, size),
@@ -123,7 +135,13 @@ func (w *World) Comm(rank int) *Comm {
 // non-nil error wins. The world is returned so callers can inspect the
 // traffic meter afterwards.
 func Run(size int, timeout time.Duration, fn func(c *Comm) error) (*World, error) {
-	w := NewWorld(size, timeout)
+	return RunTopo(size, timeout, Topology{}, fn)
+}
+
+// RunTopo is Run on a world with the given topology attached (see
+// NewWorldTopo).
+func RunTopo(size int, timeout time.Duration, topo Topology, fn func(c *Comm) error) (*World, error) {
+	w := NewWorldTopo(size, timeout, topo)
 	errs := make([]error, size)
 	var wg sync.WaitGroup
 	for r := 0; r < size; r++ {
@@ -251,6 +269,12 @@ func (c *Comm) Size() int { return c.t.Size() }
 // Meter returns the traffic meter (shared by all ranks of an in-process
 // world; per-process in multi-process worlds).
 func (c *Comm) Meter() *Meter { return c.meter }
+
+// Topology returns the two-level topology this communicator's meter
+// classifies traffic against; the zero Topology when none was declared. The
+// meter is the single source of truth so the node-aware halo plans and the
+// intra/inter counters can never disagree about who shares a node.
+func (c *Comm) Topology() Topology { return c.meter.Topology() }
 
 func (c *Comm) checkPeer(peer int) {
 	if peer < 0 || peer >= c.Size() {
@@ -613,23 +637,51 @@ func (c *Comm) IrecvFloats(src, tag int) *Request {
 }
 
 // Meter accumulates communication statistics. Safe for concurrent use.
+// Every point-to-point message is additionally classified against the
+// meter's Topology as intra-node (sender and receiver share a node) or
+// inter-node; under a flat topology nothing can be intra-node, so the
+// historical counters keep their exact meaning and every pre-topology caller
+// reads its traffic as "all network".
 type Meter struct {
 	mu        sync.Mutex
+	topo      Topology
 	size      int
 	pairBytes [][]int64
 	pairMsgs  [][]int64
 	collBytes []int64
 	collOps   []int64
+	// Per-source-rank intra/inter splits. Full pair matrices already exist
+	// above; these are the cheap per-level rollups the cost model and the
+	// /metrics endpoint read.
+	intraBytes []int64
+	intraMsgs  []int64
+	interBytes []int64
+	interMsgs  []int64
 }
 
-// NewMeter returns a meter for the given world size.
+// NewMeter returns a meter for the given world size with no node structure
+// (all point-to-point traffic counts as inter-node).
 func NewMeter(size int) *Meter {
+	return NewMeterTopo(size, Topology{})
+}
+
+// NewMeterTopo returns a meter for the given world size that classifies
+// point-to-point traffic against topo. An invalid topology panics.
+func NewMeterTopo(size int, topo Topology) *Meter {
+	if err := topo.Validate(size); err != nil {
+		panic(err.Error())
+	}
 	m := &Meter{
-		size:      size,
-		pairBytes: make([][]int64, size),
-		pairMsgs:  make([][]int64, size),
-		collBytes: make([]int64, size),
-		collOps:   make([]int64, size),
+		topo:       topo,
+		size:       size,
+		pairBytes:  make([][]int64, size),
+		pairMsgs:   make([][]int64, size),
+		collBytes:  make([]int64, size),
+		collOps:    make([]int64, size),
+		intraBytes: make([]int64, size),
+		intraMsgs:  make([]int64, size),
+		interBytes: make([]int64, size),
+		interMsgs:  make([]int64, size),
 	}
 	for i := 0; i < size; i++ {
 		m.pairBytes[i] = make([]int64, size)
@@ -638,10 +690,24 @@ func NewMeter(size int) *Meter {
 	return m
 }
 
+// Topology returns the topology the meter classifies traffic against.
+func (m *Meter) Topology() Topology {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.topo
+}
+
 func (m *Meter) record(src, dst, bytes int) {
 	m.mu.Lock()
 	m.pairBytes[src][dst] += int64(bytes)
 	m.pairMsgs[src][dst]++
+	if m.topo.SameNode(src, dst) {
+		m.intraBytes[src] += int64(bytes)
+		m.intraMsgs[src]++
+	} else {
+		m.interBytes[src] += int64(bytes)
+		m.interMsgs[src]++
+	}
 	m.mu.Unlock()
 }
 
@@ -663,6 +729,10 @@ func (m *Meter) Reset() {
 		}
 		m.collBytes[i] = 0
 		m.collOps[i] = 0
+		m.intraBytes[i] = 0
+		m.intraMsgs[i] = 0
+		m.interBytes[i] = 0
+		m.interMsgs[i] = 0
 	}
 }
 
@@ -676,6 +746,9 @@ func (m *Meter) Merge(o *Meter) {
 	if o.size != m.size {
 		panic(fmt.Sprintf("simmpi: merging meter of size %d into %d", o.size, m.size))
 	}
+	if o.topo != m.topo {
+		panic(fmt.Sprintf("simmpi: merging meter with topology %+v into %+v", o.topo, m.topo))
+	}
 	for i := 0; i < m.size; i++ {
 		for j := 0; j < m.size; j++ {
 			m.pairBytes[i][j] += o.pairBytes[i][j]
@@ -683,6 +756,10 @@ func (m *Meter) Merge(o *Meter) {
 		}
 		m.collBytes[i] += o.collBytes[i]
 		m.collOps[i] += o.collOps[i]
+		m.intraBytes[i] += o.intraBytes[i]
+		m.intraMsgs[i] += o.intraMsgs[i]
+		m.interBytes[i] += o.interBytes[i]
+		m.interMsgs[i] += o.interMsgs[i]
 	}
 }
 
@@ -773,6 +850,11 @@ func (m *Meter) TotalCollectiveBytes() int64 {
 type Snapshot struct {
 	P2PBytes, P2PMessages            int64
 	CollectiveCalls, CollectiveBytes int64
+	// The topology split of the point-to-point totals above:
+	// P2PBytes = IntraP2PBytes + InterP2PBytes and likewise for messages.
+	// Under a flat topology the intra pair is always zero.
+	IntraP2PBytes, IntraP2PMessages int64
+	InterP2PBytes, InterP2PMessages int64
 }
 
 // Snapshot returns the current aggregate counters.
@@ -787,6 +869,10 @@ func (m *Meter) Snapshot() Snapshot {
 		}
 		s.CollectiveCalls += m.collOps[i]
 		s.CollectiveBytes += m.collBytes[i]
+		s.IntraP2PBytes += m.intraBytes[i]
+		s.IntraP2PMessages += m.intraMsgs[i]
+		s.InterP2PBytes += m.interBytes[i]
+		s.InterP2PMessages += m.interMsgs[i]
 	}
 	return s
 }
@@ -810,16 +896,24 @@ func (m *Meter) RankSnapshot(rank int) Snapshot {
 	}
 	s.CollectiveCalls = m.collOps[rank]
 	s.CollectiveBytes = m.collBytes[rank]
+	s.IntraP2PBytes = m.intraBytes[rank]
+	s.IntraP2PMessages = m.intraMsgs[rank]
+	s.InterP2PBytes = m.interBytes[rank]
+	s.InterP2PMessages = m.interMsgs[rank]
 	return s
 }
 
 // Sub returns the counter-wise difference s − o.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
 	return Snapshot{
-		P2PBytes:        s.P2PBytes - o.P2PBytes,
-		P2PMessages:     s.P2PMessages - o.P2PMessages,
-		CollectiveCalls: s.CollectiveCalls - o.CollectiveCalls,
-		CollectiveBytes: s.CollectiveBytes - o.CollectiveBytes,
+		P2PBytes:         s.P2PBytes - o.P2PBytes,
+		P2PMessages:      s.P2PMessages - o.P2PMessages,
+		CollectiveCalls:  s.CollectiveCalls - o.CollectiveCalls,
+		CollectiveBytes:  s.CollectiveBytes - o.CollectiveBytes,
+		IntraP2PBytes:    s.IntraP2PBytes - o.IntraP2PBytes,
+		IntraP2PMessages: s.IntraP2PMessages - o.IntraP2PMessages,
+		InterP2PBytes:    s.InterP2PBytes - o.InterP2PBytes,
+		InterP2PMessages: s.InterP2PMessages - o.InterP2PMessages,
 	}
 }
 

@@ -1,0 +1,107 @@
+package simmpi
+
+import "fmt"
+
+// Topology describes the two-level machine layout a world of ranks runs on:
+// Nodes compute nodes with RanksPerNode ranks each, ranks packed into nodes
+// in contiguous blocks (ranks 0..RanksPerNode-1 on node 0, the next block on
+// node 1, and so on — the layout mpirun's default block mapping produces).
+// Messages between ranks on the same node cross shared memory; messages
+// between nodes cross the network. The Meter classifies every point-to-point
+// message against this split, and the node-aware halo plans in
+// internal/distmat use it to aggregate all rank-to-rank traffic between a
+// pair of nodes into one combined message (Bienz–Gropp–Olson NAP-SpMV).
+//
+// The zero Topology means "no node structure declared": every rank is its
+// own node, so all traffic is inter-node and existing flat-world counters
+// keep their historical meaning.
+type Topology struct {
+	Nodes        int
+	RanksPerNode int
+}
+
+// FlatTopology returns the degenerate one-rank-per-node topology for a world
+// of the given size: no intra-node traffic is possible and all counters
+// behave exactly as before topologies existed.
+func FlatTopology(size int) Topology {
+	return Topology{Nodes: size, RanksPerNode: 1}
+}
+
+// Flat reports whether the topology has no multi-rank nodes (including the
+// zero value), i.e. node-aware aggregation would be a no-op.
+func (t Topology) Flat() bool { return t.RanksPerNode <= 1 }
+
+// NodeOf returns the node housing rank r.
+func (t Topology) NodeOf(r int) int {
+	if t.RanksPerNode <= 1 {
+		return r
+	}
+	return r / t.RanksPerNode
+}
+
+// SameNode reports whether ranks a and b share a node.
+func (t Topology) SameNode(a, b int) bool { return t.NodeOf(a) == t.NodeOf(b) }
+
+// Leader returns the designated leader rank of a node — its lowest rank —
+// the rank that sends and receives the node's combined inter-node messages.
+func (t Topology) Leader(node int) int {
+	if t.RanksPerNode <= 1 {
+		return node
+	}
+	return node * t.RanksPerNode
+}
+
+// Validate checks the topology against a world size: both fields positive
+// and Nodes×RanksPerNode == size. The zero topology is valid for any size.
+func (t Topology) Validate(size int) error {
+	if t == (Topology{}) {
+		return nil
+	}
+	if t.Nodes < 1 || t.RanksPerNode < 1 {
+		return fmt.Errorf("simmpi: topology %d nodes × %d ranks/node: both must be ≥ 1", t.Nodes, t.RanksPerNode)
+	}
+	if t.Nodes*t.RanksPerNode != size {
+		return fmt.Errorf("simmpi: topology %d nodes × %d ranks/node covers %d ranks, world has %d",
+			t.Nodes, t.RanksPerNode, t.Nodes*t.RanksPerNode, size)
+	}
+	return nil
+}
+
+// ResolveTopology normalizes a user-specified (nodes, ranksPerNode) pair —
+// either of which may be zero, meaning "derive it" — into a validated
+// Topology for a world of the given size. Both zero yields the flat
+// topology. A size not divisible into the requested shape is an error, never
+// a silent fallback: a wrong topology would silently misattribute the
+// intra/inter meter split.
+func ResolveTopology(size, nodes, ranksPerNode int) (Topology, error) {
+	if size < 1 {
+		return Topology{}, fmt.Errorf("simmpi: resolving topology for world size %d < 1", size)
+	}
+	if nodes < 0 || ranksPerNode < 0 {
+		return Topology{}, fmt.Errorf("simmpi: negative topology request (%d nodes, %d ranks/node)", nodes, ranksPerNode)
+	}
+	switch {
+	case nodes == 0 && ranksPerNode == 0:
+		return FlatTopology(size), nil
+	case nodes == 0:
+		if size%ranksPerNode != 0 {
+			return Topology{}, fmt.Errorf("simmpi: %d ranks not divisible by %d ranks/node", size, ranksPerNode)
+		}
+		nodes = size / ranksPerNode
+	case ranksPerNode == 0:
+		if size%nodes != 0 {
+			return Topology{}, fmt.Errorf("simmpi: %d ranks not divisible across %d nodes", size, nodes)
+		}
+		ranksPerNode = size / nodes
+	default:
+		if nodes*ranksPerNode != size {
+			return Topology{}, fmt.Errorf("simmpi: %d nodes × %d ranks/node covers %d ranks, world has %d",
+				nodes, ranksPerNode, nodes*ranksPerNode, size)
+		}
+	}
+	t := Topology{Nodes: nodes, RanksPerNode: ranksPerNode}
+	if err := t.Validate(size); err != nil {
+		return Topology{}, err
+	}
+	return t, nil
+}

@@ -60,9 +60,19 @@ func listenAll(cfg Config, size int) ([]net.Listener, []string, func(), error) {
 // do); the returned meter is the per-rank meters merged, comparable to an
 // in-process World's.
 func RunLocal(size int, cfg Config, fn func(c *simmpi.Comm) error) (*simmpi.Meter, error) {
+	return RunLocalTopo(size, cfg, simmpi.Topology{}, fn)
+}
+
+// RunLocalTopo is RunLocal with a two-level topology attached to every
+// rank's meter (and hence Comm), mirroring simmpi.RunTopo for the socket
+// backend.
+func RunLocalTopo(size int, cfg Config, topo simmpi.Topology, fn func(c *simmpi.Comm) error) (*simmpi.Meter, error) {
 	cfg = cfg.withDefaults()
 	if size < 1 {
 		return nil, fmt.Errorf("tcpmpi: world size %d < 1", size)
+	}
+	if err := topo.Validate(size); err != nil {
+		return nil, err
 	}
 	lns, addrs, cleanup, err := listenAll(cfg, size)
 	if err != nil {
@@ -91,7 +101,7 @@ func RunLocal(size int, cfg Config, fn func(c *simmpi.Comm) error) (*simmpi.Mete
 			if cfg.Wrap != nil {
 				t = cfg.Wrap(rank, t)
 			}
-			meters[rank] = simmpi.NewMeter(size)
+			meters[rank] = simmpi.NewMeterTopo(size, topo)
 			c := simmpi.NewComm(t, meters[rank], cfg.Timeout)
 			errs[rank] = fn(c)
 			if errs[rank] == nil {
@@ -103,7 +113,7 @@ func RunLocal(size int, cfg Config, fn func(c *simmpi.Comm) error) (*simmpi.Mete
 		}(r)
 	}
 	wg.Wait()
-	merged := simmpi.NewMeter(size)
+	merged := simmpi.NewMeterTopo(size, topo)
 	for _, m := range meters {
 		if m != nil {
 			merged.Merge(m)

@@ -39,6 +39,15 @@ type SolveOptions struct {
 	// to the workers, so the solve still pays no setup communication). See
 	// Options.Transport.
 	Transport string
+	// Nodes and RanksPerNode declare a per-solve two-level topology (see
+	// Options.Nodes). A cached prepared system can be solved under any node
+	// grouping: the node-aware relay schedule derives from need counts
+	// captured at Prepare time, with zero extra setup communication.
+	Nodes        int
+	RanksPerNode int
+	// NoNodeAggregation keeps the flat per-rank halo schedule under the
+	// declared topology (see Options.NoNodeAggregation).
+	NoNodeAggregation bool
 }
 
 // Validate rejects nonsensical per-solve options, reusing the facade's
@@ -52,6 +61,9 @@ func (o SolveOptions) Validate() error {
 		Arch:                 o.Arch,
 		ResidualReplaceEvery: o.ResidualReplaceEvery,
 		Transport:            o.Transport,
+		Nodes:                o.Nodes,
+		RanksPerNode:         o.RanksPerNode,
+		NoNodeAggregation:    o.NoNodeAggregation,
 	}.Validate()
 }
 
@@ -233,6 +245,10 @@ func (p *Prepared) Solve(ctx context.Context, b []float64, so SolveOptions) (*Re
 			return nil, fmt.Errorf("fsaicomm: %w", err)
 		}
 	}
+	topo, err := resolveTopology(p.ranks, so.Nodes, so.RanksPerNode)
+	if err != nil {
+		return nil, err
+	}
 
 	pb := distmat.PermuteVec(b, p.oldToNew)
 	specs := make([]*mprun.PreparedRankSpec, p.ranks)
@@ -244,10 +260,14 @@ func (p *Prepared) Solve(ctx context.Context, b []float64, so SolveOptions) (*Re
 			ALZ: pr.aLZ, GLZ: pr.gLZ, GTLZ: pr.gtLZ,
 			// The schedules are read-only [][]int views; the rank job wraps
 			// them in a fresh HaloPlan with private send buffers, which is
-			// what Clone used to provide.
+			// what Clone used to provide. The need counts captured at Prepare
+			// time let a declared topology rebuild the node-aware relay
+			// schedule locally.
 			ASend: pr.aPlan.SendPeers, ARecv: pr.aPlan.RecvPeers,
 			GSend: pr.gPlan.SendPeers, GRecv: pr.gPlan.RecvPeers,
 			GTSend: pr.gtPlan.SendPeers, GTRecv: pr.gtPlan.RecvPeers,
+			ACounts: pr.aPlan.NeedCounts(), GCounts: pr.gPlan.NeedCounts(),
+			GTCounts:             pr.gtPlan.NeedCounts(),
 			BLocal:               pb[pr.lo:pr.hi],
 			Pct:                  p.pct,
 			Imbalance:            p.imbalance,
@@ -257,11 +277,13 @@ func (p *Prepared) Solve(ctx context.Context, b []float64, so SolveOptions) (*Re
 			Trace:                so.Trace,
 			ResidualReplaceEvery: so.ResidualReplaceEvery,
 			Arch:                 so.Arch,
+			Nodes:                topo.Nodes,
+			RanksPerNode:         topo.RanksPerNode,
+			NoNodeAggregation:    so.NoNodeAggregation,
 		}
 	}
 
 	var outs []*mprun.RankOutcome
-	var err error
 	if so.Transport == "tcp" {
 		// The worker processes receive the localized factors over the wire;
 		// their workspaces are fresh per process, so the pools stay local.
@@ -270,7 +292,7 @@ func (p *Prepared) Solve(ctx context.Context, b []float64, so SolveOptions) (*Re
 		})
 	} else {
 		outs = make([]*mprun.RankOutcome, p.ranks)
-		_, err = simmpi.Run(p.ranks, time.Hour, func(c *simmpi.Comm) error {
+		_, err = simmpi.RunTopo(p.ranks, time.Hour, topo, func(c *simmpi.Comm) error {
 			ws := p.pools[c.Rank()].Get().(*krylov.Workspace)
 			defer p.pools[c.Rank()].Put(ws)
 			out, err := mprun.RunPreparedRank(ctx, c, specs[c.Rank()], ws)

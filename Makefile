@@ -32,16 +32,20 @@ tier2:
 # (BENCH_pipelined.json), per-backend solve times (BENCH_transport.json),
 # batched-vs-looped ns/RHS with the ~k× per-RHS communication drop
 # (BENCH_batch.json + BENCH_batch.csv), and flat-vs-node-aware halo
-# aggregation under a 2-node × 4-rank topology (BENCH_nodeaware.json).
+# aggregation under a 2-node × 4-rank topology (BENCH_nodeaware.json),
+# and fp64 vs fp32+refinement solves on both transports (BENCH_mixed.json).
 # The nodeaware writer enforces its own structural gates — bit-identical
 # solutions, unchanged inter-node bytes, strictly fewer inter-node
-# messages, never-worse modeled time — so a regression fails this target.
+# messages, never-worse modeled time — and the mixed writer gates fp32
+# halo bytes below 0.55x of fp64 for classic and fused CG, so a
+# regression fails this target.
 bench:
 	$(GO) test -run xxx -bench '50k' -benchmem .
 	$(GO) run ./cmd/fsaibench -exp benchjson -out BENCH_pipelined.json
 	$(GO) run ./cmd/fsaibench -exp transportjson -out BENCH_transport.json
 	$(GO) run ./cmd/fsaibench -exp batchjson -out BENCH_batch.json -csv BENCH_batch.csv
 	$(GO) run ./cmd/fsaibench -exp nodeawarejson -out BENCH_nodeaware.json
+	$(GO) run ./cmd/fsaibench -exp mixedjson -transport both -out BENCH_mixed.json
 
 # trace: emit a sample per-iteration telemetry artifact — the consph-sim
 # catalog instance solved with pipelined CG on 4 ranks, per-iteration
@@ -122,3 +126,4 @@ fuzz:
 	$(GO) test -fuzz FuzzCSRValidate -fuzztime 30s ./internal/sparse/
 	$(GO) test -fuzz FuzzCOOToCSR -fuzztime 30s ./internal/sparse/
 	$(GO) test -fuzz FuzzReadMatrixMarket -fuzztime 30s ./internal/sparse/
+	$(GO) test -fuzz FuzzCSR32RoundTrip -fuzztime 30s ./internal/sparse/

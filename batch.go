@@ -49,6 +49,9 @@ type BatchResult struct {
 	// Iterations is the batch loop's iteration count — the maximum over
 	// columns, which is what the communication schedule paid for.
 	Iterations int
+	// Refinements counts the FP64 iterative-refinement steps of a
+	// mixed-precision (Options.Precision FP32) batched solve; zero for FP64.
+	Refinements int
 	// Ranks is the number of processes used.
 	Ranks int
 	// PctNNZIncrease and ImbalanceIndex are the build metrics (see Result).
@@ -92,6 +95,9 @@ func checkBatchRHS(rhs [][]float64, n int) error {
 	for c := range rhs {
 		if len(rhs[c]) != n {
 			return fmt.Errorf("fsaicomm: rhs column %d length %d, want %d", c, len(rhs[c]), n)
+		}
+		if err := checkFiniteRHS(rhs[c]); err != nil {
+			return fmt.Errorf("rhs column %d: %w", c, err)
 		}
 	}
 	return nil
@@ -176,6 +182,7 @@ func SolveBatchContext(ctx context.Context, a *Matrix, rhs [][]float64, opt Opti
 			Threshold:    opt.Threshold,
 			Workers:      opt.Workers,
 			CGVariant:    opt.CGVariant,
+			Precision:    opt.Precision,
 		},
 		Tol:               opt.Tol,
 		MaxIter:           opt.MaxIter,
@@ -253,6 +260,7 @@ func (p *Prepared) SolveBatch(ctx context.Context, rhs [][]float64, so SolveOpti
 				MaxIter:           so.MaxIter,
 				Variant:           so.CGVariant,
 				Arch:              so.Arch,
+				Precision:         p.setupOpt.Precision,
 				Nodes:             topo.Nodes,
 				RanksPerNode:      topo.RanksPerNode,
 				NoNodeAggregation: so.NoNodeAggregation,
@@ -281,6 +289,7 @@ func assembleBatchResult(n, ranks, k int, oldToNew []int, outs []*mprun.RankOutc
 	res := &BatchResult{
 		Cols:           make([]ColResult, k),
 		Iterations:     root.Iterations,
+		Refinements:    root.Refinements,
 		Ranks:          ranks,
 		PctNNZIncrease: root.Pct,
 		ImbalanceIndex: root.Imbalance,

@@ -118,7 +118,7 @@ func measureBatchCell(name string, a *fsaicomm.Matrix, p *fsaicomm.Prepared, v f
 // Setup is paid once per instance via Prepare, outside all timings. The
 // tcp k=16 row must come out faster per RHS than the loop — the sweep
 // fails loudly if batching ever loses on it.
-func writeBatchJSON(w io.Writer, csvPath string, backends []string) error {
+func writeBatchJSON(w io.Writer, csvPath string, backends []string, prec fsaicomm.Precision) error {
 	var recs []batchRecord
 
 	spec, err := testsets.ByName("Dubcova2-sim")
@@ -126,7 +126,7 @@ func writeBatchJSON(w io.Writer, csvPath string, backends []string) error {
 		return err
 	}
 	a := spec.Generate()
-	p, err := fsaicomm.Prepare(a, fsaicomm.Options{Method: fsaicomm.FSAIEComm, Filter: 0.01, Ranks: 4})
+	p, err := fsaicomm.Prepare(a, fsaicomm.Options{Method: fsaicomm.FSAIEComm, Filter: 0.01, Ranks: 4, Precision: prec})
 	if err != nil {
 		return fmt.Errorf("prepare %s: %w", spec.Name, err)
 	}
@@ -142,7 +142,7 @@ func writeBatchJSON(w io.Writer, csvPath string, backends []string) error {
 
 	big := fsaicomm.GeneratePoisson3D(37, 37, 37) // 50653 rows
 	pb, err := fsaicomm.Prepare(big, fsaicomm.Options{
-		Method: fsaicomm.FSAI, Ranks: 4, Partitioner: "block",
+		Method: fsaicomm.FSAI, Ranks: 4, Partitioner: "block", Precision: prec,
 	})
 	if err != nil {
 		return fmt.Errorf("prepare poisson3d-50k: %w", err)

@@ -18,10 +18,15 @@
 // batchjson (the BENCH_batch.json artifact: batched multi-RHS
 // Prepared.SolveBatch versus k looped solves — ns/RHS, and the ~k× drop in
 // per-RHS halo messages and collective calls; -csv additionally emits the
-// rows as CSV) and nodeawarejson (the BENCH_nodeaware.json artifact:
+// rows as CSV), nodeawarejson (the BENCH_nodeaware.json artifact:
 // node-aware halo aggregation under a 2-node × 4-rank topology versus the
 // flat per-rank schedule, asserting bit-identical solutions and the
-// inter-node message-count reduction).
+// inter-node message-count reduction) and mixedjson (the BENCH_mixed.json
+// artifact: float32 factors + FP64 iterative refinement versus the pure
+// FP64 baseline per backend, gated so fp32 halo bytes stay below 0.55× of
+// fp64 and the refined solve still reaches the FP64 tolerance).
+// -precision fp32 reruns transportjson/batchjson with float32 factors;
+// mixedjson always measures both precisions side by side.
 // The quick set (default) is a 7-matrix class-representative subset of
 // Table 1; -set full runs the whole 39-matrix catalog (minutes, not
 // seconds).
@@ -34,6 +39,7 @@ import (
 	"os"
 	"time"
 
+	"fsaicomm"
 	"fsaicomm/internal/archmodel"
 	"fsaicomm/internal/core"
 	"fsaicomm/internal/experiments"
@@ -54,16 +60,21 @@ func main() {
 	outPath := flag.String("out", "", "output file for -exp benchjson/transportjson/batchjson (default stdout)")
 	transport := flag.String("transport", "both", "backends for -exp transportjson/batchjson: sim, tcp or both")
 	csvPath := flag.String("csv", "", "also write -exp batchjson rows as CSV to this file")
+	precision := flag.String("precision", "", "solve precision for -exp transportjson/batchjson: fp64 (default) or fp32 (float32 factors + FP64 refinement)")
 	flag.Parse()
 
-	if err := run(*exp, *set, *arch, *workers, *cg, *outPath, *transport, *csvPath, os.Stdout); err != nil {
+	if err := run(*exp, *set, *arch, *workers, *cg, *outPath, *transport, *csvPath, *precision, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "fsaibench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, set, archOverride string, workers int, cg, outPath, transport, csvPath string, out io.Writer) error {
+func run(exp, set, archOverride string, workers int, cg, outPath, transport, csvPath, precision string, out io.Writer) error {
 	variant, err := krylov.ParseCGVariant(cg)
+	if err != nil {
+		return err
+	}
+	prec, err := fsaicomm.ParsePrecision(precision)
 	if err != nil {
 		return err
 	}
@@ -305,7 +316,7 @@ func run(exp, set, archOverride string, workers int, cg, outPath, transport, csv
 				defer f.Close()
 				w = f
 			}
-			if err := writeTransportJSON(w, backends); err != nil {
+			if err := writeTransportJSON(w, backends, prec); err != nil {
 				return err
 			}
 			if outPath != "" {
@@ -331,6 +342,28 @@ func run(exp, set, archOverride string, workers int, cg, outPath, transport, csv
 			}
 			return nil
 		},
+		"mixedjson": func() error {
+			backends, err := transportBackends(transport)
+			if err != nil {
+				return err
+			}
+			w := out
+			if outPath != "" {
+				f, err := os.Create(outPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := writeMixedJSON(w, backends); err != nil {
+				return err
+			}
+			if outPath != "" {
+				fmt.Fprintf(out, "wrote mixed-precision bench artifact to %s\n", outPath)
+			}
+			return nil
+		},
 		"batchjson": func() error {
 			backends, err := transportBackends(transport)
 			if err != nil {
@@ -345,7 +378,7 @@ func run(exp, set, archOverride string, workers int, cg, outPath, transport, csv
 				defer f.Close()
 				w = f
 			}
-			if err := writeBatchJSON(w, csvPath, backends); err != nil {
+			if err := writeBatchJSON(w, csvPath, backends, prec); err != nil {
 				return err
 			}
 			if outPath != "" {

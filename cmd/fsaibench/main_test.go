@@ -9,7 +9,7 @@ import (
 func TestRunSingleExperiments(t *testing.T) {
 	for _, exp := range []string{"imbalance", "fig3a"} {
 		var buf bytes.Buffer
-		if err := run(exp, "quick", "", 0, "classic", "", "both", "", &buf); err != nil {
+		if err := run(exp, "quick", "", 0, "classic", "", "both", "", "", &buf); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 		if !strings.Contains(buf.String(), "completed") {
@@ -20,7 +20,7 @@ func TestRunSingleExperiments(t *testing.T) {
 
 func TestRunArchOverride(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run("fig3a", "quick", "a64fx", 2, "classic", "", "both", "", &buf); err != nil {
+	if err := run("fig3a", "quick", "a64fx", 2, "classic", "", "both", "", "", &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "a64fx") {
@@ -31,7 +31,7 @@ func TestRunArchOverride(t *testing.T) {
 func TestRunCommHidingVariants(t *testing.T) {
 	for _, cg := range []string{"fused", "pipelined"} {
 		var buf bytes.Buffer
-		if err := run("imbalance", "quick", "", 0, cg, "", "both", "", &buf); err != nil {
+		if err := run("imbalance", "quick", "", 0, cg, "", "both", "", "", &buf); err != nil {
 			t.Fatalf("-cg %s: %v", cg, err)
 		}
 		if !strings.Contains(buf.String(), "completed") {
@@ -46,7 +46,7 @@ func TestRunCommHidingVariants(t *testing.T) {
 // the repo root for the cross-backend identity).
 func TestRunTransportJSONSim(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run("transportjson", "quick", "", 0, "classic", "", "sim", "", &buf); err != nil {
+	if err := run("transportjson", "quick", "", 0, "classic", "", "sim", "", "", &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -62,16 +62,16 @@ func TestRunTransportJSONSim(t *testing.T) {
 
 func TestRunRejectsBadArgs(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run("nope", "quick", "", 0, "classic", "", "both", "", &buf); err == nil {
+	if err := run("nope", "quick", "", 0, "classic", "", "both", "", "", &buf); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if err := run("table1", "huge", "", 0, "classic", "", "both", "", &buf); err == nil {
+	if err := run("table1", "huge", "", 0, "classic", "", "both", "", "", &buf); err == nil {
 		t.Fatal("unknown set accepted")
 	}
-	if err := run("table1", "quick", "", 0, "bogus", "", "both", "", &buf); err == nil {
+	if err := run("table1", "quick", "", 0, "bogus", "", "both", "", "", &buf); err == nil {
 		t.Fatal("unknown CG variant accepted")
 	}
-	if err := run("transportjson", "quick", "", 0, "classic", "", "carrier-pigeon", "", &buf); err == nil {
+	if err := run("transportjson", "quick", "", 0, "classic", "", "carrier-pigeon", "", "", &buf); err == nil {
 		t.Fatal("unknown transport accepted")
 	}
 }

@@ -52,7 +52,9 @@ func transportBackends(flag string) ([]string, error) {
 // and 8 ranks on each requested backend and emits the rows as indented JSON.
 // Setup is paid once per rank count via Prepare — the factors are transport-
 // independent — so ns_per_op isolates what the backend adds to a solve.
-func writeTransportJSON(w io.Writer, backends []string) error {
+// prec selects the solve precision (-precision fp32 measures the refined
+// mixed-precision path instead of the FP64 default).
+func writeTransportJSON(w io.Writer, backends []string, prec fsaicomm.Precision) error {
 	spec, err := testsets.ByName("Dubcova2-sim")
 	if err != nil {
 		return err
@@ -64,7 +66,7 @@ func writeTransportJSON(w io.Writer, backends []string) error {
 	var recs []transportRecord
 	for _, ranks := range []int{4, 8} {
 		p, err := fsaicomm.Prepare(a, fsaicomm.Options{
-			Method: fsaicomm.FSAIEComm, Filter: 0.01, Ranks: ranks,
+			Method: fsaicomm.FSAIEComm, Filter: 0.01, Ranks: ranks, Precision: prec,
 		})
 		if err != nil {
 			return fmt.Errorf("prepare at %d ranks: %w", ranks, err)

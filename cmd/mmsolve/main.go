@@ -7,7 +7,7 @@
 //	mmsolve -matrix A.mtx [-rhs b.txt] [-method fsai|fsaie|fsaie-comm]
 //	        [-filter 0.01] [-dynamic] [-line 64] [-ranks 4] [-workers 0]
 //	        [-cg classic|classic-overlap|fused|pipelined] [-tol 1e-8] [-out x.txt]
-//	        [-trace trace.json] [-rr 0]
+//	        [-trace trace.json] [-rr 0] [-precision fp64|fp32]
 //
 // Without -rhs a deterministic random right-hand side normalized to the
 // matrix max norm is used (the paper's setup). With -ranks 1 the solve is
@@ -45,15 +45,16 @@ func main() {
 		rr         = flag.Int("rr", 0, "pipelined CG: recompute the true residual every N iterations (0 = off)")
 		nodes      = flag.Int("nodes", 0, "two-level topology: number of nodes (0 = flat; ranks must divide evenly)")
 		rpn        = flag.Int("ranks-per-node", 0, "two-level topology: ranks per node (0 = flat; pairs with -nodes, either may be derived)")
+		precision  = flag.String("precision", "", "solve precision: fp64 (default) or fp32 (float32 factors + FP64 iterative refinement; halves halo traffic)")
 	)
 	flag.Parse()
-	if err := run(*matrixPath, *rhsPath, *method, *filter, *dynamic, *line, *ranks, *workers, *cg, *tol, *maxIter, *outPath, *tracePath, *rr, *nodes, *rpn); err != nil {
+	if err := run(*matrixPath, *rhsPath, *method, *filter, *dynamic, *line, *ranks, *workers, *cg, *tol, *maxIter, *outPath, *tracePath, *rr, *nodes, *rpn, *precision); err != nil {
 		fmt.Fprintln(os.Stderr, "mmsolve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line, ranks, workers int, cg string, tol float64, maxIter int, outPath, tracePath string, rr, nodes, rpn int) error {
+func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line, ranks, workers int, cg string, tol float64, maxIter int, outPath, tracePath string, rr, nodes, rpn int, precision string) error {
 	if matrixPath == "" {
 		return fmt.Errorf("-matrix is required")
 	}
@@ -109,6 +110,11 @@ func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line,
 		return err
 	}
 	opt.CGVariant = variant
+	prec, err := fsaicomm.ParsePrecision(precision)
+	if err != nil {
+		return err
+	}
+	opt.Precision = prec
 
 	var res *fsaicomm.Result
 	if ranks == 1 {
@@ -124,6 +130,9 @@ func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line,
 		res.Ranks, res.PctNNZIncrease, res.ImbalanceIndex)
 	fmt.Printf("converged: %v in %d iterations (rel residual %.3e)\n",
 		res.Converged, res.Iterations, res.RelResidual)
+	if prec == fsaicomm.FP32 {
+		fmt.Printf("precision: fp32 factors with %d FP64 refinement steps\n", res.Refinements)
+	}
 	fmt.Printf("setup %v, solve %v", res.SetupTime.Round(0), res.SolveTime.Round(0))
 	if res.CommBytes > 0 {
 		fmt.Printf(", %d bytes exchanged (%.1f per iteration)", res.CommBytes, res.CommBytesPerIteration)

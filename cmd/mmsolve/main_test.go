@@ -28,7 +28,7 @@ func writeTestMatrix(t *testing.T) string {
 func TestRunSolvesAndWritesSolution(t *testing.T) {
 	mtx := writeTestMatrix(t)
 	out := filepath.Join(t.TempDir(), "x.txt")
-	if err := run(mtx, "", "fsaie-comm", 0.01, true, 64, 2, 2, "classic", 1e-8, 0, out, "", 0, 0, 0); err != nil {
+	if err := run(mtx, "", "fsaie-comm", 0.01, true, 64, 2, 2, "classic", 1e-8, 0, out, "", 0, 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	x, err := readVector(out)
@@ -46,7 +46,7 @@ func TestRunCommHidingCGMatchesClassic(t *testing.T) {
 	outs := map[string]string{}
 	for _, cg := range []string{"classic", "fused", "pipelined"} {
 		out := filepath.Join(dir, "x-"+cg+".txt")
-		if err := run(mtx, "", "fsaie-comm", 0.01, false, 64, 4, 0, cg, 1e-8, 0, out, "", 0, 0, 0); err != nil {
+		if err := run(mtx, "", "fsaie-comm", 0.01, false, 64, 4, 0, cg, 1e-8, 0, out, "", 0, 0, 0, ""); err != nil {
 			t.Fatalf("-cg %s: %v", cg, err)
 		}
 		outs[cg] = out
@@ -71,7 +71,7 @@ func TestRunCommHidingCGMatchesClassic(t *testing.T) {
 func TestRunWritesTraceArtifact(t *testing.T) {
 	mtx := writeTestMatrix(t)
 	trace := filepath.Join(t.TempDir(), "trace.json")
-	if err := run(mtx, "", "fsai", 0, false, 64, 4, 0, "pipelined", 1e-8, 0, "", trace, 10, 0, 0); err != nil {
+	if err := run(mtx, "", "fsai", 0, false, 64, 4, 0, "pipelined", 1e-8, 0, "", trace, 10, 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(trace)
@@ -98,7 +98,7 @@ func TestRunSerialWithRHS(t *testing.T) {
 		f.WriteString("1.0\n")
 	}
 	f.Close()
-	if err := run(mtx, rhs, "fsai", 0, false, 64, 1, 0, "classic", 1e-8, 0, "", "", 0, 0, 0); err != nil {
+	if err := run(mtx, rhs, "fsai", 0, false, 64, 1, 0, "classic", 1e-8, 0, "", "", 0, 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -107,11 +107,11 @@ func TestRunTopologySolvesIdenticallyToFlat(t *testing.T) {
 	mtx := writeTestMatrix(t)
 	dir := t.TempDir()
 	flat := filepath.Join(dir, "x-flat.txt")
-	if err := run(mtx, "", "fsaie-comm", 0.01, false, 64, 4, 0, "classic", 1e-8, 0, flat, "", 0, 0, 0); err != nil {
+	if err := run(mtx, "", "fsaie-comm", 0.01, false, 64, 4, 0, "classic", 1e-8, 0, flat, "", 0, 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	napped := filepath.Join(dir, "x-nap.txt")
-	if err := run(mtx, "", "fsaie-comm", 0.01, false, 64, 4, 0, "classic", 1e-8, 0, napped, "", 0, 2, 2); err != nil {
+	if err := run(mtx, "", "fsaie-comm", 0.01, false, 64, 4, 0, "classic", 1e-8, 0, napped, "", 0, 2, 2, ""); err != nil {
 		t.Fatalf("-nodes 2 -ranks-per-node 2: %v", err)
 	}
 	xf, err := readVector(flat)
@@ -132,35 +132,35 @@ func TestRunTopologySolvesIdenticallyToFlat(t *testing.T) {
 func TestRunTopologyErrors(t *testing.T) {
 	mtx := writeTestMatrix(t)
 	// 4 ranks are not divisible into 3-rank nodes.
-	if err := run(mtx, "", "fsai", 0, false, 64, 4, 0, "classic", 1e-8, 0, "", "", 0, 0, 3); err == nil {
+	if err := run(mtx, "", "fsai", 0, false, 64, 4, 0, "classic", 1e-8, 0, "", "", 0, 0, 3, ""); err == nil {
 		t.Fatal("indivisible ranks-per-node accepted")
 	} else if !strings.Contains(err.Error(), "not divisible") {
 		t.Fatalf("divisibility error not descriptive: %v", err)
 	}
 	// 3 nodes cannot partition 4 ranks either.
-	if err := run(mtx, "", "fsai", 0, false, 64, 4, 0, "classic", 1e-8, 0, "", "", 0, 3, 0); err == nil {
+	if err := run(mtx, "", "fsai", 0, false, 64, 4, 0, "classic", 1e-8, 0, "", "", 0, 3, 0, ""); err == nil {
 		t.Fatal("indivisible node count accepted")
 	}
 	// Topology flags are meaningless on a serial solve.
-	if err := run(mtx, "", "fsai", 0, false, 64, 1, 0, "classic", 1e-8, 0, "", "", 0, 2, 0); err == nil {
+	if err := run(mtx, "", "fsai", 0, false, 64, 1, 0, "classic", 1e-8, 0, "", "", 0, 2, 0, ""); err == nil {
 		t.Fatal("topology on serial solve accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	mtx := writeTestMatrix(t)
-	if err := run("", "", "fsai", 0, false, 64, 1, 0, "classic", 0, 0, "", "", 0, 0, 0); err == nil {
+	if err := run("", "", "fsai", 0, false, 64, 1, 0, "classic", 0, 0, "", "", 0, 0, 0, ""); err == nil {
 		t.Fatal("missing matrix accepted")
 	}
-	if err := run(mtx, "", "bogus", 0, false, 64, 1, 0, "classic", 0, 0, "", "", 0, 0, 0); err == nil {
+	if err := run(mtx, "", "bogus", 0, false, 64, 1, 0, "classic", 0, 0, "", "", 0, 0, 0, ""); err == nil {
 		t.Fatal("unknown method accepted")
 	}
-	if err := run(mtx, "", "fsai", 0, false, 64, 1, 0, "bogus", 0, 0, "", "", 0, 0, 0); err == nil {
+	if err := run(mtx, "", "fsai", 0, false, 64, 1, 0, "bogus", 0, 0, "", "", 0, 0, 0, ""); err == nil {
 		t.Fatal("unknown CG variant accepted")
 	}
 	short := filepath.Join(t.TempDir(), "short.txt")
 	os.WriteFile(short, []byte("1.0\n"), 0o644)
-	if err := run(mtx, short, "fsai", 0, false, 64, 1, 0, "classic", 0, 0, "", "", 0, 0, 0); err == nil {
+	if err := run(mtx, short, "fsai", 0, false, 64, 1, 0, "classic", 0, 0, "", "", 0, 0, 0, ""); err == nil {
 		t.Fatal("short rhs accepted")
 	}
 }

@@ -105,6 +105,24 @@ const (
 // "pipelined" (the -cg flag spellings of the command-line tools).
 func ParseCGVariant(s string) (CGVariant, error) { return krylov.ParseCGVariant(s) }
 
+// Precision selects the value width of the preconditioner factors and the
+// operator inside the solve (see Options.Precision).
+type Precision = krylov.Precision
+
+// Solve precisions.
+const (
+	// FP64 is full double precision throughout — the default.
+	FP64 = krylov.FP64
+	// FP32 stores the factor (and operator) values in float32 and wraps the
+	// CG loop in an FP64 iterative-refinement outer loop: halo traffic
+	// halves while the refinement recovers the FP64 residual target.
+	FP32 = krylov.FP32
+)
+
+// ParsePrecision parses the -precision flag spellings "fp64" and "fp32"
+// (empty string = fp64).
+func ParsePrecision(s string) (Precision, error) { return krylov.ParsePrecision(s) }
+
 // ParseMethod parses the -method flag spellings: "fsai", "fsaie" or
 // "fsaie-comm" (also accepted: "fsaiecomm"), case-insensitively. The empty
 // string means "caller did not say" and resolves to FSAIEComm, the default
@@ -231,6 +249,19 @@ type Options struct {
 	// nothing is aggregated. This is the baseline the node-aware benchmarks
 	// compare against; it has no effect on a flat topology.
 	NoNodeAggregation bool
+	// Precision selects the solve's value width: FP64 (default) or FP32.
+	// Under FP32 the factors are still built in float64 and then narrowed to
+	// float32 — together with a float32 view of A — and the CG loop runs as
+	// the inner solve of an FP64 iterative-refinement outer loop: halo bytes
+	// drop ~2×, the outer loop recomputes the true FP64 residual each step,
+	// and the solve reaches the same Tol as pure FP64 (typically within a
+	// small iteration overhead; Result.Refinements counts the outer steps).
+	// Tolerances much below ~1e-13 can sit under the float32 representation
+	// floor — the refinement then stops early and reports no convergence.
+	// This is a SETUP-level knob: it changes the prepared factors, so it
+	// lives here and not in SolveOptions, and is part of the serving layer's
+	// preconditioner cache key.
+	Precision Precision
 }
 
 // ErrInvalidOptions is wrapped by the errors Validate returns for
@@ -304,6 +335,11 @@ func (o Options) Validate() error {
 	default:
 		return fail("unknown transport %q (want sim or tcp)", o.Transport)
 	}
+	switch o.Precision {
+	case FP64, FP32:
+	default:
+		return fail("unknown precision %d (want FP64 or FP32)", int(o.Precision))
+	}
 	if o.Arch != "" {
 		if _, err := archmodel.ByName(o.Arch); err != nil {
 			return fail("%v", err)
@@ -337,6 +373,10 @@ type Result struct {
 	Iterations  int
 	Converged   bool
 	RelResidual float64
+	// Refinements counts the FP64 iterative-refinement steps of a
+	// mixed-precision (Options.Precision FP32) solve; Iterations then counts
+	// the total inner iterations across all steps. Zero for FP64 solves.
+	Refinements int
 	// PctNNZIncrease is the preconditioner pattern growth versus the FSAI
 	// baseline pattern (the paper's "% NNZ").
 	PctNNZIncrease float64
@@ -398,6 +438,14 @@ var ErrNotSPD = errors.New("fsaicomm: matrix is not symmetric positive definite"
 // the error.
 var ErrCanceled = krylov.ErrCanceled
 
+// ErrBreakdown is wrapped by the errors the solve entry points return when
+// the CG recurrence breaks down (NaN/Inf, or non-positive curvature on a
+// matrix that is not positive definite). The loop stops at the detecting
+// iteration — on every rank of a distributed solve, at the same iteration —
+// instead of spinning to MaxIter, and the partial Result so far is returned
+// alongside the error.
+var ErrBreakdown = krylov.ErrBreakdown
+
 func checkInput(a *Matrix, b []float64) error {
 	if a.Rows != a.Cols {
 		return fmt.Errorf("fsaicomm: matrix is %dx%d, want square", a.Rows, a.Cols)
@@ -408,8 +456,27 @@ func checkInput(a *Matrix, b []float64) error {
 	if err := a.Validate(); err != nil {
 		return fmt.Errorf("fsaicomm: invalid matrix: %w", err)
 	}
+	if !a.IsFinite() {
+		return fmt.Errorf("%w: matrix contains NaN or Inf values", ErrInvalidOptions)
+	}
+	if err := checkFiniteRHS(b); err != nil {
+		return err
+	}
 	if !a.IsSymmetric(1e-10) {
 		return fmt.Errorf("%w: pattern or values asymmetric", ErrNotSPD)
+	}
+	return nil
+}
+
+// checkFiniteRHS rejects right-hand sides with NaN/Inf entries: a single
+// non-finite component makes every residual NaN, so the solve can only end
+// in breakdown — reject it at the boundary (and before it can poison a
+// content-addressed cache) instead.
+func checkFiniteRHS(b []float64) error {
+	for i, v := range b {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: rhs[%d] = %g is not finite", ErrInvalidOptions, i, v)
+		}
 	}
 	return nil
 }
@@ -438,9 +505,16 @@ func SolveContext(ctx context.Context, a *Matrix, b []float64, opt Options) (*Re
 	setup := time.Since(t0)
 	x := make([]float64, a.Rows)
 	t1 := time.Now()
-	st, err := krylov.CG(a, b, x, krylov.NewSplit(g, g.Transpose()),
-		krylov.Options{Tol: opt.Tol, MaxIter: opt.MaxIter, Trace: opt.Trace, Ctx: ctx}, nil)
-	if err != nil && !errors.Is(err, krylov.ErrNoConvergence) && !errors.Is(err, krylov.ErrCanceled) {
+	kopt := krylov.Options{Tol: opt.Tol, MaxIter: opt.MaxIter, Trace: opt.Trace, Ctx: ctx}
+	var st krylov.Stats
+	if opt.Precision == FP32 {
+		st, err = krylov.SolveRefined(a, b, x, krylov.NewSplit32(g, g.Transpose()), kopt, nil)
+	} else {
+		st, err = krylov.CG(a, b, x, krylov.NewSplit(g, g.Transpose()), kopt, nil)
+	}
+	canceled := errors.Is(err, krylov.ErrCanceled)
+	broken := errors.Is(err, krylov.ErrBreakdown)
+	if err != nil && !errors.Is(err, krylov.ErrNoConvergence) && !canceled && !broken {
 		return nil, err
 	}
 	res := &Result{
@@ -448,6 +522,7 @@ func SolveContext(ctx context.Context, a *Matrix, b []float64, opt Options) (*Re
 		Iterations:     st.Iterations,
 		Converged:      st.Converged,
 		RelResidual:    st.RelResidual,
+		Refinements:    st.Refinements,
 		PctNNZIncrease: pct,
 		Ranks:          1,
 		ImbalanceIndex: 1,
@@ -455,7 +530,7 @@ func SolveContext(ctx context.Context, a *Matrix, b []float64, opt Options) (*Re
 		SolveTime:      time.Since(t1),
 		Trace:          st.Trace,
 	}
-	if errors.Is(err, krylov.ErrCanceled) {
+	if canceled || broken {
 		return res, err
 	}
 	return res, nil
@@ -551,6 +626,7 @@ func SolveDistributedContext(ctx context.Context, a *Matrix, b []float64, opt Op
 			Threshold:    opt.Threshold,
 			Workers:      opt.Workers,
 			CGVariant:    opt.CGVariant,
+			Precision:    opt.Precision,
 		},
 		Tol:                  opt.Tol,
 		MaxIter:              opt.MaxIter,
@@ -624,6 +700,7 @@ func assembleDistResult(n, ranks int, prof archmodel.Profile, variant CGVariant,
 		Iterations:     root.Iterations,
 		Converged:      root.Converged,
 		RelResidual:    root.RelResidual,
+		Refinements:    root.Refinements,
 		PctNNZIncrease: root.Pct,
 		ImbalanceIndex: root.Imbalance,
 		SetupTime:      time.Duration(root.SetupNanos),
@@ -665,6 +742,9 @@ func assembleDistResult(n, ranks int, prof archmodel.Profile, variant CGVariant,
 	}
 	if root.Canceled {
 		return res, fmt.Errorf("fsaicomm: %w at iteration %d", krylov.ErrCanceled, res.Iterations)
+	}
+	if root.Broken {
+		return res, fmt.Errorf("fsaicomm: %w at iteration %d (rel residual %g)", krylov.ErrBreakdown, res.Iterations, res.RelResidual)
 	}
 	return res, nil
 }

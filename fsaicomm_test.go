@@ -1,6 +1,7 @@
 package fsaicomm
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -104,6 +105,35 @@ func TestSolveRejectsBadInput(t *testing.T) {
 	rect := NewCOO(2, 3)
 	if _, err := Solve(rect.ToCSR(), make([]float64, 2), Options{}); err == nil {
 		t.Fatal("rectangular matrix accepted")
+	}
+}
+
+// TestSolveRejectsNonFinite: a NaN or Inf anywhere in the matrix or the
+// right-hand side is an input error surfaced as ErrInvalidOptions before
+// any factorization or caching happens — not a breakdown half-way through.
+func TestSolveRejectsNonFinite(t *testing.T) {
+	a := GeneratePoisson2D(4, 4)
+	b := GenerateRHS(a, 1)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		rhs := append([]float64(nil), b...)
+		rhs[5] = bad
+		if _, err := Solve(a, rhs, Options{}); !errors.Is(err, ErrInvalidOptions) {
+			t.Fatalf("serial rhs %v: %v", bad, err)
+		}
+		if _, err := SolveDistributed(a, rhs, Options{Ranks: 2}); !errors.Is(err, ErrInvalidOptions) {
+			t.Fatalf("distributed rhs %v: %v", bad, err)
+		}
+	}
+	aa := a.Clone()
+	aa.Val[0] = math.NaN()
+	if _, err := Solve(aa, b, Options{}); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("NaN matrix solve: %v", err)
+	}
+	if _, err := Prepare(aa, Options{Ranks: 2}); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("NaN matrix prepare: %v", err)
+	}
+	if _, err := BuildPreconditioner(aa, Options{}); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("NaN matrix preconditioner: %v", err)
 	}
 }
 

@@ -34,6 +34,13 @@ type Config struct {
 	// operators with the interior/boundary overlap view so the
 	// preconditioner SpMVs also run in the send-then-compute schedule.
 	CGVariant krylov.CGVariant
+	// Precision selects the value width of the solve the build feeds. The
+	// factors are always computed in float64 — narrowing a finished factor
+	// loses far less than building in float32 would — but under FP32 the
+	// G/Gᵀ operators come back switched to the mixed-precision kernel
+	// (float32 values, half-width halos) ready for the iterative-refinement
+	// inner solves.
+	Precision krylov.Precision
 }
 
 // rankWorkers resolves Config.Workers for per-rank pools: the zero value
@@ -139,6 +146,9 @@ func BuildPrecond(c *simmpi.Comm, l *distmat.Layout, aRows *sparse.CSR, cfg Conf
 	var opOpts []distmat.OpOption
 	if cfg.CGVariant != krylov.CGClassic {
 		opOpts = append(opOpts, distmat.WithOverlap())
+	}
+	if cfg.Precision == krylov.FP32 {
+		opOpts = append(opOpts, distmat.WithF32())
 	}
 	b := &Build{
 		Method:         cfg.Method,

@@ -51,6 +51,10 @@ func (v *BatchDistVec) Local() []float64 { return v.Ext[:v.NLocal*v.K] }
 // width is fixed at k, which keeps the schedule independent of the
 // convergence mask and the per-neighbour message count exactly 1.
 func (p *HaloPlan) ExchangeBatch(c *simmpi.Comm, xExt []float64, nLocal, k int) {
+	if p.f32 {
+		p.exchangeBatch32(c, xExt, nLocal, k)
+		return
+	}
 	if p.napActive() {
 		// Node-aware and k-wide batching compose: the aggregated envelope is
 		// width-agnostic, so a batch still costs one message per neighbour
@@ -107,7 +111,11 @@ func (op *Op) MulMat(c *simmpi.Comm, x, y []float64, k int, cols []int, scratch 
 	}
 	copy(scratch.Ext[:nl*k], x)
 	op.Plan.ExchangeBatch(c, scratch.Ext, nl, k)
-	op.LZ.M.MulMatCols(scratch.Ext, y, k, cols)
+	if op.f32 {
+		op.LZ.M32().MulMatCols(scratch.Ext, y, k, cols)
+	} else {
+		op.LZ.M.MulMatCols(scratch.Ext, y, k, cols)
+	}
 	nc := int64(k)
 	if cols != nil {
 		nc = int64(len(cols))

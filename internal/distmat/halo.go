@@ -3,6 +3,7 @@ package distmat
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"fsaicomm/internal/simmpi"
 	"fsaicomm/internal/sparse"
@@ -30,10 +31,23 @@ type Localized struct {
 	Lo, Hi int   // global row range
 	Halo   []int // global indices of halo columns, sorted
 	M      *sparse.CSR
+	// m32 is the lazily-narrowed float32 view of M used by mixed-precision
+	// solves. Unexported (gob ships only the schedule above) and built at
+	// most once even when concurrent solves share the Localized view.
+	m32     *sparse.CSR32
+	m32Once sync.Once
 }
 
 // NLocal returns the number of locally owned rows/columns.
 func (lz *Localized) NLocal() int { return lz.Hi - lz.Lo }
+
+// M32 returns the float32 view of M, narrowing it on first use. The view
+// shares M's structure arrays and is read-only, so concurrent solves may
+// share it like M itself.
+func (lz *Localized) M32() *sparse.CSR32 {
+	lz.m32Once.Do(func() { lz.m32 = sparse.NewCSR32(lz.M) })
+	return lz.m32
+}
 
 // HaloSet returns the halo global indices (shared slice; do not mutate).
 func (lz *Localized) HaloSet() []int { return lz.Halo }
@@ -128,10 +142,31 @@ type HaloPlan struct {
 	napUpBuf                []float64
 	napOutBufs, napDownBufs [][]float64
 	napUpVals, napInVals    [][]float64
+	// f32 selects the half-width wire format: halo values are narrowed to
+	// float32 at the gather, travel (and are metered) at 4 bytes each, and
+	// are widened back on scatter. The schedule is precision-independent;
+	// only the buffers below differ. See halo32.go.
+	f32 bool
+	// Float32 twins of the exchange workspaces, used only when f32 is set.
+	// The NAP leader needs its own set because self-ups and self-downs ride
+	// the no-copy loopback queue: the payload the leader scatters IS the
+	// buffer it gathered into, so the two precisions cannot share storage.
+	sendBuf32                   [][]float32
+	napUpBuf32                  []float32
+	napOutBufs32, napDownBufs32 [][]float32
+	napUpVals32, napInVals32    [][]float32
 	// async is the reusable handle for StartExchange (one outstanding
 	// nonblocking exchange per plan at a time).
 	async ExchangeHandle
 }
+
+// SetF32 selects (or clears) the half-width float32 halo wire format for
+// this plan. Mixed-precision solves set it on the plans of their inner
+// operators; the FP64 outer-loop operators keep the full-width default.
+func (p *HaloPlan) SetF32(on bool) { p.f32 = on }
+
+// F32 reports whether the plan exchanges halo values in float32.
+func (p *HaloPlan) F32() bool { return p.f32 }
 
 // SendPeerIDs returns the sorted ranks this plan sends to.
 func (p *HaloPlan) SendPeerIDs() []int { return p.sendPeerIDs }
@@ -300,6 +335,7 @@ func (p *HaloPlan) Clone() *HaloPlan {
 		topo:        p.topo,
 		needCounts:  p.needCounts,
 		nodeAware:   p.nodeAware,
+		f32:         p.f32,
 		nap:         p.nap, // immutable once derived; buffers are NOT shared
 	}
 }
@@ -330,6 +366,10 @@ func (p *HaloPlan) Exchange(c *simmpi.Comm, xExt []float64, nLocal int) {
 // filled by the caller). The overlap schedule calls it before computing
 // interior rows so the values travel while local work proceeds.
 func (p *HaloPlan) PostSends(c *simmpi.Comm, xExt []float64) {
+	if p.f32 {
+		p.postSends32(c, xExt)
+		return
+	}
 	if p.napActive() {
 		p.napPostSends(c, xExt, 1, false)
 		return
@@ -354,6 +394,10 @@ func (p *HaloPlan) PostSends(c *simmpi.Comm, xExt []float64) {
 // CompleteRecvs drains this rank's halo receives into the halo slots of
 // xExt, completing an update started with PostSends.
 func (p *HaloPlan) CompleteRecvs(c *simmpi.Comm, xExt []float64, nLocal int) {
+	if p.f32 {
+		p.completeRecvs32(c, xExt, nLocal)
+		return
+	}
 	if p.napActive() {
 		p.napCompleteRecvs(c, xExt, nLocal, 1)
 		return
@@ -380,6 +424,9 @@ func (p *HaloPlan) CompleteRecvs(c *simmpi.Comm, xExt []float64, nLocal int) {
 // request slices are reused across calls (one outstanding exchange per
 // plan at a time, like the send buffers).
 func (p *HaloPlan) StartExchange(c *simmpi.Comm, xExt []float64) *ExchangeHandle {
+	if p.f32 {
+		return p.startExchange32(c, xExt)
+	}
 	if p.napActive() {
 		// The aggregated protocol keeps its receives ordered per sender
 		// (ups before directs before downs), so the handle defers all of
@@ -388,10 +435,12 @@ func (p *HaloPlan) StartExchange(c *simmpi.Comm, xExt []float64) *ExchangeHandle
 		// is charged at post time either way.
 		p.async.plan = p
 		p.async.nap = true
+		p.async.f32 = false
 		p.napPostSends(c, xExt, 1, true)
 		return &p.async
 	}
 	p.async.nap = false
+	p.async.f32 = false
 	if p.async.recvs == nil {
 		p.async.recvs = make([]*simmpi.Request, 0, len(p.recvPeerIDs))
 	}
@@ -425,13 +474,22 @@ type ExchangeHandle struct {
 	plan  *HaloPlan
 	recvs []*simmpi.Request
 	nap   bool // node-aware exchange: receives deferred to Complete
+	f32   bool // half-width exchange: complete with the float32 wait path
 }
 
 // Complete waits the posted receives and scatters their values into the
 // halo slots of xExt, finishing the update.
 func (h *ExchangeHandle) Complete(c *simmpi.Comm, xExt []float64, nLocal int) {
 	if h.nap {
+		if h.f32 {
+			h.plan.napCompleteRecvs32(c, xExt, nLocal, 1)
+			return
+		}
 		h.plan.napCompleteRecvs(c, xExt, nLocal, 1)
+		return
+	}
+	if h.f32 {
+		h.complete32(c, xExt, nLocal)
 		return
 	}
 	p := h.plan

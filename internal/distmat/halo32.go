@@ -1,0 +1,289 @@
+package distmat
+
+// Half-width halo exchange. Mixed-precision solves keep every iteration
+// vector in float64 but let the inner operators carry float32 values: the
+// gather narrows each halo value once, the wire (and the meter) pays 4 bytes
+// per value instead of 8, and the scatter widens back. The schedule —
+// peers, index lists, node-aware relay segments, message counts — is exactly
+// the full-width plan's; only the payload type and the reusable buffers
+// change, so every structural claim (message counts, NAP collapse, batch
+// coalescing) carries over by construction. The narrowed values are
+// identical on the flat and node-aware routes (one rounding at the gather,
+// untouched through the relay), preserving the bitwise-equal-routing
+// invariant in float32.
+
+import (
+	"fmt"
+
+	"fsaicomm/internal/simmpi"
+)
+
+// napBuf32 resizes *store to n float32s, reusing capacity across exchanges.
+func napBuf32(store *[]float32, n int) []float32 {
+	if cap(*store) < n {
+		*store = make([]float32, n)
+	}
+	*store = (*store)[:n]
+	return *store
+}
+
+// postSends32 is the float32 PostSends: narrow-gather into the f32 send
+// buffers and post half-width sends.
+func (p *HaloPlan) postSends32(c *simmpi.Comm, xExt []float64) {
+	if p.napActive() {
+		p.napPostSends32(c, xExt, 1, false)
+		return
+	}
+	if p.sendBuf32 == nil {
+		p.sendBuf32 = make([][]float32, len(p.SendPeers))
+	}
+	for _, peer := range p.sendPeerIDs {
+		list := p.SendPeers[peer]
+		buf := napBuf32(&p.sendBuf32[peer], len(list))
+		for k, li := range list {
+			buf[k] = float32(xExt[li])
+		}
+		c.SendFloats32(peer, tagHaloData, buf)
+	}
+}
+
+// completeRecvs32 drains half-width receives and widens them into the halo
+// slots of xExt.
+func (p *HaloPlan) completeRecvs32(c *simmpi.Comm, xExt []float64, nLocal int) {
+	if p.napActive() {
+		p.napCompleteRecvs32(c, xExt, nLocal, 1)
+		return
+	}
+	for _, peer := range p.recvPeerIDs {
+		slots := p.RecvPeers[peer]
+		vals := c.RecvFloats32(peer, tagHaloData)
+		if len(vals) != len(slots) {
+			panic(fmt.Sprintf("distmat: rank %d halo update from %d: got %d values, want %d",
+				c.Rank(), peer, len(vals), len(slots)))
+		}
+		for k, s := range slots {
+			xExt[nLocal+s] = float64(vals[k])
+		}
+	}
+}
+
+// startExchange32 is the float32 StartExchange: receives posted first, then
+// nonblocking half-width sends, completion via Wait32 in Complete.
+func (p *HaloPlan) startExchange32(c *simmpi.Comm, xExt []float64) *ExchangeHandle {
+	if p.napActive() {
+		p.async.plan = p
+		p.async.nap = true
+		p.async.f32 = true
+		p.napPostSends32(c, xExt, 1, true)
+		return &p.async
+	}
+	p.async.nap = false
+	p.async.f32 = true
+	if p.async.recvs == nil {
+		p.async.recvs = make([]*simmpi.Request, 0, len(p.recvPeerIDs))
+	}
+	p.async.plan = p
+	p.async.recvs = p.async.recvs[:0]
+	for _, peer := range p.recvPeerIDs {
+		p.async.recvs = append(p.async.recvs, c.IrecvFloats32(peer, tagHaloData))
+	}
+	if p.sendBuf32 == nil {
+		p.sendBuf32 = make([][]float32, len(p.SendPeers))
+	}
+	for _, peer := range p.sendPeerIDs {
+		list := p.SendPeers[peer]
+		buf := napBuf32(&p.sendBuf32[peer], len(list))
+		for k, li := range list {
+			buf[k] = float32(xExt[li])
+		}
+		// Isend copies the payload at post time, so buf is immediately
+		// reusable; the send handle needs no explicit wait.
+		c.IsendFloats32(peer, tagHaloData, buf)
+	}
+	return &p.async
+}
+
+// complete32 finishes a flat half-width exchange started with
+// startExchange32.
+func (h *ExchangeHandle) complete32(c *simmpi.Comm, xExt []float64, nLocal int) {
+	p := h.plan
+	for i, peer := range p.recvPeerIDs {
+		slots := p.RecvPeers[peer]
+		vals, err := h.recvs[i].Wait32()
+		if err != nil {
+			panic(fmt.Sprintf("distmat: rank %d halo update from %d: %v", c.Rank(), peer, err))
+		}
+		if len(vals) != len(slots) {
+			panic(fmt.Sprintf("distmat: rank %d halo update from %d: got %d values, want %d",
+				c.Rank(), peer, len(vals), len(slots)))
+		}
+		for k, s := range slots {
+			xExt[nLocal+s] = float64(vals[k])
+		}
+	}
+}
+
+// exchangeBatch32 is the k-wide half-width exchange: same one-message-per-
+// neighbour coalescing as ExchangeBatch at half the bytes.
+func (p *HaloPlan) exchangeBatch32(c *simmpi.Comm, xExt []float64, nLocal, k int) {
+	if p.napActive() {
+		p.napPostSends32(c, xExt, k, false)
+		p.napCompleteRecvs32(c, xExt, nLocal, k)
+		return
+	}
+	if p.sendBuf32 == nil {
+		p.sendBuf32 = make([][]float32, len(p.SendPeers))
+	}
+	for _, peer := range p.sendPeerIDs {
+		list := p.SendPeers[peer]
+		buf := napBuf32(&p.sendBuf32[peer], len(list)*k)
+		o := 0
+		for _, li := range list {
+			for j := 0; j < k; j++ {
+				buf[o+j] = float32(xExt[li*k+j])
+			}
+			o += k
+		}
+		c.SendFloats32(peer, tagHaloData, buf)
+	}
+	for _, peer := range p.recvPeerIDs {
+		slots := p.RecvPeers[peer]
+		vals := c.RecvFloats32(peer, tagHaloData)
+		if len(vals) != len(slots)*k {
+			panic(fmt.Sprintf("distmat: rank %d batched halo update from %d: got %d values, want %d",
+				c.Rank(), peer, len(vals), len(slots)*k))
+		}
+		for m, s := range slots {
+			for j := 0; j < k; j++ {
+				xExt[(nLocal+s)*k+j] = float64(vals[m*k+j])
+			}
+		}
+	}
+}
+
+// napPostSends32 is the half-width send half of a k-wide node-aware
+// exchange. The leader's self-up rides the unmetered no-copy loopback, which
+// is why the f32 buffers are dedicated: the payload the relay later reads IS
+// this buffer.
+func (p *HaloPlan) napPostSends32(c *simmpi.Comm, xExt []float64, k int, async bool) {
+	s := p.napInit()
+	send := c.SendFloats32
+	if async {
+		send = func(dst, tag int, data []float32) { c.IsendFloats32(dst, tag, data) }
+	}
+	if s.upCount > 0 {
+		buf := napBuf32(&p.napUpBuf32, s.upCount*k)
+		o := 0
+		for _, d := range s.crossSendIDs {
+			for _, li := range p.SendPeers[d] {
+				for j := 0; j < k; j++ {
+					buf[o+j] = float32(xExt[li*k+j])
+				}
+				o += k
+			}
+		}
+		send(s.leaderRank, tagNAPUp, buf)
+	}
+	if p.sendBuf32 == nil {
+		p.sendBuf32 = make([][]float32, len(p.SendPeers))
+	}
+	for _, d := range s.intraSendIDs {
+		list := p.SendPeers[d]
+		buf := napBuf32(&p.sendBuf32[d], len(list)*k)
+		o := 0
+		for _, li := range list {
+			for j := 0; j < k; j++ {
+				buf[o+j] = float32(xExt[li*k+j])
+			}
+			o += k
+		}
+		send(d, tagHaloData, buf)
+	}
+}
+
+// napCompleteRecvs32 is the half-width receive half: relay duty first
+// (leaders), then direct intra receives, then the down message — widening
+// every value exactly once at the final scatter.
+func (p *HaloPlan) napCompleteRecvs32(c *simmpi.Comm, xExt []float64, nLocal, k int) {
+	s := p.napInit()
+	if s.isLeader && s.relay != nil {
+		p.napRelay32(c, k)
+	}
+	for _, peer := range s.intraRecvIDs {
+		slots := p.RecvPeers[peer]
+		vals := c.RecvFloats32(peer, tagHaloData)
+		if len(vals) != len(slots)*k {
+			panic(fmt.Sprintf("distmat: rank %d node-aware direct update from %d: got %d values, want %d",
+				c.Rank(), peer, len(vals), len(slots)*k))
+		}
+		for m, slot := range slots {
+			for j := 0; j < k; j++ {
+				xExt[(nLocal+slot)*k+j] = float64(vals[m*k+j])
+			}
+		}
+	}
+	if s.downCount > 0 {
+		vals := c.RecvFloats32(s.leaderRank, tagNAPDown)
+		if len(vals) != s.downCount*k {
+			panic(fmt.Sprintf("distmat: rank %d node-aware down update: got %d values, want %d",
+				c.Rank(), len(vals), s.downCount*k))
+		}
+		o := 0
+		for _, src := range s.crossRecvIDs {
+			for _, slot := range p.RecvPeers[src] {
+				for j := 0; j < k; j++ {
+					xExt[(nLocal+slot)*k+j] = float64(vals[o+j])
+				}
+				o += k
+			}
+		}
+	}
+}
+
+// napRelay32 runs the leader's middle phase of one k-wide half-width
+// exchange. Values pass through untouched (float32 in, float32 out), so the
+// relay introduces no additional rounding.
+func (p *HaloPlan) napRelay32(c *simmpi.Comm, k int) {
+	s := p.nap
+	r := s.relay
+	if p.napUpVals32 == nil {
+		p.napUpVals32 = make([][]float32, len(r.upMembers))
+		p.napInVals32 = make([][]float32, len(r.inNodes))
+		p.napOutBufs32 = make([][]float32, len(r.outNodes))
+		p.napDownBufs32 = make([][]float32, len(r.downMembers))
+	}
+	for i, m := range r.upMembers {
+		vals := c.RecvFloats32(m, tagNAPUp)
+		if len(vals) != r.upCounts[i]*k {
+			panic(fmt.Sprintf("distmat: leader %d up from %d: got %d values, want %d",
+				c.Rank(), m, len(vals), r.upCounts[i]*k))
+		}
+		p.napUpVals32[i] = vals
+	}
+	for bi, b := range r.outNodes {
+		buf := napBuf32(&p.napOutBufs32[bi], r.outCounts[bi]*k)
+		o := 0
+		for _, sg := range r.outSegs[bi] {
+			copy(buf[o:o+sg.n*k], p.napUpVals32[sg.buf][sg.off*k:(sg.off+sg.n)*k])
+			o += sg.n * k
+		}
+		c.SendFloats32(p.topo.Leader(b), tagNAPInter, buf)
+	}
+	for bi, b := range r.inNodes {
+		vals := c.RecvFloats32(p.topo.Leader(b), tagNAPInter)
+		if len(vals) != r.inCounts[bi]*k {
+			panic(fmt.Sprintf("distmat: leader %d inter from node %d: got %d values, want %d",
+				c.Rank(), b, len(vals), r.inCounts[bi]*k))
+		}
+		p.napInVals32[bi] = vals
+	}
+	for di, m := range r.downMembers {
+		buf := napBuf32(&p.napDownBufs32[di], r.downCounts[di]*k)
+		o := 0
+		for _, sg := range r.downSegs[di] {
+			copy(buf[o:o+sg.n*k], p.napInVals32[sg.buf][sg.off*k:(sg.off+sg.n)*k])
+			o += sg.n * k
+		}
+		c.SendFloats32(m, tagNAPDown, buf)
+	}
+}

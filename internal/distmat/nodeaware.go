@@ -355,9 +355,13 @@ func (p *HaloPlan) napRelay(c *simmpi.Comm, k int) {
 // stay exactly the flat plan's.
 func (p *HaloPlan) ExchangeCounts(k int) (intraMsgs, intraBytes, interMsgs, interBytes int64) {
 	kk := int64(k)
+	bpv := int64(8) // bytes per value on the wire
+	if p.f32 {
+		bpv = 4
+	}
 	if !p.napActive() {
 		for _, d := range p.sendPeerIDs {
-			b := 8 * int64(len(p.SendPeers[d])) * kk
+			b := bpv * int64(len(p.SendPeers[d])) * kk
 			if !p.topo.Flat() && p.topo.SameNode(p.rank, d) {
 				intraMsgs++
 				intraBytes += b
@@ -371,11 +375,11 @@ func (p *HaloPlan) ExchangeCounts(k int) (intraMsgs, intraBytes, interMsgs, inte
 	s := p.napInit()
 	for _, d := range s.intraSendIDs {
 		intraMsgs++
-		intraBytes += 8 * int64(len(p.SendPeers[d])) * kk
+		intraBytes += bpv * int64(len(p.SendPeers[d])) * kk
 	}
 	if s.upCount > 0 && p.rank != s.leaderRank {
 		intraMsgs++
-		intraBytes += 8 * int64(s.upCount) * kk
+		intraBytes += bpv * int64(s.upCount) * kk
 	}
 	if s.isLeader && s.relay != nil {
 		for di, m := range s.relay.downMembers {
@@ -383,11 +387,11 @@ func (p *HaloPlan) ExchangeCounts(k int) (intraMsgs, intraBytes, interMsgs, inte
 				continue // self-down rides the unmetered loopback
 			}
 			intraMsgs++
-			intraBytes += 8 * int64(s.relay.downCounts[di]) * kk
+			intraBytes += bpv * int64(s.relay.downCounts[di]) * kk
 		}
 		for bi := range s.relay.outNodes {
 			interMsgs++
-			interBytes += 8 * int64(s.relay.outCounts[bi]) * kk
+			interBytes += bpv * int64(s.relay.outCounts[bi]) * kk
 		}
 	}
 	return

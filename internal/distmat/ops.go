@@ -34,6 +34,9 @@ type Op struct {
 	// overlap is the interior/boundary row split, built on request (WithOverlap
 	// or EnsureOverlap); nil means the blocking schedule only.
 	overlap *OverlapOp
+	// f32 selects the mixed-precision kernel: products read the float32 view
+	// of the matrix (float64 accumulation) and the halo travels half-width.
+	f32 bool
 }
 
 // OpOption configures NewOp.
@@ -45,6 +48,23 @@ type OpOption func(*Op)
 func WithOverlap() OpOption {
 	return func(op *Op) { op.EnsureOverlap() }
 }
+
+// WithF32 makes NewOp a mixed-precision operator (see SetF32).
+func WithF32() OpOption {
+	return func(op *Op) { op.SetF32(true) }
+}
+
+// SetF32 switches the operator between full and mixed precision. Under f32
+// the products use the float32 value array (accumulating in float64) and the
+// plan exchanges halo values at 4 bytes each; iteration vectors stay float64
+// throughout, so callers are unaffected beyond the rounded values.
+func (op *Op) SetF32(on bool) {
+	op.f32 = on
+	op.Plan.SetF32(on)
+}
+
+// F32 reports whether the operator runs the mixed-precision kernel.
+func (op *Op) F32() bool { return op.f32 }
 
 // NewOp localizes the local rows (global columns) of a distributed matrix
 // and builds its halo plan. Collective: all ranks must call it together.
@@ -96,7 +116,11 @@ func (op *Op) MulVec(c *simmpi.Comm, x, y []float64, scratch *DistVec, fc *vecop
 	}
 	copy(scratch.Ext[:nl], x)
 	op.Plan.Exchange(c, scratch.Ext, nl)
-	op.LZ.M.MulVec(scratch.Ext, y)
+	if op.f32 {
+		op.LZ.M32().MulVec(scratch.Ext, y)
+	} else {
+		op.LZ.M.MulVec(scratch.Ext, y)
+	}
 	fc.Add(2 * int64(op.LZ.M.NNZ()))
 }
 

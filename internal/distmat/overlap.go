@@ -43,6 +43,31 @@ func NewOverlapOp(op *Op) *OverlapOp {
 	return o
 }
 
+// mulRows computes the selected rows of y = M·xExt. The mixed-precision
+// operator reads the float32 value array instead, accumulating in float64
+// like sparse.CSR32.
+func (o *OverlapOp) mulRows(rows []int, xExt, y []float64) {
+	if o.f32 {
+		m := o.LZ.M32()
+		for _, li := range rows {
+			sum := 0.0
+			for k := m.RowPtr[li]; k < m.RowPtr[li+1]; k++ {
+				sum += float64(m.Val[k]) * xExt[m.ColIdx[k]]
+			}
+			y[li] = sum
+		}
+		return
+	}
+	m := o.LZ.M
+	for _, li := range rows {
+		sum := 0.0
+		for k := m.RowPtr[li]; k < m.RowPtr[li+1]; k++ {
+			sum += m.Val[k] * xExt[m.ColIdx[k]]
+		}
+		y[li] = sum
+	}
+}
+
 // MulVecOverlap computes y = A x in overlap order: sends are posted first,
 // interior rows are computed, then receives complete and boundary rows
 // finish. Results are identical to Op.MulVec; only the schedule differs.
@@ -52,25 +77,12 @@ func (o *OverlapOp) MulVecOverlap(c *simmpi.Comm, x, y []float64, scratch *DistV
 	// Post sends (the halo values leave now).
 	o.Plan.PostSends(c, scratch.Ext)
 	// Interior rows: no halo dependence.
-	m := o.LZ.M
-	for _, li := range o.Interior {
-		sum := 0.0
-		for k := m.RowPtr[li]; k < m.RowPtr[li+1]; k++ {
-			sum += m.Val[k] * scratch.Ext[m.ColIdx[k]]
-		}
-		y[li] = sum
-	}
+	o.mulRows(o.Interior, scratch.Ext, y)
 	// Complete receives.
 	o.Plan.CompleteRecvs(c, scratch.Ext, nl)
 	// Boundary rows.
-	for _, li := range o.Boundary {
-		sum := 0.0
-		for k := m.RowPtr[li]; k < m.RowPtr[li+1]; k++ {
-			sum += m.Val[k] * scratch.Ext[m.ColIdx[k]]
-		}
-		y[li] = sum
-	}
-	fc.Add(2 * int64(m.NNZ()))
+	o.mulRows(o.Boundary, scratch.Ext, y)
+	fc.Add(2 * int64(o.LZ.M.NNZ()))
 }
 
 // MulVecOverlapAsync computes y = A x like MulVecOverlap but drives the
@@ -83,23 +95,10 @@ func (o *OverlapOp) MulVecOverlapAsync(c *simmpi.Comm, x, y []float64, scratch *
 	nl := o.LZ.NLocal()
 	copy(scratch.Ext[:nl], x)
 	h := o.Plan.StartExchange(c, scratch.Ext)
-	m := o.LZ.M
-	for _, li := range o.Interior {
-		sum := 0.0
-		for k := m.RowPtr[li]; k < m.RowPtr[li+1]; k++ {
-			sum += m.Val[k] * scratch.Ext[m.ColIdx[k]]
-		}
-		y[li] = sum
-	}
+	o.mulRows(o.Interior, scratch.Ext, y)
 	h.Complete(c, scratch.Ext, nl)
-	for _, li := range o.Boundary {
-		sum := 0.0
-		for k := m.RowPtr[li]; k < m.RowPtr[li+1]; k++ {
-			sum += m.Val[k] * scratch.Ext[m.ColIdx[k]]
-		}
-		y[li] = sum
-	}
-	fc.Add(2 * int64(m.NNZ()))
+	o.mulRows(o.Boundary, scratch.Ext, y)
+	fc.Add(2 * int64(o.LZ.M.NNZ()))
 }
 
 // InteriorNNZ returns the stored entries in interior rows — the work

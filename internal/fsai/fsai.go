@@ -380,3 +380,10 @@ func CountFilteredDist(g *sparse.CSR, lo int, filter float64, base *sparse.Patte
 	}
 	return n
 }
+
+// NarrowFactor returns the float32-valued view of a built factor for
+// mixed-precision solves. The factor is always computed in float64 (the tiny
+// dense row systems are ill-conditioned enough that building in float32
+// would cost accuracy the refinement loop cannot recover); only the finished
+// values are narrowed, bounding the error at one rounding per entry.
+func NarrowFactor(g *sparse.CSR) *sparse.CSR32 { return sparse.NewCSR32(g) }

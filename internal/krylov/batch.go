@@ -119,6 +119,9 @@ type BatchStats struct {
 	// non-finite recurrence scalar); their Stats hold the last completed
 	// iteration and Converged is false.
 	Broken []bool
+	// Refinements is the number of FP64 iterative-refinement steps a
+	// mixed-precision batched solve performed; 0 for plain FP64 solves.
+	Refinements int
 }
 
 // allConverged reports whether every column converged.
@@ -187,6 +190,13 @@ func batchResult(bs BatchStats, canceledAt int, ctx context.Context) (BatchStats
 		if bs.Broken[c] {
 			broken++
 		}
+	}
+	if broken > 0 {
+		// Both sentinels match: the batch failed to converge, and at least
+		// one column did so by breaking down rather than running out of
+		// iterations.
+		return bs, fmt.Errorf("%w: %w: %d of %d columns unconverged (%d broken down) after %d iterations",
+			ErrNoConvergence, ErrBreakdown, unconverged, bs.K, broken, bs.Iterations)
 	}
 	return bs, fmt.Errorf("%w: %d of %d columns unconverged (%d broken down) after %d iterations",
 		ErrNoConvergence, unconverged, bs.K, broken, bs.Iterations)
@@ -266,7 +276,7 @@ func CGBatch(a *sparse.CSR, b, x []float64, m BatchPreconditioner, k int, opt Op
 		fc.Add(2 * int64(a.NNZ()) * int64(len(ctl.active)))
 		vecops.DotBatch(d, q, k, ctl.mask(), tmp, fc)
 		for _, c := range append([]int(nil), ctl.active...) {
-			if tmp[c] <= 0 || math.IsNaN(tmp[c]) {
+			if badCurv(tmp[c]) {
 				bs.Broken[c] = true
 				ctl.freeze(c)
 				continue
@@ -285,6 +295,11 @@ func CGBatch(a *sparse.CSR, b, x []float64, m BatchPreconditioner, k int, opt Op
 			st := &bs.Cols[c]
 			st.Iterations = iter
 			st.RelResidual = math.Sqrt(tmp[c]) / norm0[c]
+			if nonfinite(tmp[c]) {
+				bs.Broken[c] = true
+				ctl.freeze(c)
+				continue
+			}
 			if st.RelResidual <= opt.Tol {
 				st.Converged = true
 				ctl.freeze(c)
@@ -295,7 +310,12 @@ func CGBatch(a *sparse.CSR, b, x []float64, m BatchPreconditioner, k int, opt Op
 		}
 		m.ApplyBatch(r, z, k, ctl.mask(), fc)
 		vecops.DotBatch(r, z, k, ctl.mask(), tmp, fc)
-		for _, c := range ctl.active {
+		for _, c := range append([]int(nil), ctl.active...) {
+			if nonfinite(tmp[c]) {
+				bs.Broken[c] = true
+				ctl.freeze(c)
+				continue
+			}
 			beta[c] = tmp[c] / rho[c]
 			rho[c] = tmp[c]
 		}
@@ -370,7 +390,9 @@ func DistCGBatch(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistBatchPrec
 		op.MulMat(c, d, q, k, ctl.mask(), scratch, fc)
 		distmat.DotBatchDist(c, d, q, k, ctl.mask(), tmp, fc)
 		for _, col := range append([]int(nil), ctl.active...) {
-			if tmp[col] <= 0 || math.IsNaN(tmp[col]) {
+			// tmp holds Allreduce results, identical on every rank, so the
+			// per-column freeze decisions are collective by construction.
+			if badCurv(tmp[col]) {
 				bs.Broken[col] = true
 				ctl.freeze(col)
 				continue
@@ -389,6 +411,11 @@ func DistCGBatch(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistBatchPrec
 			st := &bs.Cols[col]
 			st.Iterations = iter
 			st.RelResidual = math.Sqrt(tmp[col]) / norm0[col]
+			if nonfinite(tmp[col]) {
+				bs.Broken[col] = true
+				ctl.freeze(col)
+				continue
+			}
 			if st.RelResidual <= opt.Tol {
 				st.Converged = true
 				ctl.freeze(col)
@@ -399,7 +426,12 @@ func DistCGBatch(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistBatchPrec
 		}
 		m.ApplyBatch(c, r, z, k, ctl.mask(), fc)
 		distmat.DotBatchDist(c, r, z, k, ctl.mask(), tmp, fc)
-		for _, col := range ctl.active {
+		for _, col := range append([]int(nil), ctl.active...) {
+			if nonfinite(tmp[col]) {
+				bs.Broken[col] = true
+				ctl.freeze(col)
+				continue
+			}
 			beta[col] = tmp[col] / rho[col]
 			rho[col] = tmp[col]
 		}
@@ -464,7 +496,7 @@ func distCGFusedBatch(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistBatc
 			continue
 		}
 		norm0[col] = math.Sqrt(rr)
-		if ga <= 0 || de <= 0 || math.IsNaN(ga) || math.IsNaN(de) {
+		if badCurv(ga) || badCurv(de) {
 			bs.Broken[col] = true
 			ctl.freeze(col)
 			continue
@@ -499,6 +531,11 @@ func distCGFusedBatch(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistBatc
 			st := &bs.Cols[col]
 			st.Iterations = iter
 			st.RelResidual = math.Sqrt(rr) / norm0[col]
+			if nonfinite(rr) || nonfinite(gammaNew) {
+				bs.Broken[col] = true
+				ctl.freeze(col)
+				continue
+			}
 			if st.RelResidual <= opt.Tol {
 				st.Converged = true
 				ctl.freeze(col)
@@ -506,7 +543,7 @@ func distCGFusedBatch(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistBatc
 			}
 			betaNew := gammaNew / gamma[col]
 			denom := de - betaNew*gammaNew/alpha[col]
-			if denom <= 0 || math.IsNaN(denom) {
+			if badCurv(denom) {
 				bs.Broken[col] = true
 				ctl.freeze(col)
 				continue

@@ -28,6 +28,23 @@ var ErrNoConvergence = errors.New("krylov: no convergence within iteration limit
 // returned alongside the error.
 var ErrCanceled = errors.New("krylov: solve canceled")
 
+// ErrBreakdown is wrapped by solver errors when the CG recurrence breaks
+// down: dᵀAd (or a recurrence denominator) is non-positive — the matrix or
+// preconditioner is not SPD — or a residual/reduction scalar turns NaN/Inf.
+// Every loop detects both conditions and stops immediately with the partial
+// Stats accumulated so far, instead of iterating to MaxIter on poisoned
+// arithmetic. In distributed solves the detection needs no extra collective:
+// the scalars are Allreduce results, bitwise identical on every rank, so all
+// ranks reach the same verdict at the same iteration.
+var ErrBreakdown = errors.New("krylov: CG breakdown")
+
+// badCurv reports a broken-down curvature dᵀAd: non-positive, NaN or Inf.
+// (!(v > 0) is false for NaN, which is exactly the trap we want.)
+func badCurv(v float64) bool { return !(v > 0) || math.IsInf(v, 1) }
+
+// nonfinite reports NaN or ±Inf.
+func nonfinite(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+
 // canceled is the once-per-iteration cancellation check. Serial solves
 // (c == nil) just poll the context. Distributed solves must exit their
 // collectives in lockstep, so the decision is itself collective: each rank
@@ -108,6 +125,10 @@ type Stats struct {
 	Converged   bool
 	RelResidual float64 // final ‖r‖/‖r₀‖
 	Flops       int64   // this rank's flops (global flops in serial runs)
+	// Refinements is the number of FP64 iterative-refinement steps a
+	// mixed-precision solve performed; 0 for plain FP64 solves. Iterations
+	// then counts the total inner iterations across all steps.
+	Refinements int
 	// Residuals holds the per-iteration relative residuals when
 	// Options.RecordResiduals is set.
 	Residuals []float64
@@ -172,11 +193,24 @@ func (s *Split) Apply(r, z []float64, fc *vecops.FlopCounter) {
 	fc.Add(2 * int64(s.G.NNZ()+s.GT.NNZ()))
 }
 
+// matVec is the serial operator the CG loop needs: a matrix-vector product
+// and an entry count for flop accounting. Both sparse.CSR and sparse.CSR32
+// satisfy it, which is how the mixed-precision inner solves reuse the exact
+// same loop.
+type matVec interface {
+	MulVec(x, y []float64)
+	NNZ() int
+}
+
 // CG solves A x = b with preconditioned conjugate gradients, starting from
 // the zero initial guess (as the paper's experiments do). x is overwritten
 // with the solution; pass a zeroed slice.
 func CG(a *sparse.CSR, b, x []float64, m Preconditioner, opt Options, fc *vecops.FlopCounter) (Stats, error) {
-	n := a.Rows
+	return cgSerial(a, a.Rows, b, x, m, opt, fc)
+}
+
+// cgSerial is the serial classic-CG loop over any matVec operator.
+func cgSerial(a matVec, n int, b, x []float64, m Preconditioner, opt Options, fc *vecops.FlopCounter) (Stats, error) {
 	opt = opt.withDefaults(n)
 	if m == nil {
 		m = Identity{}
@@ -208,13 +242,16 @@ func CG(a *sparse.CSR, b, x []float64, m Preconditioner, opt Options, fc *vecops
 		a.MulVec(d, q)
 		fc.Add(2 * int64(a.NNZ()))
 		dq := vecops.Dot(d, q, fc)
-		if dq <= 0 || math.IsNaN(dq) {
-			return finish(st, fc, tr), fmt.Errorf("krylov: CG breakdown at iteration %d (dᵀAd = %g); matrix not SPD?", iter, dq)
+		if badCurv(dq) {
+			return finish(st, fc, tr), fmt.Errorf("%w at iteration %d (dᵀAd = %g); matrix not SPD?", ErrBreakdown, iter, dq)
 		}
 		alpha := rho / dq
 		vecops.Axpy(alpha, d, x, fc)
 		vecops.Axpy(-alpha, q, r, fc)
 		rnorm := vecops.Norm2(r, fc)
+		if nonfinite(rnorm) {
+			return finish(st, fc, tr), fmt.Errorf("%w at iteration %d (‖r‖ = %g)", ErrBreakdown, iter, rnorm)
+		}
 		st.Iterations = iter
 		st.RelResidual = rnorm / norm0
 		if opt.RecordResiduals {
@@ -227,6 +264,10 @@ func CG(a *sparse.CSR, b, x []float64, m Preconditioner, opt Options, fc *vecops
 		}
 		m.Apply(r, z, fc)
 		rhoNew := vecops.Dot(r, z, fc)
+		if nonfinite(rhoNew) {
+			tr.record(iter, st.RelResidual, alpha, beta)
+			return finish(st, fc, tr), fmt.Errorf("%w at iteration %d (rᵀMr = %g); preconditioner not finite?", ErrBreakdown, iter, rhoNew)
+		}
 		tr.record(iter, st.RelResidual, alpha, beta)
 		beta = rhoNew / rho
 		rho = rhoNew
@@ -346,13 +387,18 @@ func DistCG(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreconditioner
 			op.MulVec(c, d, q, scratch, fc)
 		}
 		dq := distmat.Dot(c, d, q, fc)
-		if dq <= 0 || math.IsNaN(dq) {
-			return finish(st, fc, tr), fmt.Errorf("krylov: DistCG breakdown at iteration %d (dᵀAd = %g)", iter, dq)
+		if badCurv(dq) {
+			// dq is an Allreduce result — identical on every rank — so this
+			// return is itself the collective verdict: all ranks stop here.
+			return finish(st, fc, tr), fmt.Errorf("%w at iteration %d (dᵀAd = %g); matrix not SPD?", ErrBreakdown, iter, dq)
 		}
 		alpha := rho / dq
 		vecops.Axpy(alpha, d, x, fc)
 		vecops.Axpy(-alpha, q, r, fc)
 		rnorm := distmat.Norm2(c, r, fc)
+		if nonfinite(rnorm) {
+			return finish(st, fc, tr), fmt.Errorf("%w at iteration %d (‖r‖ = %g)", ErrBreakdown, iter, rnorm)
+		}
 		st.Iterations = iter
 		st.RelResidual = rnorm / norm0
 		if opt.RecordResiduals {
@@ -365,6 +411,10 @@ func DistCG(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreconditioner
 		}
 		m.Apply(c, r, z, fc)
 		rhoNew := distmat.Dot(c, r, z, fc)
+		if nonfinite(rhoNew) {
+			tr.record(iter, st.RelResidual, alpha, beta)
+			return finish(st, fc, tr), fmt.Errorf("%w at iteration %d (rᵀMr = %g); preconditioner not finite?", ErrBreakdown, iter, rhoNew)
+		}
 		tr.record(iter, st.RelResidual, alpha, beta)
 		beta = rhoNew / rho
 		rho = rhoNew

@@ -178,8 +178,8 @@ func DistCGFused(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPrecondit
 		return finish(Stats{Converged: true}, fc, tr), nil
 	}
 	norm0 := math.Sqrt(rr)
-	if gamma <= 0 || delta <= 0 || math.IsNaN(gamma) || math.IsNaN(delta) {
-		return finish(Stats{}, fc, tr), fmt.Errorf("krylov: DistCGFused breakdown at setup (rᵀMr = %g, uᵀAu = %g); matrix or preconditioner not SPD?", gamma, delta)
+	if badCurv(gamma) || badCurv(delta) {
+		return finish(Stats{}, fc, tr), fmt.Errorf("%w at DistCGFused setup (rᵀMr = %g, uᵀAu = %g); matrix or preconditioner not SPD?", ErrBreakdown, gamma, delta)
 	}
 	alpha := gamma / delta
 	beta := 0.0
@@ -199,6 +199,10 @@ func DistCGFused(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPrecondit
 		// The single collective of the iteration.
 		g := c.AllreduceSum(ruL, wuL, rrL)
 		gammaNew, delta, rr := g[0], g[1], g[2]
+		if nonfinite(rr) || nonfinite(gammaNew) {
+			// Allreduce results are rank-identical: collective verdict.
+			return finish(st, fc, tr), fmt.Errorf("%w at iteration %d (‖r‖² = %g, rᵀMr = %g)", ErrBreakdown, iter, rr, gammaNew)
+		}
 		st.Iterations = iter
 		st.RelResidual = math.Sqrt(rr) / norm0
 		if opt.RecordResiduals {
@@ -215,8 +219,8 @@ func DistCGFused(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPrecondit
 		tr.record(iter, st.RelResidual, alpha, beta)
 		beta = gammaNew / gamma
 		denom := delta - beta*gammaNew/alpha
-		if denom <= 0 || math.IsNaN(denom) {
-			return finish(st, fc, tr), fmt.Errorf("krylov: DistCGFused breakdown at iteration %d (recurrence denominator %g); matrix not SPD?", iter, denom)
+		if badCurv(denom) {
+			return finish(st, fc, tr), fmt.Errorf("%w at iteration %d (recurrence denominator %g); matrix not SPD?", ErrBreakdown, iter, denom)
 		}
 		alpha = gammaNew / denom
 		gamma = gammaNew

@@ -93,12 +93,16 @@ func DistCGPipelined(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreco
 				return finish(Stats{Converged: true}, fc, tr), nil
 			}
 			norm0 = math.Sqrt(rr)
-			if gammaNew <= 0 || delta <= 0 || math.IsNaN(gammaNew) || math.IsNaN(delta) {
-				return finish(Stats{}, fc, tr), fmt.Errorf("krylov: DistCGPipelined breakdown at setup (rᵀMr = %g, uᵀAu = %g); matrix or preconditioner not SPD?", gammaNew, delta)
+			if badCurv(gammaNew) || badCurv(delta) {
+				return finish(Stats{}, fc, tr), fmt.Errorf("%w at DistCGPipelined setup (rᵀMr = %g, uᵀAu = %g); matrix or preconditioner not SPD?", ErrBreakdown, gammaNew, delta)
 			}
 			alpha = gammaNew / delta
 			beta = 0
 		} else {
+			if nonfinite(rr) || nonfinite(gammaNew) {
+				// Allreduce results are rank-identical: collective verdict.
+				return finish(st, fc, tr), fmt.Errorf("%w at iteration %d (‖r‖² = %g, rᵀMr = %g)", ErrBreakdown, it, rr, gammaNew)
+			}
 			// rr is ‖r‖² after `it` updates — the same quantity the classic
 			// loop checks after its it-th update, so counts are comparable.
 			st.Iterations = it
@@ -117,8 +121,8 @@ func DistCGPipelined(c *simmpi.Comm, op *distmat.Op, b, x []float64, m DistPreco
 			}
 			beta = gammaNew / gamma
 			denom := delta - beta*gammaNew/alpha
-			if denom <= 0 || math.IsNaN(denom) {
-				return finish(st, fc, tr), fmt.Errorf("krylov: DistCGPipelined breakdown at iteration %d (recurrence denominator %g); matrix not SPD?", it, denom)
+			if badCurv(denom) {
+				return finish(st, fc, tr), fmt.Errorf("%w at iteration %d (recurrence denominator %g); matrix not SPD?", ErrBreakdown, it, denom)
 			}
 			alpha = gammaNew / denom
 		}

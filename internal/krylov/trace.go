@@ -52,6 +52,22 @@ type IterRecord struct {
 	Comm CommDelta `json:"comm"`
 }
 
+// RefineRecord is the telemetry of one iterative-refinement step of a
+// mixed-precision solve: the inner solve's iteration count, the FP64
+// relative residual after the correction, and the rank's traffic for the
+// whole step (inner solve plus outer residual recomputation).
+type RefineRecord struct {
+	// Step is the refinement number, starting at 1.
+	Step int `json:"step"`
+	// InnerIterations is the number of inner mixed-precision CG iterations
+	// this step ran.
+	InnerIterations int `json:"inner_iterations"`
+	// RelResidual is the FP64 ‖b − A·x‖/‖b‖ after this step's correction.
+	RelResidual float64 `json:"rel_residual"`
+	// Comm is the rank's traffic since the previous record.
+	Comm CommDelta `json:"comm"`
+}
+
 // IterTrace is one rank's per-iteration telemetry for a solve, recorded
 // when Options.Trace is set.
 type IterTrace struct {
@@ -62,6 +78,12 @@ type IterTrace struct {
 	Setup CommDelta `json:"setup"`
 	// Iters has one record per iteration.
 	Iters []IterRecord `json:"iters"`
+	// Refines has one record per iterative-refinement step of a
+	// mixed-precision solve (SolveRefined and the Dist variants); empty for
+	// plain FP64 solves. Refined solves record at refinement granularity —
+	// each record's delta spans its whole inner solve — so Setup + Iters +
+	// Refines still sums exactly to the metered totals.
+	Refines []RefineRecord `json:"refines,omitempty"`
 }
 
 // Total returns Setup plus every record's delta — by construction exactly
@@ -70,6 +92,9 @@ func (t *IterTrace) Total() CommDelta {
 	sum := t.Setup
 	for i := range t.Iters {
 		sum.add(t.Iters[i].Comm)
+	}
+	for i := range t.Refines {
+		sum.add(t.Refines[i].Comm)
 	}
 	return sum
 }
@@ -130,6 +155,17 @@ func (t *tracer) record(iter int, relres, alpha, beta float64) {
 	}
 	t.tr.Iters = append(t.tr.Iters, IterRecord{
 		Iter: iter, RelResidual: relres, Alpha: alpha, Beta: beta, Comm: t.delta(),
+	})
+}
+
+// refine closes one iterative-refinement step (inner solve + FP64 residual
+// recomputation and correction).
+func (t *tracer) refine(step, innerIters int, relres float64) {
+	if t == nil {
+		return
+	}
+	t.tr.Refines = append(t.tr.Refines, RefineRecord{
+		Step: step, InnerIterations: innerIters, RelResidual: relres, Comm: t.delta(),
 	})
 }
 

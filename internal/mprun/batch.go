@@ -55,6 +55,9 @@ type BatchOutcome struct {
 	Converged   []bool
 	RelResidual []float64
 	Broken      []bool
+	// Refinements counts the FP64 iterative-refinement steps of a
+	// mixed-precision batched solve (0 for FP64).
+	Refinements int
 }
 
 func newBatchOutcome(bs krylov.BatchStats) *BatchOutcome {
@@ -64,6 +67,7 @@ func newBatchOutcome(bs krylov.BatchStats) *BatchOutcome {
 		Converged:   make([]bool, bs.K),
 		RelResidual: make([]float64, bs.K),
 		Broken:      append([]bool(nil), bs.Broken...),
+		Refinements: bs.Refinements,
 	}
 	for c := range bs.Cols {
 		o.Iterations[c] = bs.Cols[c].Iterations
@@ -105,8 +109,10 @@ func RunSolveBatchRank(ctx context.Context, c *simmpi.Comm, spec *SolveBatchSpec
 		out.Pct = bd.PctNNZIncrease
 		out.Imbalance = bd.ImbalanceIndex
 	}
+	// BuildPrecond already narrowed GOp/GTOp under Cfg.Precision FP32.
 	return finishBatchRank(ctx, c, out, aOp, bd.GOp, bd.GTOp, spec.PB[lo*spec.K:hi*spec.K], spec.K,
-		krylov.Options{Tol: spec.Tol, MaxIter: spec.MaxIter, Variant: spec.Variant, Ctx: ctx})
+		krylov.Options{Tol: spec.Tol, MaxIter: spec.MaxIter, Variant: spec.Variant, Ctx: ctx},
+		spec.Cfg.Precision)
 }
 
 // RunPreparedBatchRank executes one rank of a Prepared.SolveBatch: the
@@ -118,6 +124,10 @@ func RunPreparedBatchRank(ctx context.Context, c *simmpi.Comm, spec *PreparedBat
 	aOp := distmat.NewOpFromParts(ps.ALZ, preparedPlan(c, ps, ps.ASend, ps.ARecv, ps.ACounts))
 	gOp := distmat.NewOpFromParts(ps.GLZ, preparedPlan(c, ps, ps.GSend, ps.GRecv, ps.GCounts))
 	gtOp := distmat.NewOpFromParts(ps.GTLZ, preparedPlan(c, ps, ps.GTSend, ps.GTRecv, ps.GTCounts))
+	if ps.Precision == krylov.FP32 {
+		gOp.SetF32(true)
+		gtOp.SetF32(true)
+	}
 	setupComm := c.Meter().RankSnapshot(rank)
 	out := &RankOutcome{
 		Rank: rank, Lo: ps.Lo, Hi: ps.Hi,
@@ -128,16 +138,28 @@ func RunPreparedBatchRank(ctx context.Context, c *simmpi.Comm, spec *PreparedBat
 		out.Imbalance = ps.Imbalance
 	}
 	return finishBatchRank(ctx, c, out, aOp, gOp, gtOp, spec.BLocal, spec.K,
-		krylov.Options{Tol: ps.Tol, MaxIter: ps.MaxIter, Variant: ps.Variant, Ctx: ctx})
+		krylov.Options{Tol: ps.Tol, MaxIter: ps.MaxIter, Variant: ps.Variant, Ctx: ctx},
+		ps.Precision)
 }
 
-// finishBatchRank runs the batched CG loop and folds its outcome into out.
-func finishBatchRank(ctx context.Context, c *simmpi.Comm, out *RankOutcome, aOp, gOp, gtOp *distmat.Op, bLocal []float64, k int, opt krylov.Options) (*RankOutcome, error) {
+// finishBatchRank runs the batched CG loop at the requested precision and
+// folds its outcome into out.
+func finishBatchRank(ctx context.Context, c *simmpi.Comm, out *RankOutcome, aOp, gOp, gtOp *distmat.Op, bLocal []float64, k int, opt krylov.Options, prec krylov.Precision) (*RankOutcome, error) {
 	t1 := time.Now()
 	nl := out.Hi - out.Lo
 	xl := make([]float64, nl*k)
-	bs, err := krylov.DistCGBatch(c, aOp, bLocal, xl,
-		krylov.NewDistSplitBatch(gOp, gtOp, k), k, opt, nil)
+	var bs krylov.BatchStats
+	var err error
+	m := krylov.NewDistSplitBatch(gOp, gtOp, k)
+	if prec == krylov.FP32 {
+		// The batched loops use the blocking schedule, so the inner A twin
+		// needs no overlap view.
+		aInner := distmat.NewOpFromParts(aOp.LZ, aOp.Plan.Clone())
+		aInner.SetF32(true)
+		bs, err = krylov.DistCGBatchRefined(c, aOp, aInner, bLocal, xl, m, k, opt, nil)
+	} else {
+		bs, err = krylov.DistCGBatch(c, aOp, bLocal, xl, m, k, opt, nil)
+	}
 	canceled := errors.Is(err, krylov.ErrCanceled)
 	if err != nil && !errors.Is(err, krylov.ErrNoConvergence) && !canceled {
 		return nil, err
@@ -147,6 +169,7 @@ func finishBatchRank(ctx context.Context, c *simmpi.Comm, out *RankOutcome, aOp,
 	out.XLocal = xl
 	out.Iterations = bs.Iterations
 	out.Canceled = canceled
+	out.Refinements = bs.Refinements
 	out.Batch = newBatchOutcome(bs)
 	return out, nil
 }

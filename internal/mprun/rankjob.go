@@ -54,6 +54,34 @@ func preparedPlan(c *simmpi.Comm, spec *PreparedRankSpec, send, recv [][]int, co
 	return p
 }
 
+// mixedAInner derives the float32 inner operator of a mixed-precision solve:
+// it shares aOp's localized matrix (whose float32 view is built lazily) but
+// clones the plan, so the inner halo runs half-width while aOp keeps the
+// full-width schedule for the outer FP64 residual. The clone preserves the
+// plan's node-awareness, so NoNodeAggregation and topology routing carry
+// over unchanged.
+func mixedAInner(aOp *distmat.Op, variant krylov.CGVariant) *distmat.Op {
+	var opts []distmat.OpOption
+	if variant != krylov.CGClassic {
+		opts = append(opts, distmat.WithOverlap())
+	}
+	inner := distmat.NewOpFromParts(aOp.LZ, aOp.Plan.Clone(), opts...)
+	inner.SetF32(true)
+	return inner
+}
+
+// runDistSolve runs one rank's scalar distributed solve at the requested
+// precision: FP64 is the plain DistCG loop; FP32 runs DistCG as the inner
+// solve of the FP64 iterative-refinement loop, with the factor operators
+// (already narrowed by the caller) and a float32 twin of the A operator.
+func runDistSolve(c *simmpi.Comm, aOp, gOp, gtOp *distmat.Op, b, x []float64, opt krylov.Options, prec krylov.Precision) (krylov.Stats, error) {
+	m := krylov.NewDistSplit(gOp, gtOp)
+	if prec != krylov.FP32 {
+		return krylov.DistCG(c, aOp, b, x, m, opt, nil)
+	}
+	return krylov.DistCGRefined(c, aOp, mixedAInner(aOp, opt.Variant), b, x, m, opt, nil)
+}
+
 // RunSolveRank executes one rank of a full SolveDistributed: extract local
 // rows, build the preconditioner, assemble the operators, run distributed
 // CG. It is the single implementation behind both backends — the facade's
@@ -110,16 +138,17 @@ func RunSolveRank(ctx context.Context, c *simmpi.Comm, spec *SolveSpec) (*RankOu
 	t1 := time.Now()
 	xl := make([]float64, hi-lo)
 	// Each rank gets its own Workspace; workspaces must never be shared
-	// between concurrent solves.
-	st, err := krylov.DistCG(c, aOp, spec.PB[lo:hi], xl,
-		krylov.NewDistSplit(bd.GOp, bd.GTOp),
+	// between concurrent solves. BuildPrecond already narrowed GOp/GTOp under
+	// Cfg.Precision FP32.
+	st, err := runDistSolve(c, aOp, bd.GOp, bd.GTOp, spec.PB[lo:hi], xl,
 		krylov.Options{Tol: spec.Tol, MaxIter: spec.MaxIter,
 			Variant: spec.Variant, Work: &krylov.Workspace{},
 			Trace:                spec.Trace,
 			ResidualReplaceEvery: spec.ResidualReplaceEvery,
-			Ctx:                  ctx}, nil)
+			Ctx:                  ctx}, spec.Cfg.Precision)
 	canceled := errors.Is(err, krylov.ErrCanceled)
-	if err != nil && !errors.Is(err, krylov.ErrNoConvergence) && !canceled {
+	broken := errors.Is(err, krylov.ErrBreakdown)
+	if err != nil && !errors.Is(err, krylov.ErrNoConvergence) && !canceled && !broken {
 		return nil, err
 	}
 	out.SolveNanos = time.Since(t1).Nanoseconds()
@@ -129,6 +158,8 @@ func RunSolveRank(ctx context.Context, c *simmpi.Comm, spec *SolveSpec) (*RankOu
 	out.Converged = st.Converged
 	out.RelResidual = st.RelResidual
 	out.Canceled = canceled
+	out.Broken = broken
+	out.Refinements = st.Refinements
 	out.Trace = st.Trace
 	return out, nil
 }
@@ -150,6 +181,13 @@ func RunPreparedRank(ctx context.Context, c *simmpi.Comm, spec *PreparedRankSpec
 	aOp := distmat.NewOpFromParts(spec.ALZ, preparedPlan(c, spec, spec.ASend, spec.ARecv, spec.ACounts), opOpts...)
 	gOp := distmat.NewOpFromParts(spec.GLZ, preparedPlan(c, spec, spec.GSend, spec.GRecv, spec.GCounts), opOpts...)
 	gtOp := distmat.NewOpFromParts(spec.GTLZ, preparedPlan(c, spec, spec.GTSend, spec.GTRecv, spec.GTCounts), opOpts...)
+	if spec.Precision == krylov.FP32 {
+		// The prepared factor views ship in FP64; narrow the rank-private
+		// operators (the float32 value copy is cached on the shared Localized,
+		// built once across solves).
+		gOp.SetF32(true)
+		gtOp.SetF32(true)
+	}
 	cost := experiments.AssembleIterCost(prof, aOp, gOp, gtOp, spec.Hi-spec.Lo, spec.Ranks, spec.Variant)
 	setupComm := c.Meter().RankSnapshot(rank)
 	// SetupNanos stays 0: a prepared solve's contract is that setup was paid
@@ -164,15 +202,15 @@ func RunPreparedRank(ctx context.Context, c *simmpi.Comm, spec *PreparedRankSpec
 	}
 	t1 := time.Now()
 	xl := make([]float64, spec.Hi-spec.Lo)
-	st, err := krylov.DistCG(c, aOp, spec.BLocal, xl,
-		krylov.NewDistSplit(gOp, gtOp),
+	st, err := runDistSolve(c, aOp, gOp, gtOp, spec.BLocal, xl,
 		krylov.Options{Tol: spec.Tol, MaxIter: spec.MaxIter,
 			Variant: spec.Variant, Work: ws,
 			Trace:                spec.Trace,
 			ResidualReplaceEvery: spec.ResidualReplaceEvery,
-			Ctx:                  ctx}, nil)
+			Ctx:                  ctx}, spec.Precision)
 	canceled := errors.Is(err, krylov.ErrCanceled)
-	if err != nil && !errors.Is(err, krylov.ErrNoConvergence) && !canceled {
+	broken := errors.Is(err, krylov.ErrBreakdown)
+	if err != nil && !errors.Is(err, krylov.ErrNoConvergence) && !canceled && !broken {
 		return nil, err
 	}
 	out.SolveNanos = time.Since(t1).Nanoseconds()
@@ -182,6 +220,8 @@ func RunPreparedRank(ctx context.Context, c *simmpi.Comm, spec *PreparedRankSpec
 	out.Converged = st.Converged
 	out.RelResidual = st.RelResidual
 	out.Canceled = canceled
+	out.Broken = broken
+	out.Refinements = st.Refinements
 	out.Trace = st.Trace
 	return out, nil
 }

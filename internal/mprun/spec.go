@@ -31,7 +31,8 @@ type SolveSpec struct {
 	// PA and PB are the partition-permuted matrix and right-hand side.
 	PA *sparse.CSR
 	PB []float64
-	// Cfg shapes the preconditioner build.
+	// Cfg shapes the preconditioner build; Cfg.Precision also selects the
+	// solve's precision (FP32 runs the iterative-refinement loop).
 	Cfg core.Config
 	// Solver knobs (krylov.Options subset; the workspace is per-rank local).
 	Tol                  float64
@@ -81,6 +82,9 @@ type PreparedRankSpec struct {
 	Trace                bool
 	ResidualReplaceEvery int
 	Arch                 string
+	// Precision selects the solve's value width: FP32 narrows the shipped
+	// factor views locally and runs the iterative-refinement loop.
+	Precision krylov.Precision
 	// Per-solve topology (see SolveSpec): a cached prepared system can be
 	// solved under any node grouping without redoing the setup exchange.
 	Nodes, RanksPerNode int
@@ -132,6 +136,13 @@ type RankOutcome struct {
 	RelResidual float64
 	// Canceled reports that the CG loop stopped on a context verdict.
 	Canceled bool
+	// Broken reports a solver breakdown (NaN/Inf recurrence or non-SPD
+	// curvature): the loop stopped early, XLocal is the partial iterate.
+	Broken bool
+	// Refinements counts the FP64 iterative-refinement steps of a
+	// mixed-precision solve (0 for FP64 solves); Iterations then counts the
+	// total inner iterations across all steps.
+	Refinements int
 	// Pct and Imbalance are the build metrics (rank 0 only; zero for
 	// prepared jobs, whose metrics ride in the spec).
 	Pct, Imbalance float64

@@ -129,7 +129,7 @@ func (s *Server) solveBatched(w http.ResponseWriter, r *http.Request, q *solveRe
 		herr := fail(http.StatusTooManyRequests,
 			"server at capacity (%d running, %d queued)", s.cfg.MaxInFlight, s.cfg.MaxQueue)
 		s.failBatch(bkey, ob, herr)
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w, true)
 		writeErr(w, herr)
 		return
 	}
@@ -247,7 +247,7 @@ func (s *Server) finishBatch(ob *openBatch, res *fsaicomm.BatchResult, herr *htt
 func (s *Server) writeBatchColumn(w http.ResponseWriter, q *solveRequest, ob *openBatch, idx int, coalesced bool) {
 	if ob.herr != nil {
 		if ob.herr.code == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
+			s.setRetryAfter(w, true)
 		}
 		writeErr(w, ob.herr)
 		return
@@ -262,6 +262,7 @@ func (s *Server) writeBatchColumn(w http.ResponseWriter, q *solveRequest, ob *op
 		Iterations:  col.Iterations,
 		Converged:   col.Converged,
 		RelResidual: col.RelResidual,
+		Refinements: res.Refinements,
 		SetupMs:     float64(ob.setup) / float64(time.Millisecond),
 		SolveMs:     float64(res.SolveTime) / float64(time.Millisecond),
 		CommBytes:   res.CommBytes / k,

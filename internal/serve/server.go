@@ -28,7 +28,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -179,6 +181,41 @@ func (s *Server) beginJob() (release func(), ok bool) {
 	return func() { s.jobs.Done() }, true
 }
 
+// retryAfterSeconds estimates how long a rejected client should wait before
+// retrying, instead of the classic hardcoded "1" that synchronizes every
+// rejected client into a retry stampede one second later. The estimate is
+// the backlog the client would sit behind — queued plus in-flight jobs,
+// spread over the MaxInFlight slots — times the recent mean solve latency
+// from the histogram (one second before any data exists), plus the batch
+// enrollment window when the rejection came off the coalescing path (a
+// retry cannot possibly be served sooner than the window the batch holds
+// its leader for). Clamped to [1, 60] seconds.
+func (s *Server) retryAfterSeconds(batched bool) int {
+	mean := time.Second
+	if n := s.met.latency.count.Load(); n > 0 {
+		mean = time.Duration(s.met.latency.sumUs.Load()/n) * time.Microsecond
+	}
+	backlog := s.met.queued.Load() + s.met.inFlight.Load()
+	wait := mean * time.Duration(backlog/int64(s.cfg.MaxInFlight)+1)
+	if batched {
+		wait += s.cfg.BatchWindow
+	}
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// setRetryAfter stamps the Retry-After header on a 429 response — the single
+// place the header is produced.
+func (s *Server) setRetryAfter(w http.ResponseWriter, batched bool) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(batched)))
+}
+
 type httpError struct {
 	code int
 	msg  string
@@ -243,6 +280,13 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, fail(http.StatusBadRequest, "invalid matrix: %v", err))
 		return
 	}
+	// Reject non-finite values before the matrix reaches the cache: a NaN
+	// poisons every dot product, so a cached NaN matrix would fail every
+	// later solve against its fingerprint with no hint at upload time.
+	if !a.IsFinite() {
+		writeErr(w, fail(http.StatusBadRequest, "matrix contains NaN or Inf values"))
+		return
+	}
 	fp := a.Fingerprint()
 	_, known := s.matrices.Get(fp)
 	if !known {
@@ -279,6 +323,9 @@ type solveRequest struct {
 	Partitioner   string  `json:"partitioner,omitempty"`
 	PartitionSeed int64   `json:"partition_seed,omitempty"`
 	Workers       int     `json:"workers,omitempty"`
+	// Precision selects fp64 (default) or fp32 — float32 factors with FP64
+	// iterative refinement. Setup-level: part of the prepared-cache key.
+	Precision string `json:"precision,omitempty"`
 
 	// Per-solve options.
 	Tol                  float64 `json:"tol,omitempty"`
@@ -310,6 +357,10 @@ func (q *solveRequest) options() (fsaicomm.Options, fsaicomm.SolveOptions, error
 			return fsaicomm.Options{}, fsaicomm.SolveOptions{}, fail(http.StatusBadRequest, "%v", err)
 		}
 	}
+	prec, err := fsaicomm.ParsePrecision(q.Precision)
+	if err != nil {
+		return fsaicomm.Options{}, fsaicomm.SolveOptions{}, fail(http.StatusBadRequest, "%v", err)
+	}
 	strategy := fsaicomm.StaticFilter
 	if q.Dynamic {
 		strategy = fsaicomm.DynamicFilter
@@ -325,6 +376,7 @@ func (q *solveRequest) options() (fsaicomm.Options, fsaicomm.SolveOptions, error
 		Partitioner:   q.Partitioner,
 		PartitionSeed: q.PartitionSeed,
 		Workers:       q.Workers,
+		Precision:     prec,
 
 		Tol:                  q.Tol,
 		MaxIter:              q.MaxIter,
@@ -375,8 +427,9 @@ func setupKey(fp string, o fsaicomm.Options, ranks int) string {
 	if part == "" {
 		part = "multilevel"
 	}
-	return fmt.Sprintf("%s|m%d|f%g|s%d|lb%d|pl%d|th%g|r%d|%s|seed%d",
-		fp, o.Method, o.Filter, o.Strategy, lb, pl, o.Threshold, ranks, part, o.PartitionSeed)
+	return fmt.Sprintf("%s|m%d|f%g|s%d|lb%d|pl%d|th%g|r%d|%s|seed%d|%s",
+		fp, o.Method, o.Filter, o.Strategy, lb, pl, o.Threshold, ranks, part, o.PartitionSeed,
+		o.Precision)
 }
 
 // solveResponse answers POST /solve. X round-trips float64s bit-exactly
@@ -389,7 +442,8 @@ type solveResponse struct {
 	Iterations  int       `json:"iterations"`
 	Converged   bool      `json:"converged"`
 	RelResidual float64   `json:"rel_residual"`
-	SetupMs     float64   `json:"setup_ms"` // 0 on cache hits
+	Refinements int       `json:"refinements,omitempty"` // FP64 refinement steps (fp32 solves)
+	SetupMs     float64   `json:"setup_ms"`              // 0 on cache hits
 	SolveMs     float64   `json:"solve_ms"`
 	ModeledSec  float64   `json:"modeled_solve_sec"`
 	CommBytes   int64     `json:"comm_bytes"`
@@ -451,6 +505,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	} else if len(rhs) != a.Rows {
 		writeErr(w, fail(http.StatusBadRequest, "rhs length %d, want %d", len(rhs), a.Rows))
 		return
+	} else {
+		for i, v := range rhs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				writeErr(w, fail(http.StatusBadRequest, "rhs[%d] is not finite", i))
+				return
+			}
+		}
 	}
 
 	// Coalescing: an eligible request routes through the batching path,
@@ -469,7 +530,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	default:
 		if int(s.met.queued.Load()) >= s.cfg.MaxQueue {
 			s.met.jobsRejected.Add(1)
-			w.Header().Set("Retry-After", "1")
+			s.setRetryAfter(w, false)
 			writeErr(w, fail(http.StatusTooManyRequests,
 				"server at capacity (%d running, %d queued)", s.cfg.MaxInFlight, s.cfg.MaxQueue))
 			return
@@ -547,6 +608,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Iterations:  res.Iterations,
 		Converged:   res.Converged,
 		RelResidual: res.RelResidual,
+		Refinements: res.Refinements,
 		SetupMs:     float64(setup) / float64(time.Millisecond),
 		SolveMs:     float64(res.SolveTime) / float64(time.Millisecond),
 		ModeledSec:  res.ModeledSolveTime,

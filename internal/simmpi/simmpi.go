@@ -328,6 +328,24 @@ func (c *Comm) SendFloats(dst, tag int, data []float64) {
 	}
 }
 
+// SendFloats32 sends a copy of data to dst with the given tag, metered at
+// 4 bytes per value — the half-width point-to-point primitive behind the
+// mixed-precision halo exchange. Self-sends are a no-copy loopback, as for
+// SendFloats.
+func (c *Comm) SendFloats32(dst, tag int, data []float32) {
+	c.checkPeer(dst)
+	c.drain(&c.st.sendTail)
+	if dst == c.Rank() {
+		c.selfPush(Payload{Src: dst, Tag: tag, F32: data})
+		return
+	}
+	payload := append([]float32(nil), data...)
+	c.meter.record(c.Rank(), dst, 4*len(data))
+	if err := c.t.Send(dst, Payload{Src: c.Rank(), Tag: tag, F32: payload}); err != nil {
+		panic(fmt.Sprintf("simmpi: rank %d sending tag %d to %d: %v", c.Rank(), tag, dst, err))
+	}
+}
+
 // SendInts sends a copy of data to dst with the given tag. Self-sends are a
 // no-copy loopback, as for SendFloats.
 func (c *Comm) SendInts(dst, tag int, data []int) {
@@ -368,20 +386,44 @@ func (c *Comm) recv(src, tag int) Payload {
 func (c *Comm) RecvFloats(src, tag int) []float64 {
 	c.drain(&c.st.recvTail)
 	m := c.recv(src, tag)
-	if m.F64 == nil && m.Ints != nil {
-		panic(fmt.Sprintf("simmpi: rank %d expected floats from %d tag %d, got ints", c.Rank(), src, tag))
+	if m.F64 == nil && (m.Ints != nil || m.F32 != nil) {
+		panic(fmt.Sprintf("simmpi: rank %d expected floats from %d tag %d, got %s", c.Rank(), src, tag, payloadKind(m)))
 	}
 	return m.F64
+}
+
+// RecvFloats32 receives a float32 payload from src with the given tag.
+func (c *Comm) RecvFloats32(src, tag int) []float32 {
+	c.drain(&c.st.recvTail)
+	m := c.recv(src, tag)
+	if m.F32 == nil && (m.F64 != nil || m.Ints != nil) {
+		panic(fmt.Sprintf("simmpi: rank %d expected float32s from %d tag %d, got %s", c.Rank(), src, tag, payloadKind(m)))
+	}
+	return m.F32
 }
 
 // RecvInts receives an int payload from src with the given tag.
 func (c *Comm) RecvInts(src, tag int) []int {
 	c.drain(&c.st.recvTail)
 	m := c.recv(src, tag)
-	if m.Ints == nil && m.F64 != nil {
-		panic(fmt.Sprintf("simmpi: rank %d expected ints from %d tag %d, got floats", c.Rank(), src, tag))
+	if m.Ints == nil && (m.F64 != nil || m.F32 != nil) {
+		panic(fmt.Sprintf("simmpi: rank %d expected ints from %d tag %d, got %s", c.Rank(), src, tag, payloadKind(m)))
 	}
 	return m.Ints
+}
+
+// payloadKind names the populated slice of a payload for mismatch panics.
+func payloadKind(m Payload) string {
+	switch {
+	case m.F64 != nil:
+		return "floats"
+	case m.F32 != nil:
+		return "float32s"
+	case m.Ints != nil:
+		return "ints"
+	default:
+		return "empty payload"
+	}
 }
 
 // Barrier blocks until every rank has entered it. It is metered as a
@@ -505,6 +547,7 @@ type Request struct {
 	kind     string
 	done     chan struct{}
 	f64      []float64
+	f32      []float32
 	panicVal any
 	waited   bool
 }
@@ -525,6 +568,21 @@ func (r *Request) Wait() ([]float64, error) {
 		panic(r.panicVal)
 	}
 	return r.f64, nil
+}
+
+// Wait32 is Wait for operations whose payload is float32 (IrecvFloats32):
+// it blocks until completion and returns the received values. The waited-
+// twice and panic-propagation semantics match Wait exactly.
+func (r *Request) Wait32() ([]float32, error) {
+	if r.waited {
+		return nil, fmt.Errorf("%w: %s", ErrWaited, r.kind)
+	}
+	r.waited = true
+	<-r.done
+	if r.panicVal != nil {
+		panic(r.panicVal)
+	}
+	return r.f32, nil
 }
 
 // Done reports whether the operation has completed (Wait would not block).
@@ -629,10 +687,43 @@ func (c *Comm) IrecvFloats(src, tag int) *Request {
 	c.checkPeer(src)
 	return c.post("irecv", &c.st.recvTail, func(r *Request) {
 		m := c.recv(src, tag)
-		if m.F64 == nil && m.Ints != nil {
-			panic(fmt.Sprintf("simmpi: rank %d expected floats from %d tag %d, got ints", c.Rank(), src, tag))
+		if m.F64 == nil && (m.Ints != nil || m.F32 != nil) {
+			panic(fmt.Sprintf("simmpi: rank %d expected floats from %d tag %d, got %s", c.Rank(), src, tag, payloadKind(m)))
 		}
 		r.f64 = m.F64
+	})
+}
+
+// IsendFloats32 posts a copy of data to dst with the given tag, metered at
+// 4 bytes per value like SendFloats32; Wait yields (nil, nil) once the
+// payload is handed to the transport. Posted self-sends enter the loopback
+// queue in chain order, without copying.
+func (c *Comm) IsendFloats32(dst, tag int, data []float32) *Request {
+	c.checkPeer(dst)
+	if dst == c.Rank() {
+		return c.post("isend32", &c.st.sendTail, func(r *Request) {
+			c.selfPush(Payload{Src: dst, Tag: tag, F32: data})
+		})
+	}
+	payload := append([]float32(nil), data...)
+	c.meter.record(c.Rank(), dst, 4*len(data))
+	return c.post("isend32", &c.st.sendTail, func(r *Request) {
+		if err := c.t.Send(dst, Payload{Src: c.Rank(), Tag: tag, F32: payload}); err != nil {
+			panic(fmt.Sprintf("simmpi: rank %d sending tag %d to %d: %v", c.Rank(), tag, dst, err))
+		}
+	})
+}
+
+// IrecvFloats32 posts a receive for a float32 payload from src with the
+// given tag; Wait32 yields the values.
+func (c *Comm) IrecvFloats32(src, tag int) *Request {
+	c.checkPeer(src)
+	return c.post("irecv32", &c.st.recvTail, func(r *Request) {
+		m := c.recv(src, tag)
+		if m.F32 == nil && (m.F64 != nil || m.Ints != nil) {
+			panic(fmt.Sprintf("simmpi: rank %d expected float32s from %d tag %d, got %s", c.Rank(), src, tag, payloadKind(m)))
+		}
+		r.f32 = m.F32
 	})
 }
 

@@ -51,11 +51,13 @@ type Transport interface {
 }
 
 // Payload is one tagged point-to-point message as carried by a Transport.
-// Exactly one of F64 and Ints is meaningful; a zero-length payload of
-// either type is valid.
+// Exactly one of F64, F32 and Ints is meaningful; a zero-length payload of
+// any type is valid. F32 carries the half-width halo traffic of
+// mixed-precision solves — 4 bytes per value on the wire and on the meter.
 type Payload struct {
 	Src, Tag int
 	F64      []float64
+	F32      []float32
 	Ints     []int
 }
 

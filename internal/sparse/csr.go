@@ -288,6 +288,19 @@ func (m *CSR) Scale(s float64) {
 	}
 }
 
+// IsFinite reports whether every stored value is finite (no NaN or ±Inf).
+// A non-finite entry poisons every solve that touches the matrix — and any
+// cache the matrix lands in — so input boundaries check this before
+// accepting a matrix.
+func (m *CSR) IsFinite() bool {
+	for _, v := range m.Val {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // MaxNorm returns the largest absolute stored value.
 func (m *CSR) MaxNorm() float64 {
 	max := 0.0

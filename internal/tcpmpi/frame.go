@@ -68,6 +68,7 @@ const (
 	typNone byte = 0
 	typF64  byte = 1
 	typInts byte = 2
+	typF32  byte = 3
 )
 
 func appendU32(b []byte, v uint32) []byte {
@@ -83,6 +84,8 @@ func encodeP2P(p simmpi.Payload) []byte {
 	switch {
 	case len(p.F64) > 0:
 		typ, n = typF64, len(p.F64)
+	case len(p.F32) > 0:
+		typ, n = typF32, len(p.F32)
 	case len(p.Ints) > 0:
 		typ, n = typInts, len(p.Ints)
 	}
@@ -95,6 +98,11 @@ func encodeP2P(p simmpi.Payload) []byte {
 	case typF64:
 		for _, v := range p.F64 {
 			b = appendU64(b, math.Float64bits(v))
+		}
+	case typF32:
+		// 4 bytes per value: the wire pays exactly what the meter charges.
+		for _, v := range p.F32 {
+			b = appendU32(b, math.Float32bits(v))
 		}
 	case typInts:
 		for _, v := range p.Ints {
@@ -115,17 +123,26 @@ func decodeP2P(body []byte) (simmpi.Payload, error) {
 	typ := body[8]
 	n := int(binary.LittleEndian.Uint32(body[9:]))
 	data := body[13:]
-	if len(data) != 8*n {
-		return simmpi.Payload{}, fmt.Errorf("tcpmpi: p2p frame payload %d bytes, want %d", len(data), 8*n)
+	want := 8 * n
+	if typ == typF32 {
+		want = 4 * n
+	}
+	if len(data) != want {
+		return simmpi.Payload{}, fmt.Errorf("tcpmpi: p2p frame payload %d bytes, want %d", len(data), want)
 	}
 	switch typ {
 	case typNone:
-		// n==0: both slices stay nil, matching the channel backend's copy of
+		// n==0: all slices stay nil, matching the channel backend's copy of
 		// an empty payload.
 	case typF64:
 		p.F64 = make([]float64, n)
 		for i := range p.F64 {
 			p.F64[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+		}
+	case typF32:
+		p.F32 = make([]float32, n)
+		for i := range p.F32 {
+			p.F32[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:]))
 		}
 	case typInts:
 		p.Ints = make([]int, n)

@@ -213,3 +213,26 @@ func Fill(x []float64, v float64) {
 		x[i] = v
 	}
 }
+
+// Narrow rounds src into the float32 buffer dst — the gather-side kernel of
+// the mixed-precision halo exchange (no flops counted; conversions are
+// charged to the bandwidth they save, not the ALU).
+func Narrow(dst []float32, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("vecops: Narrow length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
+
+// Widen expands the float32 buffer src into dst — the scatter-side kernel of
+// the mixed-precision halo exchange.
+func Widen(dst []float64, src []float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("vecops: Widen length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+}

@@ -18,8 +18,13 @@ type Preconditioner struct {
 	a      *Matrix
 	split  *krylov.Split
 	method Method
-	pct    float64
-	setup  time.Duration
+	prec   Precision
+	// split32 is the float32 view of the factors, built when the
+	// preconditioner was constructed with Options.Precision FP32; SolveWith
+	// then runs the mixed-precision refinement loop.
+	split32 *krylov.Split32
+	pct     float64
+	setup   time.Duration
 	// work holds the CG iteration vectors across SolveWith calls, so
 	// repeated solves with the same factor allocate no per-solve buffers
 	// (beyond the returned solution). Part of why the Preconditioner is
@@ -43,13 +48,18 @@ func BuildPreconditioner(a *Matrix, opt Options) (*Preconditioner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Preconditioner{
+	p := &Preconditioner{
 		a:      a,
 		split:  krylov.NewSplit(g, g.Transpose()),
 		method: opt.Method,
+		prec:   opt.Precision,
 		pct:    pct,
 		setup:  time.Since(t0),
-	}, nil
+	}
+	if opt.Precision == FP32 {
+		p.split32 = krylov.NewSplit32(p.split.G, p.split.GT)
+	}
+	return p, nil
 }
 
 func checkInputMatrix(a *Matrix) error {
@@ -58,6 +68,9 @@ func checkInputMatrix(a *Matrix) error {
 	}
 	if err := a.Validate(); err != nil {
 		return fmt.Errorf("fsaicomm: invalid matrix: %w", err)
+	}
+	if !a.IsFinite() {
+		return fmt.Errorf("%w: matrix contains NaN or Inf values", ErrInvalidOptions)
 	}
 	if !a.IsSymmetric(1e-10) {
 		return fmt.Errorf("%w: pattern or values asymmetric", ErrNotSPD)
@@ -96,21 +109,34 @@ func (p *Preconditioner) SolveWith(b []float64, opt Options) (*Result, error) {
 	opt = opt.withDefaults(p.a.Rows)
 	x := make([]float64, p.a.Rows)
 	t0 := time.Now()
-	st, err := krylov.CG(p.a, b, x, p.split, krylov.Options{Tol: opt.Tol, MaxIter: opt.MaxIter, Work: &p.work}, nil)
-	if err != nil && !errors.Is(err, krylov.ErrNoConvergence) {
+	kopt := krylov.Options{Tol: opt.Tol, MaxIter: opt.MaxIter, Work: &p.work}
+	var st krylov.Stats
+	var err error
+	if p.prec == FP32 {
+		st, err = krylov.SolveRefined(p.a, b, x, p.split32, kopt, nil)
+	} else {
+		st, err = krylov.CG(p.a, b, x, p.split, kopt, nil)
+	}
+	broken := errors.Is(err, krylov.ErrBreakdown)
+	if err != nil && !errors.Is(err, krylov.ErrNoConvergence) && !broken {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		X:              x,
 		Iterations:     st.Iterations,
 		Converged:      st.Converged,
 		RelResidual:    st.RelResidual,
+		Refinements:    st.Refinements,
 		PctNNZIncrease: p.pct,
 		Ranks:          1,
 		ImbalanceIndex: 1,
 		SetupTime:      p.setup,
 		SolveTime:      time.Since(t0),
-	}, nil
+	}
+	if broken {
+		return res, err
+	}
+	return res, nil
 }
 
 // Pattern returns the sparsity pattern of the factor for inspection.

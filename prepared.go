@@ -136,7 +136,10 @@ func Prepare(a *Matrix, opt Options) (*Prepared, error) {
 		Workers:      opt.Workers,
 		// The CG variant is chosen per solve; overlap views are built
 		// lazily (and locally) on the per-solve operators, so the setup
-		// builds the blocking schedule only.
+		// builds the blocking schedule only. Precision is likewise applied
+		// per solve (the rank job narrows its private operators; the float32
+		// value view is cached on the shared Localized), so the build stays
+		// the plain FP64 one.
 		CGVariant: CGClassic,
 	}
 	p := &Prepared{
@@ -277,6 +280,7 @@ func (p *Prepared) Solve(ctx context.Context, b []float64, so SolveOptions) (*Re
 			Trace:                so.Trace,
 			ResidualReplaceEvery: so.ResidualReplaceEvery,
 			Arch:                 so.Arch,
+			Precision:            p.setupOpt.Precision,
 			Nodes:                topo.Nodes,
 			RanksPerNode:         topo.RanksPerNode,
 			NoNodeAggregation:    so.NoNodeAggregation,

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 tier2 bench fuzz trace serve mp batch nodeaware cover
+.PHONY: all tier1 tier2 bench fuzz trace serve mp batch nodeaware spai cover
 
 all: tier1
 
@@ -19,11 +19,12 @@ tier1:
 # and block vector kernels, the distributed solver/operator layers with the
 # node-aware halo relay, the hierarchical cost model and experiment sweeps,
 # the HTTP serving layer with its concurrent cached solves and job
-# coalescing, the topology-carrying CLI, and the root facade's
-# cross-backend transport suite).
+# coalescing, the topology-carrying CLI, the column-parallel SPAI build
+# with its dense QR kernel, and the root facade's cross-backend transport
+# suite).
 tier2:
 	$(GO) build ./...
-	$(GO) test -race ./internal/simmpi/... ./internal/tcpmpi/... ./internal/mprun/... ./internal/fsai/... ./internal/parallel/... ./internal/sparse/... ./internal/vecops/... ./internal/krylov/... ./internal/distmat/... ./internal/archmodel/... ./internal/experiments/... ./internal/serve/... ./cmd/fsaiserve/... ./cmd/mmsolve/... .
+	$(GO) test -race ./internal/simmpi/... ./internal/tcpmpi/... ./internal/mprun/... ./internal/fsai/... ./internal/spai/... ./internal/dense/... ./internal/parallel/... ./internal/sparse/... ./internal/vecops/... ./internal/krylov/... ./internal/distmat/... ./internal/archmodel/... ./internal/experiments/... ./internal/serve/... ./cmd/fsaiserve/... ./cmd/mmsolve/... .
 
 # bench: the serial-vs-parallel kernel pairs plus the CG-variant
 # (classic/overlap/fused/pipelined), blocking-vs-overlap SpMV, and
@@ -38,7 +39,10 @@ tier2:
 # solutions, unchanged inter-node bytes, strictly fewer inter-node
 # messages, never-worse modeled time — and the mixed writer gates fp32
 # halo bytes below 0.55x of fp64 for classic and fused CG, so a
-# regression fails this target.
+# regression fails this target. The spai writer (BENCH_spai.json) gates
+# the nonsymmetric axis: adaptive SPAI + restarted GMRES must converge in
+# strictly fewer iterations than unpreconditioned GMRES on the
+# Péclet-skewed instance at every measured rank count and backend.
 bench:
 	$(GO) test -run xxx -bench '50k' -benchmem .
 	$(GO) run ./cmd/fsaibench -exp benchjson -out BENCH_pipelined.json
@@ -46,6 +50,7 @@ bench:
 	$(GO) run ./cmd/fsaibench -exp batchjson -out BENCH_batch.json -csv BENCH_batch.csv
 	$(GO) run ./cmd/fsaibench -exp nodeawarejson -out BENCH_nodeaware.json
 	$(GO) run ./cmd/fsaibench -exp mixedjson -transport both -out BENCH_mixed.json
+	$(GO) run ./cmd/fsaibench -exp spaijson -transport both -out BENCH_spai.json
 
 # trace: emit a sample per-iteration telemetry artifact — the consph-sim
 # catalog instance solved with pipelined CG on 4 ranks, per-iteration
@@ -108,6 +113,26 @@ nodeaware:
 	fi
 	@rm -f /tmp/fsaicomm-nodeaware.mtx /tmp/fsaicomm-nodeaware-flat.txt /tmp/fsaicomm-nodeaware-nap.txt
 
+# spai: nonsymmetric-axis smoke test — generate the upwind
+# convection–diffusion catalog instance (nonsymmetric, so the CG family
+# rejects it), solve it with the adaptive SPAI right inverse inside
+# restarted GMRES on 4 flat ranks and again under a 2-node × 2-rank
+# topology, then diff the two solution files: the node-aware schedule must
+# not change a single bit of the answer on the GMRES path either.
+spai:
+	$(GO) run ./cmd/matgen -name convdiff-skew-sim -o /tmp/fsaicomm-spai.mtx
+	$(GO) run ./cmd/mmsolve -matrix /tmp/fsaicomm-spai.mtx -method spai \
+		-solver gmres -spai-steps 2 -ranks 4 -out /tmp/fsaicomm-spai-flat.txt
+	$(GO) run ./cmd/mmsolve -matrix /tmp/fsaicomm-spai.mtx -method spai \
+		-solver gmres -spai-steps 2 -ranks 4 -nodes 2 -ranks-per-node 2 \
+		-out /tmp/fsaicomm-spai-nap.txt
+	@if cmp -s /tmp/fsaicomm-spai-flat.txt /tmp/fsaicomm-spai-nap.txt; then \
+		echo "spai smoke test passed: solutions bit-identical"; \
+	else \
+		echo "spai smoke test failed: solutions differ"; exit 1; \
+	fi
+	@rm -f /tmp/fsaicomm-spai.mtx /tmp/fsaicomm-spai-flat.txt /tmp/fsaicomm-spai-nap.txt
+
 # mp: multi-process smoke test — build the rank worker binary and run its
 # selfcheck, which solves one catalog instance on 4 goroutine ranks and
 # again on 4 OS processes over the TCP mesh and diffs the two bit for bit
@@ -120,10 +145,12 @@ mp:
 cover:
 	$(GO) test -cover ./...
 
-# fuzz: short exploration of each sparse-format fuzz target (seeds already
-# run under plain `go test`).
+# fuzz: short exploration of each sparse-format fuzz target plus the dense
+# QR least-squares kernel behind SPAI (seeds already run under plain
+# `go test`).
 fuzz:
 	$(GO) test -fuzz FuzzCSRValidate -fuzztime 30s ./internal/sparse/
 	$(GO) test -fuzz FuzzCOOToCSR -fuzztime 30s ./internal/sparse/
 	$(GO) test -fuzz FuzzReadMatrixMarket -fuzztime 30s ./internal/sparse/
 	$(GO) test -fuzz FuzzCSR32RoundTrip -fuzztime 30s ./internal/sparse/
+	$(GO) test -fuzz FuzzQRLeastSquares -fuzztime 30s ./internal/dense/

@@ -142,10 +142,13 @@ func SolveBatchContext(ctx context.Context, a *Matrix, rhs [][]float64, opt Opti
 	if err := checkBatchVariant(opt.CGVariant); err != nil {
 		return nil, err
 	}
+	if opt.Solver == SolverGMRES {
+		return nil, fmt.Errorf("%w: batched solves support the CG family only (GMRES solves one right-hand side at a time)", ErrInvalidOptions)
+	}
 	if len(rhs) < 1 {
 		return nil, checkBatchRHS(rhs, a.Rows)
 	}
-	if err := checkInput(a, rhs[0]); err != nil {
+	if err := checkInput(a, rhs[0], opt.Solver); err != nil {
 		return nil, err
 	}
 	if err := checkBatchRHS(rhs, a.Rows); err != nil {
@@ -215,6 +218,9 @@ func (p *Prepared) SolveBatch(ctx context.Context, rhs [][]float64, so SolveOpti
 	}
 	if err := checkBatchVariant(so.CGVariant); err != nil {
 		return nil, err
+	}
+	if p.setupOpt.Solver == SolverGMRES {
+		return nil, fmt.Errorf("%w: batched solves support the CG family only (this system was prepared for SPAI+GMRES)", ErrInvalidOptions)
 	}
 	if err := checkBatchRHS(rhs, p.n); err != nil {
 		return nil, err

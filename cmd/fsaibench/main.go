@@ -24,7 +24,11 @@
 // inter-node message-count reduction) and mixedjson (the BENCH_mixed.json
 // artifact: float32 factors + FP64 iterative refinement versus the pure
 // FP64 baseline per backend, gated so fp32 halo bytes stay below 0.55× of
-// fp64 and the refined solve still reaches the FP64 tolerance).
+// fp64 and the refined solve still reaches the FP64 tolerance) and
+// spaijson (the BENCH_spai.json artifact: adaptive SPAI + restarted GMRES
+// on the Péclet-skewed convection–diffusion instance versus unpreconditioned
+// GMRES, gated so the preconditioned solve converges in strictly fewer
+// iterations on every measured rank count and backend).
 // -precision fp32 reruns transportjson/batchjson with float32 factors;
 // mixedjson always measures both precisions side by side.
 // The quick set (default) is a 7-matrix class-representative subset of
@@ -339,6 +343,28 @@ func run(exp, set, archOverride string, workers int, cg, outPath, transport, csv
 			}
 			if outPath != "" {
 				fmt.Fprintf(out, "wrote node-aware bench artifact to %s\n", outPath)
+			}
+			return nil
+		},
+		"spaijson": func() error {
+			backends, err := transportBackends(transport)
+			if err != nil {
+				return err
+			}
+			w := out
+			if outPath != "" {
+				f, err := os.Create(outPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := writeSPAIJSON(w, backends); err != nil {
+				return err
+			}
+			if outPath != "" {
+				fmt.Fprintf(out, "wrote SPAI bench artifact to %s\n", outPath)
 			}
 			return nil
 		},

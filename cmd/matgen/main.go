@@ -1,4 +1,5 @@
-// Command matgen writes the synthetic SPD evaluation matrices to Matrix
+// Command matgen writes the synthetic evaluation matrices (the SPD Table 1
+// and Table 2 catalogs plus the nonsymmetric SPAI+GMRES set) to Matrix
 // Market files, so they can be inspected or fed to other solvers.
 //
 // Usage:
@@ -44,6 +45,10 @@ func run(list bool, name, out string, all bool, dir string) error {
 		for _, s := range testsets.Table2() {
 			fmt.Printf("  %2d  %-22s %s\n", s.ID, s.Name, s.Class)
 		}
+		fmt.Println("Nonsymmetric catalog (SPAI+GMRES):")
+		for _, s := range testsets.Nonsym() {
+			fmt.Printf("  %2d  %-22s %s\n", s.ID, s.Name, s.Class)
+		}
 		return nil
 	case all:
 		for _, s := range testsets.Table1() {
@@ -79,5 +84,11 @@ func writeMatrix(s testsets.Spec, path string) error {
 		return err
 	}
 	defer f.Close()
-	return sparse.WriteMatrixMarketSymmetric(f, a)
+	// The symmetric codec stores only the lower triangle and mirrors it on
+	// read — writing a nonsymmetric catalog entry through it would silently
+	// symmetrize the operator.
+	if a.IsSymmetric(1e-12) {
+		return sparse.WriteMatrixMarketSymmetric(f, a)
+	}
+	return sparse.WriteMatrixMarket(f, a)
 }

@@ -1,10 +1,12 @@
 // Command mmsolve solves a linear system read from a Matrix Market file
-// with the FSAI family of preconditioners — the downstream-user entry point
-// of the library.
+// with the FSAI family of preconditioners (CG, symmetric positive definite
+// systems) or the adaptive SPAI preconditioner (restarted GMRES, general
+// systems) — the downstream-user entry point of the library.
 //
 // Usage:
 //
-//	mmsolve -matrix A.mtx [-rhs b.txt] [-method fsai|fsaie|fsaie-comm]
+//	mmsolve -matrix A.mtx [-rhs b.txt] [-method fsai|fsaie|fsaie-comm|spai]
+//	        [-solver cg|gmres] [-restart 30] [-spai-steps 0] [-spai-add 0] [-spai-eps 0]
 //	        [-filter 0.01] [-dynamic] [-line 64] [-ranks 4] [-workers 0]
 //	        [-cg classic|classic-overlap|fused|pipelined] [-tol 1e-8] [-out x.txt]
 //	        [-trace trace.json] [-rr 0] [-precision fp64|fp32]
@@ -12,7 +14,9 @@
 // Without -rhs a deterministic random right-hand side normalized to the
 // matrix max norm is used (the paper's setup). With -ranks 1 the solve is
 // serial; otherwise the matrix is partitioned over simulated
-// message-passing ranks and solved with distributed CG.
+// message-passing ranks and solved with the distributed Krylov loop.
+// "-solver gmres" implies "-method spai" when -method is left at its
+// default (the FSAI family has no GMRES pairing).
 package main
 
 import (
@@ -29,9 +33,14 @@ import (
 
 func main() {
 	var (
-		matrixPath = flag.String("matrix", "", "Matrix Market file with the SPD system matrix (required)")
+		matrixPath = flag.String("matrix", "", "Matrix Market file with the system matrix (required; SPD for -solver cg, any square matrix for -solver gmres)")
 		rhsPath    = flag.String("rhs", "", "optional right-hand side: one value per line")
-		method     = flag.String("method", "fsaie-comm", "preconditioner: fsai, fsaie or fsaie-comm")
+		method     = flag.String("method", "fsaie-comm", "preconditioner: fsai, fsaie, fsaie-comm or spai (spai pairs with -solver gmres)")
+		solver     = flag.String("solver", "cg", "Krylov solver: cg (FSAI family, SPD systems) or gmres (SPAI, general systems)")
+		restart    = flag.Int("restart", 0, "GMRES restart length (0 = 30)")
+		spaiSteps  = flag.Int("spai-steps", 0, "SPAI adaptive enrichment rounds (0 = static pattern)")
+		spaiAdd    = flag.Int("spai-add", 0, "SPAI entries added per column per round (0 = 5)")
+		spaiEps    = flag.Float64("spai-eps", 0, "SPAI per-column residual target stopping enrichment (0 = 0.4)")
 		filter     = flag.Float64("filter", 0.01, "Filter value for extension filtering")
 		dynamic    = flag.Bool("dynamic", false, "use the dynamic (load-balancing) filter strategy")
 		line       = flag.Int("line", 64, "cache line size in bytes steering the extension")
@@ -48,13 +57,35 @@ func main() {
 		precision  = flag.String("precision", "", "solve precision: fp64 (default) or fp32 (float32 factors + FP64 iterative refinement; halves halo traffic)")
 	)
 	flag.Parse()
-	if err := run(*matrixPath, *rhsPath, *method, *filter, *dynamic, *line, *ranks, *workers, *cg, *tol, *maxIter, *outPath, *tracePath, *rr, *nodes, *rpn, *precision); err != nil {
+	methodSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "method" {
+			methodSet = true
+		}
+	})
+	if *solver == "gmres" && !methodSet {
+		// GMRES implies SPAI; only an explicit -method should override (and
+		// then Validate rejects the FSAI family with a descriptive error).
+		*method = "spai"
+	}
+	sp := spaiFlags{solver: *solver, restart: *restart, steps: *spaiSteps, add: *spaiAdd, eps: *spaiEps}
+	if err := run(*matrixPath, *rhsPath, *method, *filter, *dynamic, *line, *ranks, *workers, *cg, *tol, *maxIter, *outPath, *tracePath, *rr, *nodes, *rpn, *precision, sp); err != nil {
 		fmt.Fprintln(os.Stderr, "mmsolve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line, ranks, workers int, cg string, tol float64, maxIter int, outPath, tracePath string, rr, nodes, rpn int, precision string) error {
+// spaiFlags groups the nonsymmetric-axis knobs so run's signature stays
+// readable.
+type spaiFlags struct {
+	solver  string
+	restart int
+	steps   int
+	add     int
+	eps     float64
+}
+
+func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line, ranks, workers int, cg string, tol float64, maxIter int, outPath, tracePath string, rr, nodes, rpn int, precision string, sp spaiFlags) error {
 	if matrixPath == "" {
 		return fmt.Errorf("-matrix is required")
 	}
@@ -102,6 +133,15 @@ func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line,
 		return err
 	}
 	opt.Method = m
+	sv, err := fsaicomm.ParseSolver(sp.solver)
+	if err != nil {
+		return err
+	}
+	opt.Solver = sv
+	opt.Restart = sp.restart
+	opt.SPAISteps = sp.steps
+	opt.SPAIAdd = sp.add
+	opt.SPAIEpsilon = sp.eps
 	if dynamic {
 		opt.Strategy = fsaicomm.DynamicFilter
 	}
@@ -125,7 +165,16 @@ func run(matrixPath, rhsPath, method string, filter float64, dynamic bool, line,
 	if err != nil {
 		return err
 	}
-	fmt.Printf("method: %v (filter %g, %v strategy, %dB lines, %v CG)\n", opt.Method, filter, opt.Strategy, line, opt.CGVariant)
+	if sv == fsaicomm.SolverGMRES {
+		rs := sp.restart
+		if rs == 0 {
+			rs = 30
+		}
+		fmt.Printf("method: %v (level %d, %d enrichment steps, add %d, eps %g) with GMRES(%d)\n",
+			opt.Method, max(opt.PatternLevel, 1), sp.steps, sp.add, sp.eps, rs)
+	} else {
+		fmt.Printf("method: %v (filter %g, %v strategy, %dB lines, %v CG)\n", opt.Method, filter, opt.Strategy, line, opt.CGVariant)
+	}
 	fmt.Printf("ranks: %d  pattern growth: %+.2f%%  imbalance index: %.3f\n",
 		res.Ranks, res.PctNNZIncrease, res.ImbalanceIndex)
 	fmt.Printf("converged: %v in %d iterations (rel residual %.3e)\n",

@@ -70,6 +70,11 @@ const (
 	// FSAIEComm adds communication-aware halo extension (the paper's
 	// contribution).
 	FSAIEComm = core.FSAIEComm
+	// SPAI is the adaptive Grote–Huckle sparse approximate inverse: an
+	// explicit right inverse M ≈ A⁻¹ for general (nonsymmetric) matrices,
+	// applied inside restarted GMRES rather than CG. Requires Solver
+	// SolverGMRES.
+	SPAI = core.SPAI
 )
 
 // FilterStrategy selects static (same Filter everywhere) or dynamic
@@ -105,6 +110,24 @@ const (
 // "pipelined" (the -cg flag spellings of the command-line tools).
 func ParseCGVariant(s string) (CGVariant, error) { return krylov.ParseCGVariant(s) }
 
+// Solver selects the Krylov loop of a solve.
+type Solver = krylov.Solver
+
+// Krylov solvers.
+const (
+	// SolverCG is preconditioned conjugate gradients — the default, valid
+	// for the symmetric positive definite systems of the FSAI family.
+	SolverCG = krylov.SolverCG
+	// SolverGMRES is restarted GMRES with modified Gram–Schmidt, valid for
+	// general square systems. Pairs with Method SPAI (the right inverse is
+	// the preconditioner GMRES applies).
+	SolverGMRES = krylov.SolverGMRES
+)
+
+// ParseSolver parses the -solver flag spellings "cg" and "gmres" (empty
+// string = cg).
+func ParseSolver(s string) (Solver, error) { return krylov.ParseSolver(s) }
+
 // Precision selects the value width of the preconditioner factors and the
 // operator inside the solve (see Options.Precision).
 type Precision = krylov.Precision
@@ -123,10 +146,11 @@ const (
 // (empty string = fp64).
 func ParsePrecision(s string) (Precision, error) { return krylov.ParsePrecision(s) }
 
-// ParseMethod parses the -method flag spellings: "fsai", "fsaie" or
-// "fsaie-comm" (also accepted: "fsaiecomm"), case-insensitively. The empty
-// string means "caller did not say" and resolves to FSAIEComm, the default
-// the command-line tools and the serving layer's request decoder share.
+// ParseMethod parses the -method flag spellings: "fsai", "fsaie",
+// "fsaie-comm" (also accepted: "fsaiecomm") or "spai", case-insensitively.
+// The empty string means "caller did not say" and resolves to FSAIEComm, the
+// default the command-line tools and the serving layer's request decoder
+// share.
 func ParseMethod(s string) (Method, error) {
 	switch strings.ToLower(s) {
 	case "":
@@ -137,8 +161,10 @@ func ParseMethod(s string) (Method, error) {
 		return FSAIE, nil
 	case "fsaie-comm", "fsaiecomm":
 		return FSAIEComm, nil
+	case "spai":
+		return SPAI, nil
 	default:
-		return FSAI, fmt.Errorf("fsaicomm: unknown method %q (want fsai, fsaie or fsaie-comm)", s)
+		return FSAI, fmt.Errorf("fsaicomm: unknown method %q (want fsai, fsaie, fsaie-comm or spai)", s)
 	}
 }
 
@@ -162,8 +188,27 @@ type WindowReport = archmodel.WindowReport
 
 // Options configures a solve.
 type Options struct {
-	// Method selects FSAI, FSAIE or FSAIEComm. Default FSAIEComm.
+	// Method selects FSAI, FSAIE, FSAIEComm or SPAI. The zero value is FSAI;
+	// ParseMethod("") resolves the command-line default FSAIEComm. SPAI is
+	// the nonsymmetric axis and requires Solver SolverGMRES (and vice versa —
+	// Validate enforces the coupling both ways).
 	Method Method
+	// Solver selects the Krylov loop: SolverCG (default; the FSAI family)
+	// or SolverGMRES (restarted GMRES, required by and requiring Method
+	// SPAI). GMRES runs the classic blocking schedule in FP64 only.
+	Solver Solver
+	// Restart is the GMRES restart length m (cycle length of the rebuilt
+	// Krylov basis). Zero selects 30. Ignored by the CG solvers.
+	Restart int
+	// SPAISteps, SPAIAdd and SPAIEpsilon shape the adaptive SPAI build
+	// (Method SPAI only): SPAISteps rounds of pattern enrichment adding at
+	// most SPAIAdd entries per column per round, stopping a column once its
+	// least-squares residual drops below SPAIEpsilon (0 selects 0.4; the
+	// static pattern is SPAISteps 0). PatternLevel doubles as the SPAI base
+	// pattern level: the pattern of (structure(A)+I)^level.
+	SPAISteps   int
+	SPAIAdd     int
+	SPAIEpsilon float64
 	// Filter is the initial Filter value for the post-extension filtering
 	// (paper sweeps 0.01–0.2). Zero keeps every extension entry.
 	Filter float64
@@ -310,10 +355,44 @@ func (o Options) Validate() error {
 	if o.RanksPerNode < 0 {
 		return fail("RanksPerNode %d is negative (0 means flat: one rank per node)", o.RanksPerNode)
 	}
+	if o.Restart < 0 {
+		return fail("Restart %d is negative (0 selects the default 30)", o.Restart)
+	}
+	if o.SPAISteps < 0 {
+		return fail("SPAISteps %d is negative (0 keeps the static pattern)", o.SPAISteps)
+	}
+	if o.SPAIAdd < 0 {
+		return fail("SPAIAdd %d is negative (0 selects the default 5)", o.SPAIAdd)
+	}
+	if o.SPAIEpsilon < 0 || math.IsNaN(o.SPAIEpsilon) {
+		return fail("SPAIEpsilon %g is negative or NaN (0 selects the default 0.4)", o.SPAIEpsilon)
+	}
 	switch o.Method {
-	case FSAI, FSAIE, FSAIEComm:
+	case FSAI, FSAIE, FSAIEComm, SPAI:
 	default:
 		return fail("unknown method %d", int(o.Method))
+	}
+	switch o.Solver {
+	case SolverCG, SolverGMRES:
+	default:
+		return fail("unknown solver %d (want SolverCG or SolverGMRES)", int(o.Solver))
+	}
+	// The solver and the preconditioner kind are coupled: SPAI is an explicit
+	// right inverse only GMRES can apply, and GMRES has no use for the
+	// factor pair of the FSAI family.
+	if o.Method == SPAI && o.Solver != SolverGMRES {
+		return fail("Method SPAI requires Solver SolverGMRES (SPAI is a right inverse for GMRES, not a CG factor pair)")
+	}
+	if o.Solver == SolverGMRES && o.Method != SPAI {
+		return fail("Solver SolverGMRES requires Method SPAI (the FSAI family pairs with CG)")
+	}
+	if o.Solver == SolverGMRES {
+		if o.CGVariant != CGClassic {
+			return fail("GMRES has only the classic blocking schedule (leave CGVariant zero)")
+		}
+		if o.Precision == FP32 {
+			return fail("FP32 iterative refinement is a CG-family feature; GMRES solves run FP64")
+		}
 	}
 	switch o.Strategy {
 	case StaticFilter, DynamicFilter:
@@ -346,6 +425,19 @@ func (o Options) Validate() error {
 		}
 	}
 	return nil
+}
+
+// spaiConfig maps the facade options onto the core build config for an SPAI
+// build (serial or distributed; the unused FSAI knobs stay zero).
+func spaiConfig(opt Options) core.Config {
+	return core.Config{
+		Method:       SPAI,
+		PatternLevel: opt.PatternLevel,
+		Workers:      opt.Workers,
+		SPAISteps:    opt.SPAISteps,
+		SPAIAdd:      opt.SPAIAdd,
+		SPAIEpsilon:  opt.SPAIEpsilon,
+	}
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -446,7 +538,7 @@ var ErrCanceled = krylov.ErrCanceled
 // alongside the error.
 var ErrBreakdown = krylov.ErrBreakdown
 
-func checkInput(a *Matrix, b []float64) error {
+func checkInput(a *Matrix, b []float64, solver Solver) error {
 	if a.Rows != a.Cols {
 		return fmt.Errorf("fsaicomm: matrix is %dx%d, want square", a.Rows, a.Cols)
 	}
@@ -462,8 +554,23 @@ func checkInput(a *Matrix, b []float64) error {
 	if err := checkFiniteRHS(b); err != nil {
 		return err
 	}
+	return checkSolverMatrix(a, solver)
+}
+
+// checkSolverMatrix enforces the solver's matrix requirements at the
+// boundary: the CG family needs symmetry (an FSAI factor pair of a
+// nonsymmetric matrix is meaningless and CG would break down anyway), while
+// GMRES accepts any square matrix. The CG rejection wraps both ErrNotSPD
+// (what is wrong with the matrix) and ErrInvalidOptions (the fix is an
+// options change: Method SPAI with Solver SolverGMRES), so both errors.Is
+// classifications hold.
+func checkSolverMatrix(a *Matrix, solver Solver) error {
+	if solver == SolverGMRES {
+		return nil
+	}
 	if !a.IsSymmetric(1e-10) {
-		return fmt.Errorf("%w: pattern or values asymmetric", ErrNotSPD)
+		return fmt.Errorf("%w: pattern or values asymmetric (%w: nonsymmetric systems solve with Method SPAI and Solver SolverGMRES)",
+			ErrNotSPD, ErrInvalidOptions)
 	}
 	return nil
 }
@@ -493,23 +600,39 @@ func SolveContext(ctx context.Context, a *Matrix, b []float64, opt Options) (*Re
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	if err := checkInput(a, b); err != nil {
+	if err := checkInput(a, b, opt.Solver); err != nil {
 		return nil, err
 	}
 	opt = opt.withDefaults(a.Rows)
 	t0 := time.Now()
-	g, pct, err := core.BuildSerialLevelWorkers(a, opt.Method, opt.Filter, opt.LineBytes, opt.PatternLevel, opt.Threshold, opt.Workers)
-	if err != nil {
-		return nil, err
+	var pct float64
+	var precond krylov.Preconditioner
+	var g *sparse.CSR
+	if opt.Solver == SolverGMRES {
+		m, p, err := core.BuildSerialSPAI(a, spaiConfig(opt))
+		if err != nil {
+			return nil, err
+		}
+		pct, precond = p, &krylov.MatPrecond{M: m}
+	} else {
+		var err error
+		g, pct, err = core.BuildSerialLevelWorkers(a, opt.Method, opt.Filter, opt.LineBytes, opt.PatternLevel, opt.Threshold, opt.Workers)
+		if err != nil {
+			return nil, err
+		}
 	}
 	setup := time.Since(t0)
 	x := make([]float64, a.Rows)
 	t1 := time.Now()
-	kopt := krylov.Options{Tol: opt.Tol, MaxIter: opt.MaxIter, Trace: opt.Trace, Ctx: ctx}
+	kopt := krylov.Options{Tol: opt.Tol, MaxIter: opt.MaxIter, Restart: opt.Restart, Trace: opt.Trace, Ctx: ctx}
 	var st krylov.Stats
-	if opt.Precision == FP32 {
+	var err error
+	switch {
+	case opt.Solver == SolverGMRES:
+		st, err = krylov.GMRES(a, b, x, precond, kopt, nil)
+	case opt.Precision == FP32:
 		st, err = krylov.SolveRefined(a, b, x, krylov.NewSplit32(g, g.Transpose()), kopt, nil)
-	} else {
+	default:
 		st, err = krylov.CG(a, b, x, krylov.NewSplit(g, g.Transpose()), kopt, nil)
 	}
 	canceled := errors.Is(err, krylov.ErrCanceled)
@@ -584,7 +707,7 @@ func SolveDistributedContext(ctx context.Context, a *Matrix, b []float64, opt Op
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	if err := checkInput(a, b); err != nil {
+	if err := checkInput(a, b, opt.Solver); err != nil {
 		return nil, err
 	}
 	opt = opt.withDefaults(a.Rows)
@@ -627,7 +750,12 @@ func SolveDistributedContext(ctx context.Context, a *Matrix, b []float64, opt Op
 			Workers:      opt.Workers,
 			CGVariant:    opt.CGVariant,
 			Precision:    opt.Precision,
+			SPAISteps:    opt.SPAISteps,
+			SPAIAdd:      opt.SPAIAdd,
+			SPAIEpsilon:  opt.SPAIEpsilon,
 		},
+		Solver:               opt.Solver,
+		Restart:              opt.Restart,
 		Tol:                  opt.Tol,
 		MaxIter:              opt.MaxIter,
 		Variant:              opt.CGVariant,
@@ -773,6 +901,26 @@ func GenerateElasticity2D(nx, ny int, seed int64) *Matrix { return matgen.Elasti
 func GenerateRHS(a *Matrix, seed int64) []float64 {
 	return matgen.RandomRHS(a.Rows, seed, a.MaxNorm())
 }
+
+// GenerateConvectionDiffusion2D returns the 5-point upwind discretization of
+// −Δu + p·(u_x + u_y) on an nx×ny grid: nonsymmetric for peclet > 0,
+// increasingly skewed as peclet grows. The canonical SPAI+GMRES test
+// operator.
+func GenerateConvectionDiffusion2D(nx, ny int, peclet float64) *Matrix {
+	return matgen.ConvectionDiffusion2D(nx, ny, peclet)
+}
+
+// GenerateNonsymCircuit returns a diagonally dominant nonsymmetric operator
+// with directed-graph structure (a ring plus preferential-attachment arcs),
+// resembling circuit-simulation matrices. Deterministic per seed.
+func GenerateNonsymCircuit(n, avgDeg int, seed int64) *Matrix {
+	return matgen.NonsymCircuit(n, avgDeg, seed)
+}
+
+// GenerateUnitRHS returns a deterministic random right-hand side scaled to
+// unit 2-norm — the conventional GMRES setup, where the relative residual is
+// measured against ‖b‖₂.
+func GenerateUnitRHS(n int, seed int64) []float64 { return matgen.UnitRHS(n, seed) }
 
 // RCM computes the reverse Cuthill–McKee ordering of a structurally
 // symmetric matrix, returning oldToNew (the new index of old row i).

@@ -7,6 +7,7 @@ import (
 	"fsaicomm/internal/fsai"
 	"fsaicomm/internal/krylov"
 	"fsaicomm/internal/simmpi"
+	"fsaicomm/internal/spai"
 	"fsaicomm/internal/sparse"
 )
 
@@ -41,6 +42,14 @@ type Config struct {
 	// (float32 values, half-width halos) ready for the iterative-refinement
 	// inner solves.
 	Precision krylov.Precision
+	// SPAISteps, SPAIAdd and SPAIEpsilon configure the adaptive enrichment
+	// of the SPAI method (ignored by the FSAI family): Steps rounds of
+	// pattern growth, at most Add entries per column per round, stopping a
+	// column once its least-squares residual drops below Epsilon. The base
+	// pattern level is PatternLevel, shared with the FSAI family.
+	SPAISteps   int
+	SPAIAdd     int
+	SPAIEpsilon float64
 }
 
 // rankWorkers resolves Config.Workers for per-rank pools: the zero value
@@ -76,6 +85,12 @@ type Build struct {
 	ImbalanceIndex float64
 	// Extension statistics from Algorithm 3 (zero-valued for FSAI).
 	Extend ExtendStats
+	// MRows and MOp are this rank's rows of the explicit approximate
+	// inverse M and its halo-ready operator — set only for Method SPAI,
+	// where the solve is right-preconditioned GMRES rather than the
+	// two-triangular-solve CG of the FSAI family (GRows/GTRows are nil).
+	MRows *sparse.CSR
+	MOp   *distmat.Op
 }
 
 // BuildPrecond constructs the selected preconditioner variant on a
@@ -86,6 +101,9 @@ func BuildPrecond(c *simmpi.Comm, l *distmat.Layout, aRows *sparse.CSR, cfg Conf
 	lo, hi := l.Range(c.Rank())
 	if aRows.Rows != hi-lo {
 		return nil, fmt.Errorf("core: rank %d has %d rows, layout says %d", c.Rank(), aRows.Rows, hi-lo)
+	}
+	if cfg.Method == SPAI {
+		return buildSPAIDist(c, l, lo, hi, aRows, cfg)
 	}
 	var s *fsai.DistRows
 	if cfg.PatternLevel > 1 || cfg.Threshold > 0 {
@@ -166,6 +184,72 @@ func BuildPrecond(c *simmpi.Comm, l *distmat.Layout, aRows *sparse.CSR, cfg Conf
 		b.PctNNZIncrease = 100 * float64(finalNNZ-baseNNZ) / float64(baseNNZ)
 	}
 	return b, nil
+}
+
+// buildSPAIDist constructs the adaptive SPAI right inverse on a distributed
+// matrix. Unlike the FSAI family there is no factor pair: the result carries
+// MRows/MOp and leaves GRows/GTRows nil. BaseNNZGlobal reports the global
+// entry count of A so PctNNZIncrease compares the inverse against the
+// operator it approximates.
+func buildSPAIDist(c *simmpi.Comm, l *distmat.Layout, lo, hi int, aRows *sparse.CSR, cfg Config) (*Build, error) {
+	if cfg.Precision == krylov.FP32 {
+		return nil, fmt.Errorf("core: SPAI supports float64 solves only (FP32 iterative refinement is a CG-family feature)")
+	}
+	if cfg.CGVariant != krylov.CGClassic {
+		return nil, fmt.Errorf("core: SPAI pairs with GMRES, which has no %v schedule", cfg.CGVariant)
+	}
+	m, err := spai.BuildDist(c, l, lo, hi, aRows, cfg.spaiOptions())
+	if err != nil {
+		return nil, fmt.Errorf("core: SPAI build: %w", err)
+	}
+	baseNNZ := c.AllreduceSumInt64(int64(aRows.NNZ()))[0]
+	finalNNZ := c.AllreduceSumInt64(int64(m.NNZ()))[0]
+	b := &Build{
+		Method:         SPAI,
+		MRows:          m,
+		MOp:            distmat.NewOp(c, l, lo, hi, m),
+		BaseNNZGlobal:  baseNNZ,
+		FinalNNZGlobal: finalNNZ,
+		ImbalanceIndex: distmat.NNZImbalanceIndex(c, int64(m.NNZ())),
+	}
+	if baseNNZ > 0 {
+		b.PctNNZIncrease = 100 * float64(finalNNZ-baseNNZ) / float64(baseNNZ)
+	}
+	return b, nil
+}
+
+// spaiOptions maps the Config knobs onto the spai package's options.
+func (c Config) spaiOptions() spai.Options {
+	level := c.PatternLevel
+	if level < 1 {
+		level = 1
+	}
+	return spai.Options{
+		Level:   level,
+		Steps:   c.SPAISteps,
+		Add:     c.SPAIAdd,
+		Epsilon: c.SPAIEpsilon,
+		Workers: c.rankWorkers(),
+	}
+}
+
+// BuildSerialSPAI constructs the SPAI approximate inverse on an
+// undistributed matrix — the one-process counterpart of the SPAI branch of
+// BuildPrecond. Returns M and the percentage NNZ increase over A.
+func BuildSerialSPAI(a *sparse.CSR, cfg Config) (*sparse.CSR, float64, error) {
+	o := cfg.spaiOptions()
+	// Serial builds follow the other BuildSerial* entry points: Workers ≤ 0
+	// means all cores, not the one-per-rank default of distributed builds.
+	o.Workers = cfg.Workers
+	m, err := spai.Build(a, o)
+	if err != nil {
+		return nil, 0, err
+	}
+	pct := 0.0
+	if a.NNZ() > 0 {
+		pct = 100 * float64(m.NNZ()-a.NNZ()) / float64(a.NNZ())
+	}
+	return m, pct, nil
 }
 
 // BuildSerial constructs the preconditioner on an undistributed matrix (the

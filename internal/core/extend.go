@@ -27,6 +27,10 @@ const (
 	// FSAIEComm additionally extends into the halo wherever doing so adds
 	// no new communication — the contribution of the paper.
 	FSAIEComm
+	// SPAI is the Grote–Huckle adaptive sparse approximate inverse for
+	// general nonsymmetric matrices — an explicit right inverse M ≈ A⁻¹
+	// applied inside GMRES rather than a factorized pair inside CG.
+	SPAI
 )
 
 // String returns the paper's name for the method.
@@ -38,6 +42,8 @@ func (m Method) String() string {
 		return "FSAIE"
 	case FSAIEComm:
 		return "FSAIE-Comm"
+	case SPAI:
+		return "SPAI"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}

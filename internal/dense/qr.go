@@ -1,0 +1,108 @@
+package dense
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrRankDeficient is returned when a least-squares system has (numerically)
+// linearly dependent columns, so the minimizer is not unique. The SPAI
+// per-column problems hit this only on structurally defective matrices (a
+// zero column of A inside the pattern).
+var ErrRankDeficient = errors.New("dense: least-squares matrix is rank deficient")
+
+// QRLeastSquares solves the dense least-squares problem min‖A·x − b‖₂ by
+// Householder QR without pivoting. A is row-major m×n with m ≥ n ≥ 1 and is
+// overwritten with the factorization; b (length m) is overwritten with Qᵀb,
+// whose trailing m−n entries then hold the residual in the rotated basis.
+// The solution is written to x (length n). Rank deficiency — a zero or
+// numerically negligible R diagonal — returns ErrRankDeficient.
+func QRLeastSquares(a []float64, m, n int, b, x []float64) error {
+	if n < 1 || m < n {
+		return fmt.Errorf("dense: QRLeastSquares shape %dx%d, want m >= n >= 1", m, n)
+	}
+	if len(a) < m*n || len(b) < m || len(x) < n {
+		return fmt.Errorf("dense: QRLeastSquares buffers %d/%d/%d too small for %dx%d", len(a), len(b), len(x), m, n)
+	}
+	// maxDiag anchors the relative rank test: a pivot tiny against the
+	// largest one means a (numerically) dependent column.
+	maxDiag := 0.0
+	for k := 0; k < n; k++ {
+		// Householder vector for column k: v = a[k:m,k] with v[0] adjusted so
+		// H·a[k:m,k] = (alpha, 0, ..., 0). Scale by the column max first so
+		// the norm cannot overflow.
+		scale := 0.0
+		for i := k; i < m; i++ {
+			if av := math.Abs(a[i*n+k]); av > scale {
+				scale = av
+			}
+		}
+		if scale == 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+			return fmt.Errorf("%w (column %d)", ErrRankDeficient, k)
+		}
+		var ssq float64
+		for i := k; i < m; i++ {
+			a[i*n+k] /= scale
+			ssq += a[i*n+k] * a[i*n+k]
+		}
+		alpha := math.Sqrt(ssq)
+		if a[k*n+k] > 0 {
+			alpha = -alpha
+		}
+		// v = column with v[0] = a_kk − alpha, stored in place below the
+		// diagonal. H = I − 2vvᵀ/vᵀv is invariant under the column scaling.
+		a[k*n+k] -= alpha
+		var vtv float64
+		for i := k; i < m; i++ {
+			vtv += a[i*n+k] * a[i*n+k]
+		}
+		if vtv == 0 {
+			return fmt.Errorf("%w (column %d)", ErrRankDeficient, k)
+		}
+		// Apply H = I − 2vvᵀ/vᵀv to the trailing columns and to b.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += a[i*n+k] * a[i*n+j]
+			}
+			s *= 2 / vtv
+			for i := k; i < m; i++ {
+				a[i*n+j] -= s * a[i*n+k]
+			}
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += a[i*n+k] * b[i]
+		}
+		s *= 2 / vtv
+		for i := k; i < m; i++ {
+			b[i] -= s * a[i*n+k]
+		}
+		// Store the diagonal of R (undoing the column scaling) and track the
+		// largest pivot for the rank test.
+		r := alpha * scale
+		a[k*n+k] = r
+		if ar := math.Abs(r); ar > maxDiag {
+			maxDiag = ar
+		}
+		if math.Abs(r) <= 1e-13*maxDiag || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("%w (pivot %d = %g)", ErrRankDeficient, k, r)
+		}
+	}
+	// Back substitution R·x = b[0:n]. R's strict upper part sits in a's upper
+	// triangle (unscaled); the diagonal was restored above.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i*n+j] * x[j]
+		}
+		x[i] = s / a[i*n+i]
+	}
+	for i := range x[:n] {
+		if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+			return fmt.Errorf("%w (solution not finite)", ErrRankDeficient)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// mulDense computes y = A·x for a row-major m×n A.
+func mulDense(a []float64, m, n int, x, y []float64) {
+	for i := 0; i < m; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += a[i*n+j] * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// mulDenseT computes y = Aᵀ·x for a row-major m×n A.
+func mulDenseT(a []float64, m, n int, x, y []float64) {
+	for j := 0; j < n; j++ {
+		y[j] = 0
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			y[j] += a[i*n+j] * x[i]
+		}
+	}
+}
+
+func TestQRLeastSquaresSquareExact(t *testing.T) {
+	// A well-conditioned square system: the LS solution is the exact solve.
+	a := []float64{4, 1, 0, 1, 5, 2, 0, 2, 6}
+	want := []float64{1, -2, 3}
+	b := make([]float64, 3)
+	mulDense(a, 3, 3, want, b)
+	ac := append([]float64(nil), a...)
+	x := make([]float64, 3)
+	if err := QRLeastSquares(ac, 3, 3, b, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestQRLeastSquaresOverdetermined(t *testing.T) {
+	// Random overdetermined systems: verify the normal equations Aᵀ(Ax−b)=0
+	// hold to rounding, which characterizes the least-squares minimizer.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		m := 2 + rng.Intn(20)
+		n := 1 + rng.Intn(m)
+		a := make([]float64, m*n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		ac := append([]float64(nil), a...)
+		bc := append([]float64(nil), b...)
+		x := make([]float64, n)
+		if err := QRLeastSquares(ac, m, n, bc, x); err != nil {
+			// Random Gaussian matrices are almost surely full rank; a rank
+			// failure here would be a kernel bug.
+			t.Fatalf("trial %d (%dx%d): %v", trial, m, n, err)
+		}
+		r := make([]float64, m)
+		mulDense(a, m, n, x, r)
+		scale := 0.0
+		for i := range r {
+			r[i] -= b[i]
+			if av := math.Abs(b[i]); av > scale {
+				scale = av
+			}
+		}
+		g := make([]float64, n)
+		mulDenseT(a, m, n, r, g)
+		for j := range g {
+			if math.Abs(g[j]) > 1e-9*(1+scale)*float64(m) {
+				t.Fatalf("trial %d (%dx%d): normal-equation residual %g at %d", trial, m, n, g[j], j)
+			}
+		}
+	}
+}
+
+func TestQRLeastSquaresRankDeficient(t *testing.T) {
+	// Two identical columns: the minimizer is not unique.
+	a := []float64{1, 1, 2, 2, 3, 3}
+	b := []float64{1, 2, 3}
+	x := make([]float64, 2)
+	if err := QRLeastSquares(a, 3, 2, b, x); err == nil {
+		t.Fatal("expected ErrRankDeficient for dependent columns")
+	}
+	// A zero column.
+	a = []float64{0, 1, 0, 2, 0, 3}
+	if err := QRLeastSquares(a, 3, 2, b, x); err == nil {
+		t.Fatal("expected ErrRankDeficient for zero column")
+	}
+}
+
+func TestQRLeastSquaresBadShape(t *testing.T) {
+	x := make([]float64, 2)
+	if err := QRLeastSquares(make([]float64, 2), 1, 2, make([]float64, 1), x); err == nil {
+		t.Fatal("expected shape error for m < n")
+	}
+	if err := QRLeastSquares(nil, 0, 0, nil, nil); err == nil {
+		t.Fatal("expected shape error for n = 0")
+	}
+}
+
+// FuzzQRLeastSquares drives the kernel with arbitrary small systems and
+// checks that any solution it accepts satisfies the normal equations; inputs
+// it rejects (rank deficient, non-finite) must come back as errors, never
+// panics or silent garbage.
+func FuzzQRLeastSquares(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(3))
+	f.Add(int64(2), uint8(8), uint8(1))
+	f.Add(int64(3), uint8(12), uint8(12))
+	f.Fuzz(func(t *testing.T, seed int64, mraw, nraw uint8) {
+		m := 1 + int(mraw)%16
+		n := 1 + int(nraw)%16
+		if m < n {
+			m, n = n, m
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, m*n)
+		for i := range a {
+			// Mix magnitudes and exact zeros so near-rank-deficiency shows up.
+			switch rng.Intn(4) {
+			case 0:
+				a[i] = 0
+			case 1:
+				a[i] = rng.NormFloat64() * 1e-8
+			default:
+				a[i] = rng.NormFloat64()
+			}
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		ac := append([]float64(nil), a...)
+		bc := append([]float64(nil), b...)
+		x := make([]float64, n)
+		if err := QRLeastSquares(ac, m, n, bc, x); err != nil {
+			return // rejected input; the contract only covers accepted ones
+		}
+		r := make([]float64, m)
+		mulDense(a, m, n, x, r)
+		scale := 1.0
+		for i := range r {
+			r[i] -= b[i]
+			if av := math.Abs(b[i]); av > scale {
+				scale = av
+			}
+		}
+		xmax := 0.0
+		for _, v := range x {
+			if av := math.Abs(v); av > xmax {
+				xmax = av
+			}
+		}
+		// Accepted solutions on (possibly ill-conditioned) inputs: bound the
+		// normal-equation residual relative to the solution magnitude the
+		// kernel chose — a loose bound that still catches wrong arithmetic.
+		g := make([]float64, n)
+		mulDenseT(a, m, n, r, g)
+		for j := range g {
+			if math.Abs(g[j]) > 1e-6*(scale+xmax+1)*float64(m) {
+				t.Fatalf("normal-equation residual %g at %d (m=%d n=%d)", g[j], j, m, n)
+			}
+		}
+	})
+}

@@ -97,6 +97,10 @@ type Options struct {
 	// solve must either pass a context or none — and the communication
 	// metering of a context-free solve is unchanged.
 	Ctx context.Context
+	// Restart is the GMRES restart length m — the Krylov basis is rebuilt
+	// from the true residual every m inner iterations. Zero means 30.
+	// Ignored by the CG solvers.
+	Restart int
 	// ResidualReplaceEvery > 0 makes the pipelined loop recompute r = b − A·x
 	// (and the dependent recurrence vectors) every that-many iterations,
 	// arresting the rounding drift of the deeply rearranged recurrence on

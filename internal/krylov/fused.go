@@ -93,7 +93,12 @@ type Workspace struct {
 	// pz, pq, pm, pn are the four extra recurrence vectors of the pipelined
 	// variant (z, q, m, n in Ghysels–Vanroose notation).
 	pz, pq, pm, pn []float64
-	scratch        *distmat.DistVec
+	// gv is the GMRES Krylov basis (Restart+1 vectors of local length);
+	// gh/gc/gs/gg/gy are the small Hessenberg, Givens and solution buffers
+	// of the restarted loop.
+	gv                 [][]float64
+	gh, gc, gs, gg, gy []float64
+	scratch            *distmat.DistVec
 }
 
 func grow(v *[]float64, n int) []float64 {
@@ -122,6 +127,31 @@ func (ws *Workspace) take9(nl int) (r, u, w, p, s, z, q, m, n []float64) {
 	r, u, w, p, s = ws.take5(nl)
 	return r, u, w, p, s,
 		grow(&ws.pz, nl), grow(&ws.pq, nl), grow(&ws.pm, nl), grow(&ws.pn, nl)
+}
+
+// takeGMRES returns the restarted-GMRES buffers for local length nl and
+// restart m: the residual/precondition/work vectors, the m+1 basis vectors,
+// and the small (m+1)×m Hessenberg (row-major flat), Givens cosine/sine,
+// rotated-RHS and solution buffers.
+func (ws *Workspace) takeGMRES(nl, m int) (r, z, w []float64, v [][]float64, h, cs, sn, g, y []float64) {
+	r, z, w = grow(&ws.r, nl), grow(&ws.z, nl), grow(&ws.q, nl)
+	if cap(ws.gv) < m+1 {
+		ws.gv = append(ws.gv[:cap(ws.gv)], make([][]float64, m+1-cap(ws.gv))...)
+	}
+	ws.gv = ws.gv[:m+1]
+	for i := range ws.gv {
+		ws.gv[i] = growSlice(ws.gv[i], nl)
+	}
+	return r, z, w, ws.gv,
+		grow(&ws.gh, (m+1)*m), grow(&ws.gc, m), grow(&ws.gs, m),
+		grow(&ws.gg, m+1), grow(&ws.gy, m)
+}
+
+func growSlice(v []float64, n int) []float64 {
+	if cap(v) < n {
+		return make([]float64, n)
+	}
+	return v[:n]
 }
 
 // distScratch returns a halo-extended vector compatible with lz, reusing

@@ -4,9 +4,10 @@
 // uses scaled synthetic instances of the same classes — see DESIGN.md).
 //
 // Every generator is seeded and pure: the same arguments always produce the
-// same matrix. All outputs are symmetric, and positive definiteness is
-// guaranteed either by assembly of SPD stencils or by strict diagonal
-// dominance with positive diagonal.
+// same matrix. The generators in this file are symmetric, with positive
+// definiteness guaranteed either by assembly of SPD stencils or by strict
+// diagonal dominance with positive diagonal; nonsym.go adds the deliberately
+// nonsymmetric generators of the SPAI + GMRES axis.
 package matgen
 
 import (
@@ -467,9 +468,13 @@ func Acoustics(nx, ny int, sigma float64) *sparse.CSR {
 }
 
 // RandomRHS returns a deterministic pseudo-random right-hand side of length
-// n normalized to the matrix max norm, as the paper's experimental setup
-// prescribes ("a random right-hand side ... normalized to the matrix max
-// norm").
+// n whose largest absolute entry equals matrixMaxNorm — the paper's setup
+// ("a random right-hand side ... normalized to the matrix max norm"). It is
+// a max-norm (not 2-norm) normalization: entries are standard normal draws
+// rescaled so max|b_i| = matrixMaxNorm. When either the draw's max or
+// matrixMaxNorm is zero the unscaled draws are returned. Deterministic in
+// (n, seed). For nonsymmetric problems see UnitRHS, which scales to unit
+// 2-norm instead.
 func RandomRHS(n int, seed int64, matrixMaxNorm float64) []float64 {
 	rng := rand.New(rand.NewSource(seed))
 	b := make([]float64, n)

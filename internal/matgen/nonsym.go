@@ -1,0 +1,124 @@
+package matgen
+
+// Nonsymmetric generators — the workload family of the SPAI + GMRES axis.
+// Unlike the SPD generators in matgen.go these matrices are deliberately
+// structurally or numerically nonsymmetric; CG-family solvers must reject
+// them (the facade does) and GMRES must handle them.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fsaicomm/internal/sparse"
+)
+
+// ConvectionDiffusion2D returns the upwind finite-difference discretization
+// of −∆u + p·(u_x + u_y) on an nx×ny grid (Dirichlet boundary), where
+// peclet >= 0 is the grid Péclet number p — the ratio of convection to
+// diffusion at the grid scale. Backward (upwind) differences on the
+// convective term keep the matrix weakly diagonally dominant at every
+// Péclet number but skew it: the west/south couplings carry the extra
+// −p while east/north stay at −1, so symmetry degrades with p. p = 0
+// reduces to Poisson2D; large p produces the highly nonsymmetric instances
+// where CG breaks down and SPAI-preconditioned GMRES is the right tool.
+func ConvectionDiffusion2D(nx, ny int, peclet float64) *sparse.CSR {
+	if peclet < 0 || math.IsNaN(peclet) || math.IsInf(peclet, 0) {
+		panic(fmt.Sprintf("matgen: invalid Péclet number %g", peclet))
+	}
+	n := nx * ny
+	c := sparse.NewCOO(n, n)
+	id := func(x, y int) int { return y*nx + x }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			i := id(x, y)
+			c.Add(i, i, 4+2*peclet)
+			if x > 0 {
+				c.Add(i, id(x-1, y), -(1 + peclet))
+			}
+			if x < nx-1 {
+				c.Add(i, id(x+1, y), -1)
+			}
+			if y > 0 {
+				c.Add(i, id(x, y-1), -(1 + peclet))
+			}
+			if y < ny-1 {
+				c.Add(i, id(x, y+1), -1)
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+// NonsymCircuit returns a strictly diagonally dominant but structurally
+// asymmetric random matrix modeled on circuit/transport Jacobians: directed
+// couplings on a ring (for irreducibility) plus preferential-attachment
+// extra arcs with one-sided weights, each row's diagonal set just above its
+// off-diagonal absolute sum. Deterministic in (n, avgDeg, seed).
+func NonsymCircuit(n, avgDeg int, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	c := sparse.NewCOO(n, n)
+	type arc struct{ u, v int }
+	seen := map[arc]bool{}
+	addArc := func(u, v int, w float64) {
+		if u == v || seen[arc{u, v}] {
+			return
+		}
+		seen[arc{u, v}] = true
+		c.Add(u, v, w)
+	}
+	// Directed ring: i → i+1 only, the structural asymmetry floor.
+	for i := 0; i < n; i++ {
+		addArc(i, (i+1)%n, -(0.5 + rng.Float64()))
+	}
+	extra := n * (avgDeg - 1)
+	for k := 0; k < extra; k++ {
+		u := rng.Intn(n)
+		v := int(math.Floor(float64(n) * math.Pow(rng.Float64(), 2.5)))
+		if v >= n {
+			v = n - 1
+		}
+		// Signed one-sided weight: no matching (v, u) arc is added.
+		w := rng.NormFloat64()
+		if math.Abs(w) < 0.1 {
+			w = math.Copysign(0.1, w)
+		}
+		addArc(u, v, w)
+	}
+	m := c.ToCSR()
+	out := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		cols, vals := m.Row(i)
+		sum := 0.0
+		for k, j := range cols {
+			if j != i {
+				sum += math.Abs(vals[k])
+				out.Add(i, j, vals[k])
+			}
+		}
+		out.Add(i, i, 1.05*sum+0.1)
+	}
+	return out.ToCSR()
+}
+
+// UnitRHS returns a deterministic pseudo-random right-hand side of length n
+// scaled to unit 2-norm — the conventional setup for nonsymmetric test
+// problems, where the matrix max norm of RandomRHS has no SPD-energy
+// meaning. Deterministic in (n, seed).
+func UnitRHS(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]float64, n)
+	ssq := 0.0
+	for i := range b {
+		b[i] = rng.NormFloat64()
+		ssq += b[i] * b[i]
+	}
+	if ssq == 0 {
+		return b
+	}
+	inv := 1 / math.Sqrt(ssq)
+	for i := range b {
+		b[i] *= inv
+	}
+	return b
+}

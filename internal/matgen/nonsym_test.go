@@ -1,0 +1,90 @@
+package matgen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConvectionDiffusion2D(t *testing.T) {
+	a := ConvectionDiffusion2D(8, 7, 10)
+	if a.Rows != 56 || a.Cols != 56 {
+		t.Fatalf("shape %dx%d", a.Rows, a.Cols)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.IsSymmetric(1e-12) {
+		t.Fatal("Péclet-skewed instance should be nonsymmetric")
+	}
+	// p = 0 reduces to the Poisson stencil.
+	p0 := ConvectionDiffusion2D(8, 7, 0)
+	if !p0.IsSymmetric(0) {
+		t.Fatal("zero-Péclet instance should be symmetric")
+	}
+	// Weak diagonal dominance at every Péclet number.
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		diag, sum := 0.0, 0.0
+		for k, j := range cols {
+			if j == i {
+				diag = vals[k]
+			} else {
+				sum += math.Abs(vals[k])
+			}
+		}
+		if diag < sum-1e-12 {
+			t.Fatalf("row %d not weakly diagonally dominant: %g < %g", i, diag, sum)
+		}
+	}
+}
+
+func TestNonsymCircuit(t *testing.T) {
+	a := NonsymCircuit(300, 4, 7)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.IsSymmetric(1e-12) {
+		t.Fatal("NonsymCircuit should be nonsymmetric")
+	}
+	b := NonsymCircuit(300, 4, 7)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("same seed must reproduce the same matrix")
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] {
+			t.Fatal("same seed must reproduce the same values")
+		}
+	}
+	// Strict diagonal dominance.
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		diag, sum := 0.0, 0.0
+		for k, j := range cols {
+			if j == i {
+				diag = vals[k]
+			} else {
+				sum += math.Abs(vals[k])
+			}
+		}
+		if diag <= sum {
+			t.Fatalf("row %d not strictly dominant: %g <= %g", i, diag, sum)
+		}
+	}
+}
+
+func TestUnitRHS(t *testing.T) {
+	b := UnitRHS(1000, 3)
+	ssq := 0.0
+	for _, v := range b {
+		ssq += v * v
+	}
+	if math.Abs(math.Sqrt(ssq)-1) > 1e-12 {
+		t.Fatalf("‖b‖ = %g, want 1", math.Sqrt(ssq))
+	}
+	c := UnitRHS(1000, 3)
+	for i := range b {
+		if b[i] != c[i] {
+			t.Fatal("same seed must reproduce the same RHS")
+		}
+	}
+}

@@ -104,6 +104,7 @@ func RunSolveRank(ctx context.Context, c *simmpi.Comm, spec *SolveSpec) (*RankOu
 	if err != nil {
 		return nil, err
 	}
+	gmres := spec.Solver == krylov.SolverGMRES
 	var aOpts []distmat.OpOption
 	if spec.Variant != krylov.CGClassic {
 		aOpts = append(aOpts, distmat.WithOverlap())
@@ -114,10 +115,19 @@ func RunSolveRank(ctx context.Context, c *simmpi.Comm, spec *SolveSpec) (*RankOu
 		// topology, so the meter still classifies intra vs inter traffic but
 		// nothing is aggregated — the comparison plan for BENCH_nodeaware.
 		aOp.Plan.SetNodeAware(false)
-		bd.GOp.Plan.SetNodeAware(false)
-		bd.GTOp.Plan.SetNodeAware(false)
+		if gmres {
+			bd.MOp.Plan.SetNodeAware(false)
+		} else {
+			bd.GOp.Plan.SetNodeAware(false)
+			bd.GTOp.Plan.SetNodeAware(false)
+		}
 	}
-	cost := experiments.AssembleIterCost(prof, aOp, bd.GOp, bd.GTOp, hi-lo, spec.Ranks, spec.Variant)
+	var cost experiments.IterCostInputs
+	if gmres {
+		cost = experiments.AssembleSPAIGMRESIterCost(prof, aOp, bd.MOp, hi-lo, spec.Ranks, spec.Restart)
+	} else {
+		cost = experiments.AssembleIterCost(prof, aOp, bd.GOp, bd.GTOp, hi-lo, spec.Ranks, spec.Variant)
+	}
 	// One barrier separates the phases: traffic up to and including it is
 	// "setup", everything after is "solve". Phase attribution needs no meter
 	// reset (and hence no cross-rank reset race): each rank's counters are
@@ -140,12 +150,18 @@ func RunSolveRank(ctx context.Context, c *simmpi.Comm, spec *SolveSpec) (*RankOu
 	// Each rank gets its own Workspace; workspaces must never be shared
 	// between concurrent solves. BuildPrecond already narrowed GOp/GTOp under
 	// Cfg.Precision FP32.
-	st, err := runDistSolve(c, aOp, bd.GOp, bd.GTOp, spec.PB[lo:hi], xl,
-		krylov.Options{Tol: spec.Tol, MaxIter: spec.MaxIter,
-			Variant: spec.Variant, Work: &krylov.Workspace{},
-			Trace:                spec.Trace,
-			ResidualReplaceEvery: spec.ResidualReplaceEvery,
-			Ctx:                  ctx}, spec.Cfg.Precision)
+	opt := krylov.Options{Tol: spec.Tol, MaxIter: spec.MaxIter,
+		Variant: spec.Variant, Restart: spec.Restart,
+		Work:                 &krylov.Workspace{},
+		Trace:                spec.Trace,
+		ResidualReplaceEvery: spec.ResidualReplaceEvery,
+		Ctx:                  ctx}
+	var st krylov.Stats
+	if gmres {
+		st, err = krylov.DistGMRES(c, aOp, spec.PB[lo:hi], xl, krylov.NewDistMatPrecond(bd.MOp), opt, nil)
+	} else {
+		st, err = runDistSolve(c, aOp, bd.GOp, bd.GTOp, spec.PB[lo:hi], xl, opt, spec.Cfg.Precision)
+	}
 	canceled := errors.Is(err, krylov.ErrCanceled)
 	broken := errors.Is(err, krylov.ErrBreakdown)
 	if err != nil && !errors.Is(err, krylov.ErrNoConvergence) && !canceled && !broken {
@@ -174,21 +190,29 @@ func RunPreparedRank(ctx context.Context, c *simmpi.Comm, spec *PreparedRankSpec
 	if err != nil {
 		return nil, err
 	}
+	gmres := spec.Solver == krylov.SolverGMRES
 	var opOpts []distmat.OpOption
 	if spec.Variant != krylov.CGClassic {
 		opOpts = append(opOpts, distmat.WithOverlap())
 	}
 	aOp := distmat.NewOpFromParts(spec.ALZ, preparedPlan(c, spec, spec.ASend, spec.ARecv, spec.ACounts), opOpts...)
-	gOp := distmat.NewOpFromParts(spec.GLZ, preparedPlan(c, spec, spec.GSend, spec.GRecv, spec.GCounts), opOpts...)
-	gtOp := distmat.NewOpFromParts(spec.GTLZ, preparedPlan(c, spec, spec.GTSend, spec.GTRecv, spec.GTCounts), opOpts...)
-	if spec.Precision == krylov.FP32 {
-		// The prepared factor views ship in FP64; narrow the rank-private
-		// operators (the float32 value copy is cached on the shared Localized,
-		// built once across solves).
-		gOp.SetF32(true)
-		gtOp.SetF32(true)
+	var gOp, gtOp, mOp *distmat.Op
+	var cost experiments.IterCostInputs
+	if gmres {
+		mOp = distmat.NewOpFromParts(spec.MLZ, preparedPlan(c, spec, spec.MSend, spec.MRecv, spec.MCounts))
+		cost = experiments.AssembleSPAIGMRESIterCost(prof, aOp, mOp, spec.Hi-spec.Lo, spec.Ranks, spec.Restart)
+	} else {
+		gOp = distmat.NewOpFromParts(spec.GLZ, preparedPlan(c, spec, spec.GSend, spec.GRecv, spec.GCounts), opOpts...)
+		gtOp = distmat.NewOpFromParts(spec.GTLZ, preparedPlan(c, spec, spec.GTSend, spec.GTRecv, spec.GTCounts), opOpts...)
+		if spec.Precision == krylov.FP32 {
+			// The prepared factor views ship in FP64; narrow the rank-private
+			// operators (the float32 value copy is cached on the shared Localized,
+			// built once across solves).
+			gOp.SetF32(true)
+			gtOp.SetF32(true)
+		}
+		cost = experiments.AssembleIterCost(prof, aOp, gOp, gtOp, spec.Hi-spec.Lo, spec.Ranks, spec.Variant)
 	}
-	cost := experiments.AssembleIterCost(prof, aOp, gOp, gtOp, spec.Hi-spec.Lo, spec.Ranks, spec.Variant)
 	setupComm := c.Meter().RankSnapshot(rank)
 	// SetupNanos stays 0: a prepared solve's contract is that setup was paid
 	// once in Prepare, and the facade reports SetupTime 0 accordingly.
@@ -202,12 +226,18 @@ func RunPreparedRank(ctx context.Context, c *simmpi.Comm, spec *PreparedRankSpec
 	}
 	t1 := time.Now()
 	xl := make([]float64, spec.Hi-spec.Lo)
-	st, err := runDistSolve(c, aOp, gOp, gtOp, spec.BLocal, xl,
-		krylov.Options{Tol: spec.Tol, MaxIter: spec.MaxIter,
-			Variant: spec.Variant, Work: ws,
-			Trace:                spec.Trace,
-			ResidualReplaceEvery: spec.ResidualReplaceEvery,
-			Ctx:                  ctx}, spec.Precision)
+	opt := krylov.Options{Tol: spec.Tol, MaxIter: spec.MaxIter,
+		Variant: spec.Variant, Restart: spec.Restart,
+		Work:                 ws,
+		Trace:                spec.Trace,
+		ResidualReplaceEvery: spec.ResidualReplaceEvery,
+		Ctx:                  ctx}
+	var st krylov.Stats
+	if gmres {
+		st, err = krylov.DistGMRES(c, aOp, spec.BLocal, xl, krylov.NewDistMatPrecond(mOp), opt, nil)
+	} else {
+		st, err = runDistSolve(c, aOp, gOp, gtOp, spec.BLocal, xl, opt, spec.Precision)
+	}
 	canceled := errors.Is(err, krylov.ErrCanceled)
 	broken := errors.Is(err, krylov.ErrBreakdown)
 	if err != nil && !errors.Is(err, krylov.ErrNoConvergence) && !canceled && !broken {

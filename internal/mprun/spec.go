@@ -35,6 +35,11 @@ type SolveSpec struct {
 	// solve's precision (FP32 runs the iterative-refinement loop).
 	Cfg core.Config
 	// Solver knobs (krylov.Options subset; the workspace is per-rank local).
+	// Solver selects the Krylov loop: CG (the FSAI family) or restarted
+	// GMRES with the Restart cycle length (the SPAI method; the adaptive
+	// knobs ride in Cfg).
+	Solver               krylov.Solver
+	Restart              int
 	Tol                  float64
 	MaxIter              int
 	Variant              krylov.CGVariant
@@ -59,8 +64,11 @@ type PreparedRankSpec struct {
 	Ranks   int
 	Offsets []int
 	Lo, Hi  int
-	// Localized views (read-only during solves).
+	// Localized views (read-only during solves). GLZ/GTLZ carry the FSAI
+	// factor pair for CG solves; MLZ carries the explicit SPAI inverse for
+	// GMRES solves (the unused set is nil).
 	ALZ, GLZ, GTLZ *distmat.Localized
+	MLZ            *distmat.Localized
 	// Halo-plan schedules as plain index lists (see
 	// distmat.NewHaloPlanFromSchedule) plus the need-count matrices captured
 	// at Prepare time, from which a per-solve topology's node-aware relay
@@ -68,14 +76,18 @@ type PreparedRankSpec struct {
 	ASend, ARecv   [][]int
 	GSend, GRecv   [][]int
 	GTSend, GTRecv [][]int
+	MSend, MRecv   [][]int
 	ACounts        []int64
 	GCounts        []int64
 	GTCounts       []int64
+	MCounts        []int64
 	// BLocal is this rank's slice of the permuted right-hand side.
 	BLocal []float64
 	// Informational, for the result assembly.
 	Pct, Imbalance float64
-	// Solver knobs.
+	// Solver knobs (Solver/Restart as in SolveSpec).
+	Solver               krylov.Solver
+	Restart              int
 	Tol                  float64
 	MaxIter              int
 	Variant              krylov.CGVariant

@@ -41,20 +41,26 @@ type openBatch struct {
 }
 
 // batchEligible reports whether a request may be coalesced: batching is
-// configured, the CG variant has a batched loop, and the request wants no
-// per-iteration trace (a trace is a single-solve artifact).
-func (s *Server) batchEligible(so fsaicomm.SolveOptions) bool {
+// configured, the solver is the CG family (only it has a batched loop), the
+// CG variant has a batched loop, and the request wants no per-iteration
+// trace (a trace is a single-solve artifact).
+func (s *Server) batchEligible(solver fsaicomm.Solver, so fsaicomm.SolveOptions) bool {
 	if s.cfg.BatchMax <= 1 || s.cfg.BatchWindow <= 0 || so.Trace {
+		return false
+	}
+	if solver != fsaicomm.SolverCG {
 		return false
 	}
 	return so.CGVariant == fsaicomm.CGClassic || so.CGVariant == fsaicomm.CGFused
 }
 
 // batchKey extends the prepared-cache key with every per-solve option, so
-// only jobs whose batched solves are interchangeable ever merge.
+// only jobs whose batched solves are interchangeable ever merge. Restart
+// rides along even though batched solves are CG-only today: the key must
+// separate any two requests whose solves could differ.
 func batchKey(skey string, so fsaicomm.SolveOptions) string {
-	return fmt.Sprintf("%s|tol%g|mi%d|cg%d|arch%s|rre%d|tr%s|n%d|rpn%d|nna%v",
-		skey, so.Tol, so.MaxIter, so.CGVariant, so.Arch, so.ResidualReplaceEvery, so.Transport,
+	return fmt.Sprintf("%s|tol%g|mi%d|cg%d|re%d|arch%s|rre%d|tr%s|n%d|rpn%d|nna%v",
+		skey, so.Tol, so.MaxIter, so.CGVariant, so.Restart, so.Arch, so.ResidualReplaceEvery, so.Transport,
 		so.Nodes, so.RanksPerNode, so.NoNodeAggregation)
 }
 

@@ -313,7 +313,7 @@ type solveRequest struct {
 	RHSSeed int64     `json:"rhs_seed,omitempty"`
 
 	// Setup options (cache-key relevant).
-	Method        string  `json:"method,omitempty"` // fsai | fsaie | fsaie-comm
+	Method        string  `json:"method,omitempty"` // fsai | fsaie | fsaie-comm | spai
 	Filter        float64 `json:"filter,omitempty"`
 	Dynamic       bool    `json:"dynamic,omitempty"`
 	LineBytes     int     `json:"line_bytes,omitempty"`
@@ -323,6 +323,14 @@ type solveRequest struct {
 	Partitioner   string  `json:"partitioner,omitempty"`
 	PartitionSeed int64   `json:"partition_seed,omitempty"`
 	Workers       int     `json:"workers,omitempty"`
+	// Solver selects "cg" (default; the FSAI family) or "gmres" (restarted
+	// GMRES; requires method "spai"). Setup-level: the solver decides which
+	// preconditioner kind the prepared cache holds. The SPAI knobs shape the
+	// adaptive inverse (method "spai" only; see fsaicomm.Options).
+	Solver      string  `json:"solver,omitempty"`
+	SPAISteps   int     `json:"spai_steps,omitempty"`
+	SPAIAdd     int     `json:"spai_add,omitempty"`
+	SPAIEpsilon float64 `json:"spai_epsilon,omitempty"`
 	// Precision selects fp64 (default) or fp32 — float32 factors with FP64
 	// iterative refinement. Setup-level: part of the prepared-cache key.
 	Precision string `json:"precision,omitempty"`
@@ -330,7 +338,8 @@ type solveRequest struct {
 	// Per-solve options.
 	Tol                  float64 `json:"tol,omitempty"`
 	MaxIter              int     `json:"max_iter,omitempty"`
-	CG                   string  `json:"cg,omitempty"` // classic | classic-overlap | fused | pipelined
+	Restart              int     `json:"restart,omitempty"` // GMRES restart length (0 = 30)
+	CG                   string  `json:"cg,omitempty"`      // classic | classic-overlap | fused | pipelined
 	Arch                 string  `json:"arch,omitempty"`
 	Trace                bool    `json:"trace,omitempty"`
 	ResidualReplaceEvery int     `json:"residual_replace_every,omitempty"`
@@ -351,6 +360,15 @@ func (q *solveRequest) options() (fsaicomm.Options, fsaicomm.SolveOptions, error
 	if err != nil {
 		return fsaicomm.Options{}, fsaicomm.SolveOptions{}, fail(http.StatusBadRequest, "%v", err)
 	}
+	solver, err := fsaicomm.ParseSolver(q.Solver)
+	if err != nil {
+		return fsaicomm.Options{}, fsaicomm.SolveOptions{}, fail(http.StatusBadRequest, "%v", err)
+	}
+	if solver == fsaicomm.SolverGMRES && q.Method == "" {
+		// GMRES implies SPAI; an unspecified method follows the solver
+		// instead of the FSAIEComm default (which Validate would reject).
+		method = fsaicomm.SPAI
+	}
 	var variant fsaicomm.CGVariant
 	if q.CG != "" {
 		if variant, err = fsaicomm.ParseCGVariant(q.CG); err != nil {
@@ -367,6 +385,7 @@ func (q *solveRequest) options() (fsaicomm.Options, fsaicomm.SolveOptions, error
 	}
 	opt := fsaicomm.Options{
 		Method:        method,
+		Solver:        solver,
 		Filter:        q.Filter,
 		Strategy:      strategy,
 		LineBytes:     q.LineBytes,
@@ -377,9 +396,13 @@ func (q *solveRequest) options() (fsaicomm.Options, fsaicomm.SolveOptions, error
 		PartitionSeed: q.PartitionSeed,
 		Workers:       q.Workers,
 		Precision:     prec,
+		SPAISteps:     q.SPAISteps,
+		SPAIAdd:       q.SPAIAdd,
+		SPAIEpsilon:   q.SPAIEpsilon,
 
 		Tol:                  q.Tol,
 		MaxIter:              q.MaxIter,
+		Restart:              q.Restart,
 		CGVariant:            variant,
 		Arch:                 q.Arch,
 		Trace:                q.Trace,
@@ -395,6 +418,7 @@ func (q *solveRequest) options() (fsaicomm.Options, fsaicomm.SolveOptions, error
 	so := fsaicomm.SolveOptions{
 		Tol:                  q.Tol,
 		MaxIter:              q.MaxIter,
+		Restart:              q.Restart,
 		CGVariant:            variant,
 		Arch:                 q.Arch,
 		Trace:                q.Trace,
@@ -427,9 +451,15 @@ func setupKey(fp string, o fsaicomm.Options, ranks int) string {
 	if part == "" {
 		part = "multilevel"
 	}
-	return fmt.Sprintf("%s|m%d|f%g|s%d|lb%d|pl%d|th%g|r%d|%s|seed%d|%s",
+	key := fmt.Sprintf("%s|m%d|f%g|s%d|lb%d|pl%d|th%g|r%d|%s|seed%d|%s",
 		fp, o.Method, o.Filter, o.Strategy, lb, pl, o.Threshold, ranks, part, o.PartitionSeed,
 		o.Precision)
+	if o.Method == fsaicomm.SPAI {
+		// The adaptive SPAI knobs shape the cached inverse; the solver is
+		// implied by the method (SPAI ⇔ GMRES) so it needs no own field.
+		key += fmt.Sprintf("|sp%d.%d.%g", o.SPAISteps, o.SPAIAdd, o.SPAIEpsilon)
+	}
+	return key
 }
 
 // solveResponse answers POST /solve. X round-trips float64s bit-exactly
@@ -517,7 +547,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// Coalescing: an eligible request routes through the batching path,
 	// which merges it with concurrent same-system jobs into one batched
 	// solve under a single admission slot.
-	if s.batchEligible(so) {
+	if s.batchEligible(opt.Solver, so) {
 		s.solveBatched(w, r, &q, a, rhs, opt, so)
 		return
 	}

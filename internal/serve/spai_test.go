@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSolveGMRES drives the nonsymmetric axis over HTTP: "solver": "gmres"
+// implies the SPAI method, the prepared system is cached under its SPAI
+// setup knobs, and the per-solve restart override reuses the cached state.
+func TestSolveGMRES(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	mr := uploadGen(t, ts.URL, "convdiff-sim")
+
+	solve := func(q solveRequest) solveResponse {
+		t.Helper()
+		q.Matrix = mr.Matrix
+		resp, body := postJSON(t, ts.URL+"/solve", q)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %+v: %d %s", q, resp.StatusCode, body)
+		}
+		var sr solveResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+
+	first := solve(solveRequest{Solver: "gmres", SPAISteps: 2, Ranks: 4})
+	if first.CacheHit || !first.Converged {
+		t.Fatalf("first gmres solve: %+v", first)
+	}
+	// Same setup knobs: the prepared SPAI system must be reused, even with
+	// a different per-solve restart length.
+	again := solve(solveRequest{Solver: "gmres", SPAISteps: 2, Ranks: 4, Restart: 15})
+	if !again.CacheHit || !again.Converged {
+		t.Fatalf("restart-override solve missed the cache: %+v", again)
+	}
+	// Different SPAI setup knobs: different prepared state.
+	other := solve(solveRequest{Solver: "gmres", SPAISteps: 1, Ranks: 4})
+	if other.CacheHit {
+		t.Fatal("solve with different spai_steps hit the cache")
+	}
+
+	// The CG family must refuse the nonsymmetric matrix outright.
+	resp, body := postJSON(t, ts.URL+"/solve", solveRequest{Matrix: mr.Matrix, Ranks: 4})
+	if resp.StatusCode != http.StatusUnprocessableEntity || !strings.Contains(string(body), "nonsymmetric") {
+		t.Fatalf("CG on nonsymmetric matrix: %d %s", resp.StatusCode, body)
+	}
+	// An explicit FSAI method cannot ride GMRES.
+	resp, body = postJSON(t, ts.URL+"/solve", solveRequest{Matrix: mr.Matrix, Solver: "gmres", Method: "fsai"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("fsai+gmres: %d %s", resp.StatusCode, body)
+	}
+	// Unknown solver names are a 400, not a silent CG.
+	resp, body = postJSON(t, ts.URL+"/solve", solveRequest{Matrix: mr.Matrix, Solver: "minres"})
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "solver") {
+		t.Fatalf("unknown solver: %d %s", resp.StatusCode, body)
+	}
+}

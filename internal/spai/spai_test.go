@@ -1,0 +1,187 @@
+package spai
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"fsaicomm/internal/distmat"
+	"fsaicomm/internal/matgen"
+	"fsaicomm/internal/simmpi"
+	"fsaicomm/internal/sparse"
+)
+
+const testTimeout = 20 * time.Second
+
+// frobeniusAMinusI returns ‖A·M − I‖_F.
+func frobeniusAMinusI(a, m *sparse.CSR) float64 {
+	n := a.Rows
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	ssq := 0.0
+	for j := 0; j < n; j++ {
+		for i := range x {
+			x[i] = 0
+		}
+		x[j] = 1
+		m.MulVec(x, y)
+		a.MulVec(y, z)
+		z[j] -= 1
+		for _, v := range z {
+			ssq += v * v
+		}
+	}
+	return math.Sqrt(ssq)
+}
+
+func TestBuildApproximatesInverse(t *testing.T) {
+	a := matgen.ConvectionDiffusion2D(8, 8, 6)
+	m, err := Build(a, Options{Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != a.Rows || m.Cols != a.Cols {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// ‖A·M − I‖_F must beat the trivial M = I baseline by a wide margin.
+	id := sparse.NewCOO(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		id.Add(i, i, 1)
+	}
+	base := frobeniusAMinusI(a, id.ToCSR())
+	got := frobeniusAMinusI(a, m)
+	if got > 0.5*base {
+		t.Fatalf("‖AM−I‖_F = %g, identity baseline %g", got, base)
+	}
+}
+
+func TestEnrichmentImprovesResidual(t *testing.T) {
+	a := matgen.NonsymCircuit(150, 4, 11)
+	m0, err := Build(a, Options{Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Build(a, Options{Level: 1, Steps: 3, Add: 4, Epsilon: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0 := frobeniusAMinusI(a, m0)
+	f2 := frobeniusAMinusI(a, m2)
+	if f2 >= f0 {
+		t.Fatalf("enrichment did not improve: %g vs %g", f2, f0)
+	}
+	if m2.NNZ() <= m0.NNZ() {
+		t.Fatalf("enrichment did not grow the pattern: %d vs %d", m2.NNZ(), m0.NNZ())
+	}
+}
+
+func TestBuildWorkerBitIdentity(t *testing.T) {
+	a := matgen.ConvectionDiffusion2D(10, 9, 12)
+	opt := Options{Level: 2, Steps: 2, Add: 3, Epsilon: 1e-2}
+	ref, err := Build(a, optWithWorkers(opt, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 7} {
+		got, err := Build(a, optWithWorkers(opt, w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameCSR(t, ref, got)
+	}
+}
+
+func optWithWorkers(o Options, w int) Options {
+	o.Workers = w
+	return o
+}
+
+func assertSameCSR(t *testing.T, want, got *sparse.CSR) {
+	t.Helper()
+	if want.Rows != got.Rows || want.Cols != got.Cols || want.NNZ() != got.NNZ() {
+		t.Fatalf("structure differs: %dx%d/%d vs %dx%d/%d",
+			want.Rows, want.Cols, want.NNZ(), got.Rows, got.Cols, got.NNZ())
+	}
+	for i := range want.RowPtr {
+		if want.RowPtr[i] != got.RowPtr[i] {
+			t.Fatalf("RowPtr[%d] differs: %d vs %d", i, want.RowPtr[i], got.RowPtr[i])
+		}
+	}
+	for k := range want.ColIdx {
+		if want.ColIdx[k] != got.ColIdx[k] {
+			t.Fatalf("ColIdx[%d] differs: %d vs %d", k, want.ColIdx[k], got.ColIdx[k])
+		}
+		if want.Val[k] != got.Val[k] {
+			t.Fatalf("Val[%d] differs: %g vs %g", k, want.Val[k], got.Val[k])
+		}
+	}
+}
+
+func TestBuildRejectsNonSquare(t *testing.T) {
+	c := sparse.NewCOO(2, 3)
+	c.Add(0, 0, 1)
+	if _, err := Build(c.ToCSR(), Options{}); err == nil {
+		t.Fatal("non-square matrix accepted")
+	}
+}
+
+// TestBuildDistMatchesSerialBitwise is the distributed-correctness anchor:
+// the per-rank blocks of the distributed build concatenate to exactly the
+// serial result — same structure, same bits — for both the static and the
+// adaptive configurations, at several rank counts.
+func TestBuildDistMatchesSerialBitwise(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a    *sparse.CSR
+		opt  Options
+	}{
+		{"convdiff-static", matgen.ConvectionDiffusion2D(9, 10, 8), Options{Level: 1}},
+		{"convdiff-level2", matgen.ConvectionDiffusion2D(8, 8, 15), Options{Level: 2}},
+		{"convdiff-adaptive", matgen.ConvectionDiffusion2D(9, 9, 8), Options{Level: 1, Steps: 2, Add: 3, Epsilon: 1e-2}},
+		{"circuit-adaptive", matgen.NonsymCircuit(120, 4, 5), Options{Level: 1, Steps: 3, Add: 2, Epsilon: 1e-3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, err := Build(tc.a, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := tc.a.Rows
+			for _, nranks := range []int{2, 4} {
+				l := distmat.NewUniformLayout(n, nranks)
+				parts := make([]*sparse.CSR, nranks)
+				_, err := simmpi.Run(nranks, testTimeout, func(c *simmpi.Comm) error {
+					lo, hi := l.Range(c.Rank())
+					m, err := BuildDist(c, l, lo, hi, distmat.ExtractLocalRows(tc.a, lo, hi), tc.opt)
+					if err != nil {
+						return err
+					}
+					parts[c.Rank()] = m
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := concatRows(parts, n)
+				assertSameCSR(t, ref, got)
+			}
+		})
+	}
+}
+
+func concatRows(parts []*sparse.CSR, n int) *sparse.CSR {
+	out := &sparse.CSR{Rows: 0, Cols: n, RowPtr: []int{0}}
+	for _, p := range parts {
+		for i := 0; i < p.Rows; i++ {
+			cols, vals := p.Row(i)
+			out.ColIdx = append(out.ColIdx, cols...)
+			out.Val = append(out.Val, vals...)
+			out.RowPtr = append(out.RowPtr, len(out.ColIdx))
+			out.Rows++
+		}
+	}
+	return out
+}

@@ -125,16 +125,27 @@ func QuickSet() []Spec {
 	return out
 }
 
-// ByName finds a spec by its catalog name in either table.
-func ByName(name string) (Spec, error) {
-	for _, s := range Table1() {
-		if s.Name == name {
-			return s, nil
-		}
+// Nonsym returns the nonsymmetric catalog driving the SPAI+GMRES axis.
+// There is no paper table to mirror here (the paper's campaign is SPD-only);
+// the classes cover the two standard nonsymmetric stress shapes: upwind
+// convection–diffusion at moderate and solver-breaking Péclet numbers, and
+// an unstructured circuit-like operator.
+func Nonsym() []Spec {
+	return []Spec{
+		{1, "convdiff-sim", "Convection Diffusion Problem", func() *sparse.CSR { return matgen.ConvectionDiffusion2D(40, 40, 5) }},
+		{2, "convdiff-skew-sim", "Convection Diffusion Problem", func() *sparse.CSR { return matgen.ConvectionDiffusion2D(36, 36, 50) }},
+		{3, "nonsym-circuit-sim", "Circuit Simulation Problem", func() *sparse.CSR { return matgen.NonsymCircuit(1400, 5, 301) }},
 	}
-	for _, s := range Table2() {
-		if s.Name == name {
-			return s, nil
+}
+
+// ByName finds a spec by its catalog name in any table (the SPD Table 1 and
+// Table 2 catalogs, then the nonsymmetric set).
+func ByName(name string) (Spec, error) {
+	for _, table := range [][]Spec{Table1(), Table2(), Nonsym()} {
+		for _, s := range table {
+			if s.Name == name {
+				return s, nil
+			}
 		}
 	}
 	return Spec{}, fmt.Errorf("testsets: unknown matrix %q", name)

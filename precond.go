@@ -10,8 +10,9 @@ import (
 	"fsaicomm/internal/sparse"
 )
 
-// Preconditioner is a built factorized approximate inverse GᵀG ≈ A⁻¹ that
-// can be applied to many right-hand sides (serial). Build once with
+// Preconditioner is a built approximate inverse that can be applied to many
+// right-hand sides (serial): the factorized GᵀG ≈ A⁻¹ of the FSAI family, or
+// the explicit right inverse M ≈ A⁻¹ of SPAI. Build once with
 // BuildPreconditioner, then call SolveWith per system, or Apply to use it
 // inside a custom solver.
 type Preconditioner struct {
@@ -23,27 +24,43 @@ type Preconditioner struct {
 	// preconditioner was constructed with Options.Precision FP32; SolveWith
 	// then runs the mixed-precision refinement loop.
 	split32 *krylov.Split32
+	// inv is the explicit SPAI inverse (Method SPAI only; split is then
+	// nil) and restart the GMRES cycle length SolveWith uses.
+	inv     *Matrix
+	restart int
 	pct     float64
 	setup   time.Duration
-	// work holds the CG iteration vectors across SolveWith calls, so
+	// work holds the Krylov iteration vectors across SolveWith calls, so
 	// repeated solves with the same factor allocate no per-solve buffers
 	// (beyond the returned solution). Part of why the Preconditioner is
 	// documented as sequential-reuse only.
 	work krylov.Workspace
 }
 
-// BuildPreconditioner constructs the selected FSAI variant for matrix a
-// once. The returned Preconditioner is safe for sequential reuse across
-// solves (not for concurrent Apply calls; it owns scratch buffers).
+// BuildPreconditioner constructs the selected variant for matrix a once.
+// The returned Preconditioner is safe for sequential reuse across solves
+// (not for concurrent Apply calls; it owns scratch buffers). Method SPAI
+// (with Solver SolverGMRES) builds the explicit inverse of a general square
+// matrix; the FSAI family requires symmetry.
 func BuildPreconditioner(a *Matrix, opt Options) (*Preconditioner, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	if err := checkInputMatrix(a); err != nil {
+	if err := checkInputMatrix(a, opt.Solver); err != nil {
 		return nil, err
 	}
 	opt = opt.withDefaults(a.Rows)
 	t0 := time.Now()
+	if opt.Method == SPAI {
+		m, pct, err := core.BuildSerialSPAI(a, spaiConfig(opt))
+		if err != nil {
+			return nil, err
+		}
+		return &Preconditioner{
+			a: a, inv: m, restart: opt.Restart,
+			method: SPAI, pct: pct, setup: time.Since(t0),
+		}, nil
+	}
 	g, pct, err := core.BuildSerialLevelWorkers(a, opt.Method, opt.Filter, opt.LineBytes, opt.PatternLevel, opt.Threshold, opt.Workers)
 	if err != nil {
 		return nil, err
@@ -62,7 +79,7 @@ func BuildPreconditioner(a *Matrix, opt Options) (*Preconditioner, error) {
 	return p, nil
 }
 
-func checkInputMatrix(a *Matrix) error {
+func checkInputMatrix(a *Matrix, solver Solver) error {
 	if a.Rows != a.Cols {
 		return fmt.Errorf("fsaicomm: matrix is %dx%d, want square", a.Rows, a.Cols)
 	}
@@ -72,10 +89,7 @@ func checkInputMatrix(a *Matrix) error {
 	if !a.IsFinite() {
 		return fmt.Errorf("%w: matrix contains NaN or Inf values", ErrInvalidOptions)
 	}
-	if !a.IsSymmetric(1e-10) {
-		return fmt.Errorf("%w: pattern or values asymmetric", ErrNotSPD)
-	}
-	return nil
+	return checkSolverMatrix(a, solver)
 }
 
 // Method returns the preconditioner variant that was built.
@@ -87,14 +101,25 @@ func (p *Preconditioner) PctNNZIncrease() float64 { return p.pct }
 // SetupTime returns the wall-clock construction time.
 func (p *Preconditioner) SetupTime() time.Duration { return p.setup }
 
-// Factor returns the lower-triangular factor G (GᵀG ≈ A⁻¹). The returned
+// Factor returns the lower-triangular factor G (GᵀG ≈ A⁻¹) of an FSAI-family
+// preconditioner, or the explicit inverse M of an SPAI one. The returned
 // matrix is shared; do not mutate it.
-func (p *Preconditioner) Factor() *Matrix { return p.split.G }
+func (p *Preconditioner) Factor() *Matrix {
+	if p.inv != nil {
+		return p.inv
+	}
+	return p.split.G
+}
 
-// Apply computes z = Gᵀ(G·r), the preconditioning operation.
+// Apply computes the preconditioning operation: z = Gᵀ(G·r) for the FSAI
+// family, z = M·r for SPAI.
 func (p *Preconditioner) Apply(r, z []float64) {
 	if len(r) != p.a.Rows || len(z) != p.a.Rows {
 		panic(fmt.Sprintf("fsaicomm: Apply length %d/%d, want %d", len(r), len(z), p.a.Rows))
+	}
+	if p.inv != nil {
+		p.inv.MulVec(r, z)
+		return
 	}
 	p.split.Apply(r, z, nil)
 }
@@ -109,12 +134,19 @@ func (p *Preconditioner) SolveWith(b []float64, opt Options) (*Result, error) {
 	opt = opt.withDefaults(p.a.Rows)
 	x := make([]float64, p.a.Rows)
 	t0 := time.Now()
-	kopt := krylov.Options{Tol: opt.Tol, MaxIter: opt.MaxIter, Work: &p.work}
+	restart := p.restart
+	if opt.Restart > 0 {
+		restart = opt.Restart
+	}
+	kopt := krylov.Options{Tol: opt.Tol, MaxIter: opt.MaxIter, Restart: restart, Work: &p.work}
 	var st krylov.Stats
 	var err error
-	if p.prec == FP32 {
+	switch {
+	case p.inv != nil:
+		st, err = krylov.GMRES(p.a, b, x, &krylov.MatPrecond{M: p.inv}, kopt, nil)
+	case p.prec == FP32:
 		st, err = krylov.SolveRefined(p.a, b, x, p.split32, kopt, nil)
-	} else {
+	default:
 		st, err = krylov.CG(p.a, b, x, p.split, kopt, nil)
 	}
 	broken := errors.Is(err, krylov.ErrBreakdown)
@@ -139,5 +171,6 @@ func (p *Preconditioner) SolveWith(b []float64, opt Options) (*Result, error) {
 	return res, nil
 }
 
-// Pattern returns the sparsity pattern of the factor for inspection.
-func (p *Preconditioner) Pattern() *sparse.Pattern { return sparse.PatternOf(p.split.G) }
+// Pattern returns the sparsity pattern of the factor (FSAI family) or the
+// explicit inverse (SPAI) for inspection.
+func (p *Preconditioner) Pattern() *sparse.Pattern { return sparse.PatternOf(p.Factor()) }

@@ -25,7 +25,12 @@ type SolveOptions struct {
 	// MaxIter caps CG iterations. Default 10·n.
 	MaxIter int
 	// CGVariant selects the distributed CG loop (see Options.CGVariant).
+	// Ignored by systems prepared for SPAI+GMRES, which run the classic
+	// blocking schedule only.
 	CGVariant CGVariant
+	// Restart overrides the GMRES restart length for this solve (0 keeps
+	// the Prepare-time Options.Restart). Ignored by CG-prepared systems.
+	Restart int
 	// Arch names the architecture profile for Result.ModeledSolveTime
 	// ("skylake" default, "a64fx", "zen2").
 	Arch string
@@ -54,6 +59,9 @@ type SolveOptions struct {
 // single validator so the HTTP layer and the library agree on what a bad
 // request is.
 func (o SolveOptions) Validate() error {
+	if o.Restart < 0 {
+		return fmt.Errorf("%w: Restart %d is negative (0 keeps the Prepare-time value)", ErrInvalidOptions, o.Restart)
+	}
 	return Options{
 		Tol:                  o.Tol,
 		MaxIter:              o.MaxIter,
@@ -70,11 +78,14 @@ func (o SolveOptions) Validate() error {
 // prepRank is one rank's share of a prepared system: the localized matrix
 // and factor views (read-only during solves, shared by every solve) and the
 // halo-plan schedules (cloned per solve; only their send buffers are
-// mutable).
+// mutable). CG systems carry the g/gt factor pair, GMRES systems the m
+// inverse; the other set is nil.
 type prepRank struct {
 	lo, hi               int
 	aLZ, gLZ, gtLZ       *distmat.Localized
+	mLZ                  *distmat.Localized
 	aPlan, gPlan, gtPlan *distmat.HaloPlan
+	mPlan                *distmat.HaloPlan
 }
 
 // Prepared is a fully set-up distributed system: partition, permutation,
@@ -110,7 +121,7 @@ func Prepare(a *Matrix, opt Options) (*Prepared, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	if err := checkInputMatrix(a); err != nil {
+	if err := checkInputMatrix(a, opt.Solver); err != nil {
 		return nil, err
 	}
 	opt = opt.withDefaults(a.Rows)
@@ -134,6 +145,9 @@ func Prepare(a *Matrix, opt Options) (*Prepared, error) {
 		PatternLevel: opt.PatternLevel,
 		Threshold:    opt.Threshold,
 		Workers:      opt.Workers,
+		SPAISteps:    opt.SPAISteps,
+		SPAIAdd:      opt.SPAIAdd,
+		SPAIEpsilon:  opt.SPAIEpsilon,
 		// The CG variant is chosen per solve; overlap views are built
 		// lazily (and locally) on the per-solve operators, so the setup
 		// builds the blocking schedule only. Precision is likewise applied
@@ -160,11 +174,14 @@ func Prepare(a *Matrix, opt Options) (*Prepared, error) {
 			return err
 		}
 		aOp := distmat.NewOp(c, layout, lo, hi, aRows)
-		p.parts[c.Rank()] = prepRank{
-			lo: lo, hi: hi,
-			aLZ: aOp.LZ, gLZ: bd.GOp.LZ, gtLZ: bd.GTOp.LZ,
-			aPlan: aOp.Plan, gPlan: bd.GOp.Plan, gtPlan: bd.GTOp.Plan,
+		pr := prepRank{lo: lo, hi: hi, aLZ: aOp.LZ, aPlan: aOp.Plan}
+		if opt.Method == SPAI {
+			pr.mLZ, pr.mPlan = bd.MOp.LZ, bd.MOp.Plan
+		} else {
+			pr.gLZ, pr.gtLZ = bd.GOp.LZ, bd.GTOp.LZ
+			pr.gPlan, pr.gtPlan = bd.GOp.Plan, bd.GTOp.Plan
 		}
+		p.parts[c.Rank()] = pr
 		if c.Rank() == 0 {
 			p.pct = bd.PctNNZIncrease
 			p.imbalance = bd.ImbalanceIndex
@@ -203,15 +220,21 @@ func (p *Prepared) Options() Options { return p.setupOpt }
 func (p *Prepared) SizeBytes() int64 {
 	var total int64
 	lzBytes := func(lz *distmat.Localized) int64 {
+		if lz == nil {
+			return 0
+		}
 		return 8 * int64(len(lz.M.RowPtr)+len(lz.M.ColIdx)+len(lz.M.Val)+len(lz.Halo))
 	}
 	planBytes := func(pl *distmat.HaloPlan) int64 {
+		if pl == nil {
+			return 0
+		}
 		return 8 * int64(pl.SendCount()+pl.RecvCount()+len(pl.SendPeerIDs())+len(pl.RecvPeerIDs()))
 	}
 	for i := range p.parts {
 		r := &p.parts[i]
-		total += lzBytes(r.aLZ) + lzBytes(r.gLZ) + lzBytes(r.gtLZ)
-		total += planBytes(r.aPlan) + planBytes(r.gPlan) + planBytes(r.gtPlan)
+		total += lzBytes(r.aLZ) + lzBytes(r.gLZ) + lzBytes(r.gtLZ) + lzBytes(r.mLZ)
+		total += planBytes(r.aPlan) + planBytes(r.gPlan) + planBytes(r.gtPlan) + planBytes(r.mPlan)
 	}
 	total += 8 * int64(len(p.oldToNew))
 	return total
@@ -253,27 +276,34 @@ func (p *Prepared) Solve(ctx context.Context, b []float64, so SolveOptions) (*Re
 		return nil, err
 	}
 
+	gmres := p.setupOpt.Solver == SolverGMRES
+	if gmres && so.CGVariant != CGClassic {
+		return nil, fmt.Errorf("%w: this system was prepared for SPAI+GMRES, which has only the classic blocking schedule", ErrInvalidOptions)
+	}
+	restart := p.setupOpt.Restart
+	if so.Restart > 0 {
+		restart = so.Restart
+	}
 	pb := distmat.PermuteVec(b, p.oldToNew)
 	specs := make([]*mprun.PreparedRankSpec, p.ranks)
 	for r := range specs {
 		pr := &p.parts[r]
-		specs[r] = &mprun.PreparedRankSpec{
+		spec := &mprun.PreparedRankSpec{
 			N: p.n, Ranks: p.ranks, Offsets: p.layout.Offsets,
 			Lo: pr.lo, Hi: pr.hi,
-			ALZ: pr.aLZ, GLZ: pr.gLZ, GTLZ: pr.gtLZ,
+			ALZ: pr.aLZ,
 			// The schedules are read-only [][]int views; the rank job wraps
 			// them in a fresh HaloPlan with private send buffers, which is
 			// what Clone used to provide. The need counts captured at Prepare
 			// time let a declared topology rebuild the node-aware relay
 			// schedule locally.
 			ASend: pr.aPlan.SendPeers, ARecv: pr.aPlan.RecvPeers,
-			GSend: pr.gPlan.SendPeers, GRecv: pr.gPlan.RecvPeers,
-			GTSend: pr.gtPlan.SendPeers, GTRecv: pr.gtPlan.RecvPeers,
-			ACounts: pr.aPlan.NeedCounts(), GCounts: pr.gPlan.NeedCounts(),
-			GTCounts:             pr.gtPlan.NeedCounts(),
+			ACounts:              pr.aPlan.NeedCounts(),
 			BLocal:               pb[pr.lo:pr.hi],
 			Pct:                  p.pct,
 			Imbalance:            p.imbalance,
+			Solver:               p.setupOpt.Solver,
+			Restart:              restart,
 			Tol:                  so.Tol,
 			MaxIter:              so.MaxIter,
 			Variant:              so.CGVariant,
@@ -285,6 +315,17 @@ func (p *Prepared) Solve(ctx context.Context, b []float64, so SolveOptions) (*Re
 			RanksPerNode:         topo.RanksPerNode,
 			NoNodeAggregation:    so.NoNodeAggregation,
 		}
+		if gmres {
+			spec.MLZ = pr.mLZ
+			spec.MSend, spec.MRecv = pr.mPlan.SendPeers, pr.mPlan.RecvPeers
+			spec.MCounts = pr.mPlan.NeedCounts()
+		} else {
+			spec.GLZ, spec.GTLZ = pr.gLZ, pr.gtLZ
+			spec.GSend, spec.GRecv = pr.gPlan.SendPeers, pr.gPlan.RecvPeers
+			spec.GTSend, spec.GTRecv = pr.gtPlan.SendPeers, pr.gtPlan.RecvPeers
+			spec.GCounts, spec.GTCounts = pr.gPlan.NeedCounts(), pr.gtPlan.NeedCounts()
+		}
+		specs[r] = spec
 	}
 
 	var outs []*mprun.RankOutcome
